@@ -1,0 +1,177 @@
+package cad_test
+
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation (§VI) as Go benchmarks, at a reduced dataset scale so the full
+// suite completes on a laptop:
+//
+//	go test -bench=. -benchmem
+//
+// The heavy dataset evaluations are cached in a shared suite, so the
+// Table/Figure benchmarks measure regeneration on top of one evaluation
+// pass. cmd/cadbench runs the same experiments at full scale with
+// human-readable output; EXPERIMENTS.md records paper-vs-measured numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"cad/internal/experiments"
+)
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiments.Suite
+)
+
+// suite returns the shared, lazily-built benchmark suite: scale 0.35,
+// 2 repeats for randomized methods, 6 SMD subsets.
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchSuiteOnce.Do(func() {
+		benchSuite = experiments.NewSuite(experiments.Options{
+			Scale:     0.35,
+			Repeats:   2,
+			GridSteps: 150,
+		})
+		benchSuite.SMDCount = 6
+	})
+	return benchSuite
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.TableV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.TableVI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.TableVII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkTableVIII(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.TableVIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		// IS-1..IS-3 keep the scalability sweep laptop-sized; cadbench
+		// -exp fig6 runs all five.
+		res, err := s.Figure6(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure7(5) // SMD 1_6, as in the paper
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+// BenchmarkAblationThresholdRule covers the design-choice ablations from
+// DESIGN.md: 3σ rule vs fixed ξ, τ-pruning, warm-up, RC accumulation modes.
+func BenchmarkAblationThresholdRule(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res, err := s.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}

@@ -1,0 +1,168 @@
+package cad_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"cad"
+)
+
+// buildSeries creates two correlated sensor groups with sensors 0 and 1
+// decoupling on [breakFrom, breakTo). Two sensors break because CAD's 3σ
+// rule (with the default σ floor) needs at least two simultaneous outlier
+// transitions to alarm.
+func buildSeries(seed int64, n, length, breakFrom, breakTo int) *cad.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := cad.ZeroSeries(n, length)
+	for t := 0; t < length; t++ {
+		a := math.Sin(2 * math.Pi * float64(t) / 24)
+		b := math.Cos(2 * math.Pi * float64(t) / 17)
+		for i := 0; i < n; i++ {
+			latent := a
+			if i >= n/2 {
+				latent = b
+			}
+			v := latent*(1+0.1*float64(i)) + 0.05*rng.NormFloat64()
+			if i <= 1 && t >= breakFrom && t < breakTo {
+				v = rng.NormFloat64()
+			}
+			s.Set(i, t, v)
+		}
+	}
+	return s
+}
+
+func TestPublicAPIDetect(t *testing.T) {
+	his := buildSeries(1, 8, 600, -1, -1)
+	test := buildSeries(2, 8, 600, 300, 400)
+	cfg := cad.Config{
+		Window: cad.Windowing{W: 40, S: 4}, K: 3, Tau: 0.4, Theta: 0.15,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8, RCMode: cad.RCSliding, RCHorizon: 8,
+	}
+	det, err := cad.NewDetector(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.WarmUp(his); err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Detect(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Anomalies) == 0 {
+		t.Fatal("no anomalies through the public API")
+	}
+	found := false
+	for _, a := range res.Anomalies {
+		if a.Start < 400 && a.End > 300 {
+			for _, sensor := range a.Sensors {
+				if sensor == 0 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected sensor 0 blamed in [300,400); got %+v", res.Anomalies)
+	}
+}
+
+func TestPublicAPIStreaming(t *testing.T) {
+	his := buildSeries(3, 6, 400, -1, -1)
+	cfg := cad.DefaultConfig(6, 400)
+	cfg.Window = cad.Windowing{W: 30, S: 3}
+	cfg.K = 2
+	cfg.Theta = 0.15
+	det, err := cad.NewDetector(6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.WarmUp(his); err != nil {
+		t.Fatal(err)
+	}
+	st := cad.NewStreamer(det)
+	live := buildSeries(4, 6, 300, 150, 220)
+	col := make([]float64, 6)
+	rounds := 0
+	for p := 0; p < live.Len(); p++ {
+		live.Column(p, col)
+		if _, ok, err := st.Push(col); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			rounds++
+		}
+	}
+	if rounds == 0 {
+		t.Error("streamer emitted no rounds")
+	}
+}
+
+func TestPublicAPIEval(t *testing.T) {
+	truth := make([]bool, 20)
+	for i := 5; i < 10; i++ {
+		truth[i] = true
+	}
+	pred := make([]bool, 20)
+	pred[7] = true
+	pa, err := cad.EvalF1(pred, truth, cad.EvalPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpa, err := cad.EvalF1(pred, truth, cad.EvalDPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpa > pa {
+		t.Errorf("DPA %v must not exceed PA %v", dpa, pa)
+	}
+	rel, err := cad.EvalAheadMiss(pred, make([]bool, 20), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Ahead != 1 {
+		t.Errorf("Ahead = %v, want 1 (other method missed)", rel.Ahead)
+	}
+	delays, err := cad.EvalDetectionDelay(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 1 || delays[0] != 2 {
+		t.Errorf("delays = %v", delays)
+	}
+}
+
+func TestPublicAPICSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "series.csv")
+	s := buildSeries(5, 4, 50, -1, -1)
+	if err := s.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cad.LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sensors() != 4 || got.Len() != 50 {
+		t.Errorf("loaded shape (%d,%d)", got.Sensors(), got.Len())
+	}
+}
+
+func TestPublicAPIHelpers(t *testing.T) {
+	wd := cad.SuggestWindowing(10000)
+	if wd.W <= 0 || wd.S <= 0 || wd.S >= wd.W {
+		t.Errorf("SuggestWindowing = %+v", wd)
+	}
+	cfg := cad.DefaultConfig(26, 10000)
+	if err := cfg.Validate(26); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+	if _, err := cad.NewSeries(nil, nil); err == nil {
+		t.Error("NewSeries(nil) should error")
+	}
+	if _, err := cad.NewDetector(5, cad.Config{}); err == nil {
+		t.Error("zero config should error")
+	}
+}

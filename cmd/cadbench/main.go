@@ -1,0 +1,99 @@
+// Command cadbench regenerates the paper's tables and figures on the
+// simulated dataset recipes.
+//
+// Usage:
+//
+//	cadbench -exp table3            # one experiment
+//	cadbench -exp all -scale 0.5    # everything, half-size datasets
+//
+// Experiments: table3 table4 table5 table6 table7 table8 fig4 fig5 fig6
+// fig7 fig8 ablation all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cad/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table3..table8, fig4..fig8, ablation, all)")
+		scale   = flag.Float64("scale", 1.0, "dataset length scale factor")
+		repeats = flag.Int("repeats", 3, "repeats for randomized methods (paper: 10)")
+		smd     = flag.Int("smd", 28, "number of SMD subsets (paper: 28)")
+		grid    = flag.Int("grid", 200, "F1 threshold grid steps (paper: 1000)")
+		methods = flag.String("methods", "", "comma-separated method subset (default: all ten)")
+		maxIS   = flag.Int("maxis", 5, "largest IS dataset for fig6 (1..5)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Repeats: *repeats, GridSteps: *grid}
+	if *methods != "" {
+		for _, m := range strings.Split(*methods, ",") {
+			opts.Methods = append(opts.Methods, experiments.MethodID(strings.TrimSpace(m)))
+		}
+	}
+	suite := experiments.NewSuite(opts)
+	suite.SMDCount = *smd
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table3", "table4", "table5", "table6", "table7", "table8",
+			"fig4", "fig5", "fig6", "fig7", "fig8", "ablation"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := run(suite, id, *maxIS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cadbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), out)
+	}
+}
+
+type renderer interface{ Render() string }
+
+func run(s *experiments.Suite, id string, maxIS int) (string, error) {
+	var (
+		r   renderer
+		err error
+	)
+	switch id {
+	case "table3":
+		r, err = s.TableIII()
+	case "table4":
+		r, err = s.TableIV()
+	case "table5":
+		r, err = s.TableV()
+	case "table6":
+		r, err = s.TableVI()
+	case "table7":
+		r, err = s.TableVII()
+	case "table8":
+		r, err = s.TableVIII()
+	case "fig4":
+		r, err = s.Figure4()
+	case "fig5":
+		r, err = s.Figure5()
+	case "fig6":
+		r, err = s.Figure6(maxIS)
+	case "fig7":
+		r, err = s.Figure7(5) // SMD 1_6, as in the paper's case study
+	case "fig8":
+		r, err = s.Figure8()
+	case "ablation":
+		r, err = s.Ablation()
+	default:
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cad/internal/experiments"
+)
+
+func tinySuite() *experiments.Suite {
+	s := experiments.NewSuite(experiments.Options{
+		Scale:     0.3,
+		Repeats:   1,
+		GridSteps: 50,
+		Methods:   []experiments.MethodID{experiments.MCAD, experiments.MECOD},
+	})
+	s.SMDCount = 2
+	return s
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := run(tinySuite(), "nope", 5); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunEachExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pass is expensive")
+	}
+	s := tinySuite()
+	// table3 first warms the headline cache; the rest reuse it.
+	for _, id := range []string{"table3", "table4", "table5", "table6", "table7", "table8", "fig4", "fig5", "fig7", "ablation"} {
+		out, err := run(s, id, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("%s produced empty output", id)
+		}
+	}
+	// fig6 with the smallest IS only.
+	out, err := run(s, "fig6", 1)
+	if err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	if !strings.Contains(out, "IS-1") {
+		t.Errorf("fig6 output:\n%s", out)
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cad"
+)
+
+func writeSeries(t *testing.T, path string, seed int64, broken bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := cad.ZeroSeries(8, 600)
+	for tick := 0; tick < 600; tick++ {
+		a := math.Sin(2 * math.Pi * float64(tick) / 25)
+		b := math.Cos(2 * math.Pi * float64(tick) / 40)
+		for i := 0; i < 8; i++ {
+			latent := a
+			if i >= 4 {
+				latent = b
+			}
+			v := latent*(1+0.1*float64(i)) + 0.05*rng.NormFloat64()
+			if broken && i <= 1 && tick >= 300 && tick < 420 {
+				v = rng.NormFloat64()
+			}
+			s.Set(i, tick, v)
+		}
+	}
+	if err := s.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	warm := filepath.Join(dir, "warm.csv")
+	live := filepath.Join(dir, "live.csv")
+	writeSeries(t, warm, 1, false)
+	writeSeries(t, live, 2, true)
+
+	if err := detect(live, warm, 40, 4, 3, 0.4, 0.2, false, filepath.Join(dir, "report.html")); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	// With names, without warm-up, auto windowing.
+	if err := detect(live, "", 0, 0, 0, 0.5, 0.3, true, ""); err != nil {
+		t.Fatalf("detect without warm-up: %v", err)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := detect(filepath.Join(dir, "missing.csv"), "", 0, 0, 0, 0.5, 0.3, false, ""); err == nil {
+		t.Error("missing input should error")
+	}
+	live := filepath.Join(dir, "live.csv")
+	writeSeries(t, live, 3, false)
+	if err := detect(live, filepath.Join(dir, "missing.csv"), 0, 0, 0, 0.5, 0.3, false, ""); err == nil {
+		t.Error("missing warm-up should error")
+	}
+	// Invalid explicit windowing.
+	if err := detect(live, "", 4, 4, 0, 0.5, 0.3, false, ""); err == nil {
+		t.Error("s == w should error")
+	}
+}
+
+func TestReportWritten(t *testing.T) {
+	dir := t.TempDir()
+	live := filepath.Join(dir, "live.csv")
+	writeSeries(t, live, 4, true)
+	out := filepath.Join(dir, "out.html")
+	if err := detect(live, "", 40, 4, 3, 0.4, 0.2, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("report missing SVG chart")
+	}
+	// Unwritable report path errors.
+	if err := detect(live, "", 40, 4, 3, 0.4, 0.2, false, "/nonexistent/x.html"); err == nil {
+		t.Error("bad report path should error")
+	}
+}

@@ -1,0 +1,111 @@
+// Command cadserve runs the streaming CAD detector as an HTTP service.
+//
+// Usage:
+//
+//	cadserve -sensors 26 -addr :8080 [-warmup history.csv]
+//	         [-w 200 -s 4] [-k 10] [-tau 0.5] [-theta 0.3]
+//
+// Collectors POST readings to /ingest; operators read /status and /alarms;
+// /detect accepts a CSV for one-shot batch analysis. See internal/serve for
+// the payloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"cad"
+	"cad/internal/core"
+	"cad/internal/serve"
+)
+
+func main() {
+	var (
+		sensors = flag.Int("sensors", 0, "number of sensors (required unless -warmup is given)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		warmup  = flag.String("warmup", "", "anomaly-free CSV for the warm-up process")
+		w       = flag.Int("w", 0, "sliding window length (0 = auto)")
+		s       = flag.Int("s", 0, "window step (0 = auto)")
+		k       = flag.Int("k", 0, "correlation neighbors per sensor (0 = auto)")
+		tau     = flag.Float64("tau", 0.5, "correlation threshold τ")
+		theta   = flag.Float64("theta", 0.3, "outlier threshold θ")
+		approx  = flag.Bool("approx", false, "build TSGs with the HNSW index (for very wide sensor arrays)")
+	)
+	flag.Parse()
+	if err := run(*sensors, *addr, *warmup, *w, *s, *k, *tau, *theta, *approx); err != nil {
+		fmt.Fprintf(os.Stderr, "cadserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// setup loads the optional warm-up series, derives the configuration, and
+// returns the warmed detector (split from run so tests can exercise it
+// without binding a socket).
+func setup(sensors int, warmup string, w, s, k int, tau, theta float64, approx bool) (*core.Detector, error) {
+	var history *cad.Series
+	if warmup != "" {
+		var err error
+		history, err = cad.LoadCSV(warmup)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", warmup, err)
+		}
+		if sensors == 0 {
+			sensors = history.Sensors()
+		}
+		if sensors != history.Sensors() {
+			return nil, fmt.Errorf("-sensors %d but warm-up has %d", sensors, history.Sensors())
+		}
+	}
+	if sensors < 2 {
+		return nil, fmt.Errorf("need -sensors ≥ 2 or a -warmup file")
+	}
+	length := 10000
+	if history != nil {
+		length = history.Len()
+	}
+	cfg := core.DefaultConfig(sensors, length)
+	cfg.Tau = tau
+	cfg.Theta = theta
+	cfg.ApproxTSG = approx
+	if w > 0 && s > 0 {
+		cfg.Window = cad.Windowing{W: w, S: s}
+	}
+	if k > 0 {
+		cfg.K = k
+	}
+	det, err := core.NewDetector(sensors, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if history != nil {
+		start := time.Now()
+		if err := det.WarmUp(history); err != nil {
+			return nil, fmt.Errorf("warm-up: %w", err)
+		}
+		log.Printf("warm-up: %d rounds in %v (μ=%.2f σ=%.2f)",
+			det.Rounds(), time.Since(start), det.HistoryMean(), det.HistoryStdDev())
+	}
+	return det, nil
+}
+
+func run(sensors int, addr, warmup string, w, s, k int, tau, theta float64, approx bool) error {
+	det, err := setup(sensors, warmup, w, s, k, tau, theta, approx)
+	if err != nil {
+		return err
+	}
+	cfg := det.Config()
+	svc := serve.New(det, 1024)
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      svc.Handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Printf("cadserve listening on %s (%d sensors, w=%d s=%d k=%d τ=%.2f θ=%.2f approx=%v)",
+		addr, det.Sensors(), cfg.Window.W, cfg.Window.S, cfg.K, cfg.Tau, cfg.Theta, approx)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"cad"
+)
+
+func writeWarmup(t *testing.T, path string, sensors, length int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s := cad.ZeroSeries(sensors, length)
+	for tick := 0; tick < length; tick++ {
+		a := math.Sin(2 * math.Pi * float64(tick) / 25)
+		for i := 0; i < sensors; i++ {
+			s.Set(i, tick, a*(1+0.2*float64(i%4))+0.05*rng.NormFloat64())
+		}
+	}
+	if err := s.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupWithWarmup(t *testing.T) {
+	dir := t.TempDir()
+	warm := filepath.Join(dir, "warm.csv")
+	writeWarmup(t, warm, 8, 600)
+	det, err := setup(0, warm, 40, 4, 3, 0.4, 0.2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Sensors() != 8 {
+		t.Errorf("sensors = %d (should derive from warm-up)", det.Sensors())
+	}
+	if det.Rounds() == 0 {
+		t.Error("warm-up did not run")
+	}
+	if det.Config().Window.W != 40 || det.Config().K != 3 {
+		t.Errorf("config overrides lost: %+v", det.Config())
+	}
+}
+
+func TestSetupWithoutWarmup(t *testing.T) {
+	det, err := setup(10, "", 0, 0, 0, 0.5, 0.3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Sensors() != 10 || !det.Config().ApproxTSG {
+		t.Errorf("setup: sensors=%d approx=%v", det.Sensors(), det.Config().ApproxTSG)
+	}
+	if det.Rounds() != 0 {
+		t.Error("no warm-up expected")
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	if _, err := setup(0, "", 0, 0, 0, 0.5, 0.3, false); err == nil {
+		t.Error("no sensors and no warm-up should error")
+	}
+	if _, err := setup(1, "", 0, 0, 0, 0.5, 0.3, false); err == nil {
+		t.Error("1 sensor should error")
+	}
+	if _, err := setup(0, "/nonexistent.csv", 0, 0, 0, 0.5, 0.3, false); err == nil {
+		t.Error("missing warm-up file should error")
+	}
+	dir := t.TempDir()
+	warm := filepath.Join(dir, "warm.csv")
+	writeWarmup(t, warm, 8, 300)
+	if _, err := setup(5, warm, 0, 0, 0, 0.5, 0.3, false); err == nil {
+		t.Error("sensor-count mismatch should error")
+	}
+	// Invalid windowing flows through as a config error.
+	if _, err := setup(8, "", 4, 4, 0, 0.5, 0.3, false); err == nil {
+		t.Error("w == s should error")
+	}
+}

@@ -1,0 +1,126 @@
+// Command datagen generates the simulated benchmark datasets (PSM-, SMD-,
+// SWaT-, IS-like; see internal/dataset) as CSV files, plus a labels CSV
+// marking the injected anomalies.
+//
+// Usage:
+//
+//	datagen -recipe PSM -out ./data           # writes PSM_train.csv,
+//	                                          # PSM_test.csv, PSM_labels.csv
+//	datagen -recipe SMD-3 -scale 0.5 -out .   # SMD subset 3, half size
+//	datagen -recipe IS-2 -out ./data
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cad/internal/dataset"
+	"cad/internal/simulator"
+)
+
+func main() {
+	var (
+		recipe = flag.String("recipe", "PSM", "PSM, SWaT, SMD-<0..27>, or IS-<1..5>")
+		scale  = flag.Float64("scale", 1.0, "length scale factor")
+		out    = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := generate(*recipe, *scale, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func lookup(name string) (dataset.Recipe, error) {
+	switch {
+	case name == "PSM":
+		return dataset.PSM(), nil
+	case name == "SWaT":
+		return dataset.SWaT(), nil
+	case strings.HasPrefix(name, "SMD-"):
+		i, err := strconv.Atoi(strings.TrimPrefix(name, "SMD-"))
+		if err != nil || i < 0 || i >= dataset.SMDSubsets {
+			return dataset.Recipe{}, fmt.Errorf("bad SMD subset %q (want SMD-0..SMD-%d)", name, dataset.SMDSubsets-1)
+		}
+		return dataset.SMD(i), nil
+	case strings.HasPrefix(name, "IS-"):
+		i, err := strconv.Atoi(strings.TrimPrefix(name, "IS-"))
+		if err != nil {
+			return dataset.Recipe{}, fmt.Errorf("bad IS index %q", name)
+		}
+		return dataset.IS(i)
+	default:
+		return dataset.Recipe{}, fmt.Errorf("unknown recipe %q", name)
+	}
+}
+
+func generate(name string, scale float64, outDir string) error {
+	r, err := lookup(name)
+	if err != nil {
+		return err
+	}
+	ds, err := r.Scaled(scale).Build()
+	if err != nil {
+		return err
+	}
+	base := strings.ReplaceAll(ds.Name, "/", "_")
+	trainPath := filepath.Join(outDir, base+"_train.csv")
+	testPath := filepath.Join(outDir, base+"_test.csv")
+	labelPath := filepath.Join(outDir, base+"_labels.csv")
+	if err := ds.Train.SaveCSV(trainPath); err != nil {
+		return err
+	}
+	if err := ds.Test.SaveCSV(testPath); err != nil {
+		return err
+	}
+	if err := writeLabels(labelPath, ds); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d sensors, train %d / test %d points, %d anomalies\n",
+		ds.Name, ds.Test.Sensors(), ds.Train.Len(), ds.Test.Len(), len(ds.Injections))
+	fmt.Printf("wrote %s, %s, %s\n", trainPath, testPath, labelPath)
+	return nil
+}
+
+// writeLabels writes one row per time point: label (0/1) plus, on anomalous
+// points, the kind and affected sensors of the covering injection.
+func writeLabels(path string, ds *simulator.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"t", "label", "kind", "sensors"}); err != nil {
+		return err
+	}
+	covering := make([]*simulator.Injection, len(ds.Labels))
+	for i := range ds.Injections {
+		inj := &ds.Injections[i]
+		for t := inj.Start; t < inj.End && t < len(covering); t++ {
+			covering[t] = inj
+		}
+	}
+	for t, lab := range ds.Labels {
+		rec := []string{strconv.Itoa(t), "0", "", ""}
+		if lab && covering[t] != nil {
+			rec[1] = "1"
+			rec[2] = covering[t].Kind.String()
+			parts := make([]string, len(covering[t].Sensors))
+			for i, s := range covering[t].Sensors {
+				parts[i] = strconv.Itoa(s)
+			}
+			rec[3] = strings.Join(parts, ";")
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

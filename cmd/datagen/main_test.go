@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLookup(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"PSM", "PSM", true},
+		{"SWaT", "SWaT", true},
+		{"SMD-0", "SMD-1_1", true},
+		{"SMD-27", "SMD-4_4", true},
+		{"SMD-28", "", false},
+		{"SMD-x", "", false},
+		{"IS-1", "IS-1", true},
+		{"IS-5", "IS-5", true},
+		{"IS-9", "", false},
+		{"IS-x", "", false},
+		{"nope", "", false},
+	}
+	for _, c := range cases {
+		r, err := lookup(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("lookup(%q) err = %v", c.in, err)
+			continue
+		}
+		if c.ok && r.Name != c.want {
+			t.Errorf("lookup(%q).Name = %q, want %q", c.in, r.Name, c.want)
+		}
+	}
+}
+
+func TestGenerateWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := generate("SMD-0", 0.3, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"_train.csv", "_test.csv", "_labels.csv"} {
+		path := filepath.Join(dir, "SMD-1_1"+suffix)
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("missing %s: %v", path, err)
+		}
+	}
+	// Labels file has the right header and at least one anomalous row
+	// carrying kind + sensors.
+	f, err := os.Open(filepath.Join(dir, "SMD-1_1_labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 || strings.Join(recs[0], ",") != "t,label,kind,sensors" {
+		t.Fatalf("labels header = %v", recs[0])
+	}
+	anomalous := 0
+	for _, rec := range recs[1:] {
+		if rec[1] == "1" {
+			anomalous++
+			if rec[2] == "" || rec[3] == "" {
+				t.Fatalf("anomalous row missing kind/sensors: %v", rec)
+			}
+		}
+	}
+	if anomalous == 0 {
+		t.Error("no anomalous rows written")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := generate("nope", 1, t.TempDir()); err == nil {
+		t.Error("unknown recipe should error")
+	}
+	if err := generate("PSM", 0.3, "/nonexistent-dir/xyz"); err == nil {
+		t.Error("unwritable dir should error")
+	}
+}

@@ -1,0 +1,177 @@
+package cad_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"cad"
+)
+
+// twoBankSeries builds 8 sensors in two correlated banks; sensors 0 and 1
+// decouple during [300, 400) when broken is true.
+func twoBankSeries(seed int64, broken bool) *cad.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := cad.ZeroSeries(8, 600)
+	for t := 0; t < 600; t++ {
+		a := math.Sin(2 * math.Pi * float64(t) / 24)
+		b := math.Cos(2 * math.Pi * float64(t) / 17)
+		for i := 0; i < 8; i++ {
+			latent := a
+			if i >= 4 {
+				latent = b
+			}
+			v := latent*(1+0.1*float64(i)) + 0.05*rng.NormFloat64()
+			if broken && i <= 1 && t >= 300 && t < 400 {
+				v = rng.NormFloat64()
+			}
+			s.Set(i, t, v)
+		}
+	}
+	return s
+}
+
+func ExampleDetector() {
+	history := twoBankSeries(1, false)
+	live := twoBankSeries(2, true)
+
+	cfg := cad.Config{
+		Window: cad.Windowing{W: 40, S: 4}, K: 3, Tau: 0.4, Theta: 0.2,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8,
+		RCMode: cad.RCSliding, RCHorizon: 5,
+	}
+	det, err := cad.NewDetector(8, cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := det.WarmUp(history); err != nil {
+		panic(err)
+	}
+	res, err := det.Detect(live)
+	if err != nil {
+		panic(err)
+	}
+	a := res.Anomalies[0]
+	blamed := map[int]bool{}
+	for _, s := range a.Sensors {
+		blamed[s] = true
+	}
+	// The faulty sensors are blamed; their community peers may appear too,
+	// since losing two members also perturbs the peers' co-appearance.
+	fmt.Printf("faulty sensors blamed: %v\n", blamed[0] && blamed[1])
+	fmt.Printf("alarm inside the fault window: %v\n", a.Start >= 300 && a.Start < 400)
+	// Output:
+	// faulty sensors blamed: true
+	// alarm inside the fault window: true
+}
+
+func ExampleStreamer() {
+	history := twoBankSeries(3, false)
+	cfg := cad.Config{
+		Window: cad.Windowing{W: 40, S: 4}, K: 3, Tau: 0.4, Theta: 0.2,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8,
+		RCMode: cad.RCSliding, RCHorizon: 5,
+	}
+	det, _ := cad.NewDetector(8, cfg)
+	if err := det.WarmUp(history); err != nil {
+		panic(err)
+	}
+	st := cad.NewStreamer(det)
+
+	live := twoBankSeries(4, true)
+	col := make([]float64, 8)
+	firstAlarm := -1
+	for t := 0; t < live.Len(); t++ {
+		live.Column(t, col)
+		rep, done, err := st.Push(col)
+		if err != nil {
+			panic(err)
+		}
+		if done && rep.Abnormal && firstAlarm < 0 {
+			firstAlarm = t
+		}
+	}
+	fmt.Printf("fault begins at t=300; first streaming alarm soon after: %v\n",
+		firstAlarm >= 300 && firstAlarm < 420)
+	// Output:
+	// fault begins at t=300; first streaming alarm soon after: true
+}
+
+func ExampleEvalAheadMiss() {
+	truth := make([]bool, 12)
+	for i := 2; i < 5; i++ {
+		truth[i] = true // anomaly 1
+	}
+	for i := 7; i < 11; i++ {
+		truth[i] = true // anomaly 2
+	}
+	m1 := make([]bool, 12)
+	m1[2], m1[10] = true, true // early on anomaly 1, late on anomaly 2
+	m2 := make([]bool, 12)
+	m2[3], m2[8] = true, true // late on anomaly 1, early on anomaly 2
+
+	rel, _ := cad.EvalAheadMiss(m1, m2, truth)
+	fmt.Printf("Ahead=%.0f%% Miss=%.0f%%\n", 100*rel.Ahead, 100*rel.Miss)
+
+	pa, _ := cad.EvalF1(m1, truth, cad.EvalPA)
+	dpa, _ := cad.EvalF1(m1, truth, cad.EvalDPA)
+	fmt.Printf("F1_PA=%.1f%% F1_DPA=%.1f%%\n", 100*pa, 100*dpa)
+	// Output:
+	// Ahead=50% Miss=0%
+	// F1_PA=100.0% F1_DPA=72.7%
+}
+
+func ExampleWriteHTMLReport() {
+	history := twoBankSeries(5, false)
+	live := twoBankSeries(6, true)
+	cfg := cad.Config{
+		Window: cad.Windowing{W: 40, S: 4}, K: 3, Tau: 0.4, Theta: 0.2,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8,
+		RCMode: cad.RCSliding, RCHorizon: 5,
+	}
+	det, _ := cad.NewDetector(8, cfg)
+	if err := det.WarmUp(history); err != nil {
+		panic(err)
+	}
+	res, err := det.Detect(live)
+	if err != nil {
+		panic(err)
+	}
+	var report strings.Builder
+	if err := cad.WriteHTMLReport(&report, "press line", live, res, nil, cfg); err != nil {
+		panic(err)
+	}
+	fmt.Println("report has a score chart:", strings.Contains(report.String(), "<svg"))
+	fmt.Println("report names the job:", strings.Contains(report.String(), "press line"))
+	// Output:
+	// report has a score chart: true
+	// report names the job: true
+}
+
+func ExampleLoadDetector() {
+	history := twoBankSeries(7, false)
+	cfg := cad.Config{
+		Window: cad.Windowing{W: 40, S: 4}, K: 3, Tau: 0.4, Theta: 0.2,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8,
+		RCMode: cad.RCSliding, RCHorizon: 5,
+	}
+	det, _ := cad.NewDetector(8, cfg)
+	if err := det.WarmUp(history); err != nil {
+		panic(err)
+	}
+	// Snapshot the warmed detector, e.g. to disk before a restart…
+	var snapshot bytes.Buffer
+	if err := det.SaveState(&snapshot); err != nil {
+		panic(err)
+	}
+	// …and resume in a new process without re-running the warm-up.
+	restored, err := cad.LoadDetector(&snapshot)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds preserved:", restored.Rounds() == det.Rounds())
+	// Output:
+	// rounds preserved: true
+}

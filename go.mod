@@ -1,0 +1,3 @@
+module cad
+
+go 1.22

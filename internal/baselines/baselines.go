@@ -1,0 +1,123 @@
+// Package baselines defines the common interface of the nine comparison
+// methods the paper evaluates against CAD (§VI-A): the data mining-based
+// LOF, ECOD, and IForest; the deep learning-based USAD and RCoders; and the
+// univariate S2G, SAND, SAND*, and NormA, which are lifted to the MTS
+// setting by running them per sensor and averaging the scores, exactly as
+// the paper does.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"cad/internal/mts"
+)
+
+// ErrNotFitted is returned when Score is called before a required Fit.
+var ErrNotFitted = errors.New("baselines: detector not fitted")
+
+// ErrBadInput reports malformed input series.
+var ErrBadInput = errors.New("baselines: bad input")
+
+// Detector scores every time point of a multivariate series; higher scores
+// are more anomalous.
+type Detector interface {
+	// Name of the method as it appears in the paper's tables.
+	Name() string
+	// Deterministic reports whether repeated Fit+Score runs on identical
+	// input produce identical scores (paper §VI-E).
+	Deterministic() bool
+	// Fit trains on an anomaly-free series. Methods that need no training
+	// accept any call cheaply.
+	Fit(train *mts.MTS) error
+	// Score returns one anomaly score per time point of test.
+	Score(test *mts.MTS) ([]float64, error)
+}
+
+// SensorLocalizer is implemented by detectors that can attribute anomalies
+// to individual sensors (the paper: only ECOD and RCoders can). The result
+// is an n×|T| matrix of per-sensor scores.
+type SensorLocalizer interface {
+	SensorScores(test *mts.MTS) ([][]float64, error)
+}
+
+// Univariate scores a single time series; used by the per-sensor adapter.
+type Univariate interface {
+	Name() string
+	Deterministic() bool
+	// FitSeries observes one training series (may be a no-op).
+	FitSeries(x []float64) error
+	// ScoreSeries returns one score per point of x.
+	ScoreSeries(x []float64) ([]float64, error)
+}
+
+// PerSensor lifts a univariate method to the MTS interface: an independent
+// instance runs on every sensor and the per-point scores are averaged
+// (§VI-A: "we perform these methods on each time series and treat the mean
+// of the abnormal scores as the output").
+type PerSensor struct {
+	// NewInstance constructs a fresh univariate detector for one sensor;
+	// the argument is the sensor index (lets randomized methods vary
+	// seeds).
+	NewInstance func(sensor int) Univariate
+
+	name          string
+	deterministic bool
+	instances     []Univariate
+	fitted        bool
+}
+
+// NewPerSensor builds the adapter. name and deterministic describe the
+// wrapped method.
+func NewPerSensor(name string, deterministic bool, newInstance func(sensor int) Univariate) *PerSensor {
+	return &PerSensor{NewInstance: newInstance, name: name, deterministic: deterministic}
+}
+
+// Name implements Detector.
+func (p *PerSensor) Name() string { return p.name }
+
+// Deterministic implements Detector.
+func (p *PerSensor) Deterministic() bool { return p.deterministic }
+
+// Fit trains one instance per sensor on the sensor's training series.
+func (p *PerSensor) Fit(train *mts.MTS) error {
+	p.instances = make([]Univariate, train.Sensors())
+	for i := range p.instances {
+		p.instances[i] = p.NewInstance(i)
+		if err := p.instances[i].FitSeries(train.Row(i)); err != nil {
+			return fmt.Errorf("%s: sensor %d: %w", p.name, i, err)
+		}
+	}
+	p.fitted = true
+	return nil
+}
+
+// Score averages the per-sensor score series. If Fit was never called the
+// instances are created lazily without training (the univariate methods are
+// unsupervised and can run fit-free).
+func (p *PerSensor) Score(test *mts.MTS) ([]float64, error) {
+	n := test.Sensors()
+	if !p.fitted || len(p.instances) != n {
+		p.instances = make([]Univariate, n)
+		for i := range p.instances {
+			p.instances[i] = p.NewInstance(i)
+		}
+	}
+	out := make([]float64, test.Len())
+	for i := 0; i < n; i++ {
+		s, err := p.instances[i].ScoreSeries(test.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s: sensor %d: %w", p.name, i, err)
+		}
+		if len(s) != test.Len() {
+			return nil, fmt.Errorf("%s: sensor %d: %w: got %d scores for %d points", p.name, i, ErrBadInput, len(s), test.Len())
+		}
+		for t, v := range s {
+			out[t] += v
+		}
+	}
+	for t := range out {
+		out[t] /= float64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package baselines
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+// fakeUni is a controllable univariate detector for adapter tests.
+type fakeUni struct {
+	sensor   int
+	fitCalls int
+	fitErr   error
+	scoreErr error
+	scoreLen int // 0 = match input
+	constant float64
+}
+
+func (f *fakeUni) Name() string        { return "fake" }
+func (f *fakeUni) Deterministic() bool { return true }
+func (f *fakeUni) FitSeries(x []float64) error {
+	f.fitCalls++
+	return f.fitErr
+}
+func (f *fakeUni) ScoreSeries(x []float64) ([]float64, error) {
+	if f.scoreErr != nil {
+		return nil, f.scoreErr
+	}
+	n := len(x)
+	if f.scoreLen > 0 {
+		n = f.scoreLen
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = f.constant
+	}
+	return out, nil
+}
+
+func TestPerSensorAveraging(t *testing.T) {
+	// Sensor i scores constant i; the mean over 4 sensors is 1.5.
+	p := NewPerSensor("fake", true, func(sensor int) Univariate {
+		return &fakeUni{sensor: sensor, constant: float64(sensor)}
+	})
+	if p.Name() != "fake" || !p.Deterministic() {
+		t.Error("metadata wrong")
+	}
+	train := mts.Zeros(4, 50)
+	test := mts.Zeros(4, 30)
+	if err := p.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := p.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 30 {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	for i, s := range scores {
+		if s != 1.5 {
+			t.Fatalf("scores[%d] = %v, want 1.5 (mean of 0..3)", i, s)
+		}
+	}
+}
+
+func TestPerSensorFitError(t *testing.T) {
+	p := NewPerSensor("fake", true, func(sensor int) Univariate {
+		f := &fakeUni{}
+		if sensor == 2 {
+			f.fitErr = errors.New("boom")
+		}
+		return f
+	})
+	err := p.Fit(mts.Zeros(4, 10))
+	if err == nil || !strings.Contains(err.Error(), "sensor 2") {
+		t.Errorf("fit error = %v, want sensor-2 wrapped error", err)
+	}
+}
+
+func TestPerSensorScoreError(t *testing.T) {
+	p := NewPerSensor("fake", true, func(sensor int) Univariate {
+		f := &fakeUni{}
+		if sensor == 1 {
+			f.scoreErr = errors.New("bad")
+		}
+		return f
+	})
+	if _, err := p.Score(mts.Zeros(3, 10)); err == nil {
+		t.Error("expected score error")
+	}
+}
+
+func TestPerSensorLengthMismatch(t *testing.T) {
+	p := NewPerSensor("fake", true, func(sensor int) Univariate {
+		return &fakeUni{scoreLen: 7}
+	})
+	_, err := p.Score(mts.Zeros(2, 10))
+	if !errors.Is(err, ErrBadInput) {
+		t.Errorf("want ErrBadInput, got %v", err)
+	}
+}
+
+func TestPerSensorLazyInstances(t *testing.T) {
+	// Score without Fit must construct instances lazily.
+	built := 0
+	p := NewPerSensor("fake", false, func(sensor int) Univariate {
+		built++
+		return &fakeUni{constant: 1}
+	})
+	scores, err := p.Score(mts.Zeros(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built != 3 || len(scores) != 5 {
+		t.Errorf("built %d instances, %d scores", built, len(scores))
+	}
+	// A different sensor count on the next Score rebuilds instances.
+	if _, err := p.Score(mts.Zeros(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if built != 8 {
+		t.Errorf("expected rebuild to 8 total instances, got %d", built)
+	}
+}

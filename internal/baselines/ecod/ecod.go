@@ -1,0 +1,160 @@
+// Package ecod implements ECOD (Li et al., TKDE 2022): unsupervised outlier
+// detection from empirical cumulative distribution functions. Each
+// dimension's left and right tail probabilities are estimated from the
+// training ECDF; a point's outlier score aggregates the negative log tail
+// probabilities across dimensions, choosing per dimension between left,
+// right, or skewness-corrected tails. ECOD is deterministic and naturally
+// decomposes per sensor, which is why the paper uses it as one of only two
+// baselines able to localize abnormal sensors.
+package ecod
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cad/internal/baselines"
+	"cad/internal/mts"
+)
+
+// ECOD is the detector. Use New.
+type ECOD struct {
+	sorted [][]float64 // per-sensor sorted training values
+	skew   []float64   // per-sensor sample skewness
+	fitted bool
+}
+
+// New returns an ECOD detector.
+func New() *ECOD { return &ECOD{} }
+
+// Name implements baselines.Detector.
+func (e *ECOD) Name() string { return "ECOD" }
+
+// Deterministic implements baselines.Detector.
+func (e *ECOD) Deterministic() bool { return true }
+
+func skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// Fit records per-sensor ECDFs from the training series.
+func (e *ECOD) Fit(train *mts.MTS) error {
+	n := train.Sensors()
+	if train.Len() < 2 {
+		return fmt.Errorf("%w: training series too short", baselines.ErrBadInput)
+	}
+	e.sorted = make([][]float64, n)
+	e.skew = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := train.Row(i)
+		s := make([]float64, len(row))
+		copy(s, row)
+		sort.Float64s(s)
+		e.sorted[i] = s
+		e.skew[i] = skewness(row)
+	}
+	e.fitted = true
+	return nil
+}
+
+// ecdf returns P(X ≤ x) with a 1/(m+1) floor so tails never hit zero.
+func ecdf(sorted []float64, x float64) float64 {
+	m := len(sorted)
+	// Count of values ≤ x.
+	c := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	p := float64(c) / float64(m)
+	lo := 1 / float64(m+1)
+	if p < lo {
+		p = lo
+	}
+	if p > 1-lo {
+		p = 1 - lo
+	}
+	return p
+}
+
+// dimScore is the per-dimension ECOD tail score of value x for sensor i.
+func (e *ECOD) dimScore(i int, x float64) (left, right, auto float64) {
+	p := ecdf(e.sorted[i], x)
+	left = -math.Log(p)
+	right = -math.Log(1 - p)
+	if e.skew[i] < 0 {
+		auto = left
+	} else {
+		auto = right
+	}
+	return left, right, auto
+}
+
+// SensorScores implements baselines.SensorLocalizer: per-sensor, per-point
+// tail scores. For localization the stronger of the two tails is used (a
+// sensor is implicated whichever direction it deviates), matching how ECOD's
+// dimensional outlier graphs are read.
+func (e *ECOD) SensorScores(test *mts.MTS) ([][]float64, error) {
+	if err := e.ensureFitted(test); err != nil {
+		return nil, err
+	}
+	n := test.Sensors()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, test.Len())
+		for t := 0; t < test.Len(); t++ {
+			left, right, _ := e.dimScore(i, test.At(i, t))
+			out[i][t] = math.Max(left, right)
+		}
+	}
+	return out, nil
+}
+
+func (e *ECOD) ensureFitted(test *mts.MTS) error {
+	if !e.fitted {
+		if err := e.Fit(test); err != nil {
+			return err
+		}
+	}
+	if test.Sensors() != len(e.sorted) {
+		return fmt.Errorf("%w: %d sensors, fitted for %d", baselines.ErrBadInput, test.Sensors(), len(e.sorted))
+	}
+	return nil
+}
+
+// Score aggregates dimensions with ECOD's max-of-three rule:
+// O(x) = max(Σ left, Σ right, Σ auto).
+func (e *ECOD) Score(test *mts.MTS) ([]float64, error) {
+	if err := e.ensureFitted(test); err != nil {
+		return nil, err
+	}
+	n := test.Sensors()
+	out := make([]float64, test.Len())
+	for t := 0; t < test.Len(); t++ {
+		var sl, sr, sa float64
+		for i := 0; i < n; i++ {
+			l, r, a := e.dimScore(i, test.At(i, t))
+			sl += l
+			sr += r
+			sa += a
+		}
+		out[t] = math.Max(sl, math.Max(sr, sa))
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package ecod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+func gauss(seed int64, n, length int) *mts.MTS {
+	rng := rand.New(rand.NewSource(seed))
+	m := mts.Zeros(n, length)
+	for t := 0; t < length; t++ {
+		for i := 0; i < n; i++ {
+			m.Set(i, t, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestECODTails(t *testing.T) {
+	train := gauss(1, 4, 1000)
+	test := gauss(2, 4, 300)
+	// Right-tail anomaly on [100,120), left-tail on [200,220).
+	for tt := 100; tt < 120; tt++ {
+		for i := 0; i < 4; i++ {
+			test.Set(i, tt, test.At(i, tt)+6)
+		}
+	}
+	for tt := 200; tt < 220; tt++ {
+		for i := 0; i < 4; i++ {
+			test.Set(i, tt, test.At(i, tt)-6)
+		}
+	}
+	e := New()
+	if err := e.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := e.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := meanOver(scores, 0, 100)
+	if meanOver(scores, 100, 120) < 2*norm {
+		t.Errorf("right-tail anomaly not separated: %v vs %v", meanOver(scores, 100, 120), norm)
+	}
+	if meanOver(scores, 200, 220) < 2*norm {
+		t.Errorf("left-tail anomaly not separated: %v vs %v", meanOver(scores, 200, 220), norm)
+	}
+}
+
+func TestECODSensorScores(t *testing.T) {
+	train := gauss(3, 5, 800)
+	test := gauss(4, 5, 200)
+	// Only sensor 2 is anomalous.
+	for tt := 50; tt < 80; tt++ {
+		test.Set(2, tt, test.At(2, tt)+7)
+	}
+	e := New()
+	if err := e.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	per, err := e.SensorScores(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 5 || len(per[0]) != 200 {
+		t.Fatalf("shape %dx%d", len(per), len(per[0]))
+	}
+	s2 := meanOver(per[2], 50, 80)
+	s0 := meanOver(per[0], 50, 80)
+	if s2 < 3*s0 {
+		t.Errorf("sensor 2 score %v should dominate sensor 0 %v", s2, s0)
+	}
+}
+
+func TestECODDeterministicAndMeta(t *testing.T) {
+	e := New()
+	if e.Name() != "ECOD" || !e.Deterministic() {
+		t.Error("metadata wrong")
+	}
+	train := gauss(5, 3, 500)
+	test := gauss(6, 3, 100)
+	a := New()
+	b := New()
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.Score(test)
+	sb, _ := b.Score(test)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestECODUnfittedFallsBack(t *testing.T) {
+	test := gauss(7, 3, 400)
+	for tt := 100; tt < 110; tt++ {
+		for i := 0; i < 3; i++ {
+			test.Set(i, tt, 9)
+		}
+	}
+	e := New()
+	scores, err := e.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 100, 110) <= meanOver(scores, 0, 100) {
+		t.Error("self-fit ECOD failed")
+	}
+}
+
+func TestECODErrors(t *testing.T) {
+	e := New()
+	if err := e.Fit(mts.Zeros(2, 1)); err == nil {
+		t.Error("short train should error")
+	}
+	if err := e.Fit(gauss(8, 3, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Score(mts.Zeros(9, 10)); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+	if _, err := e.SensorScores(mts.Zeros(9, 10)); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+}
+
+func TestECDFBounds(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if p := ecdf(sorted, -10); p <= 0 || p > 0.5 {
+		t.Errorf("left-of-range ecdf = %v", p)
+	}
+	if p := ecdf(sorted, 10); p >= 1 || p < 0.5 {
+		t.Errorf("right-of-range ecdf = %v", p)
+	}
+	if p := ecdf(sorted, 3); math.Abs(p-0.6) > 1e-9 {
+		t.Errorf("ecdf(3) = %v, want 0.6", p)
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	if s := skewness([]float64{1, 2, 3, 4, 5}); math.Abs(s) > 1e-9 {
+		t.Errorf("symmetric skewness = %v", s)
+	}
+	if s := skewness([]float64{0, 0, 0, 0, 100}); s <= 0 {
+		t.Errorf("right-skewed skewness = %v", s)
+	}
+	if skewness([]float64{1, 2}) != 0 {
+		t.Error("too-short skewness should be 0")
+	}
+	if skewness([]float64{3, 3, 3, 3}) != 0 {
+		t.Error("constant skewness should be 0")
+	}
+}

@@ -1,0 +1,135 @@
+// Package hbos implements the Histogram-Based Outlier Score (Goldstein &
+// Dengel 2012, the paper's related work [30]): each sensor gets an
+// equal-width histogram fitted on training data, and a point's score is the
+// sum over sensors of −log of its bin's (height-normalized) density —
+// assuming feature independence, which makes HBOS extremely fast and a
+// useful lower bound on how far marginal densities alone go.
+package hbos
+
+import (
+	"fmt"
+	"math"
+
+	"cad/internal/baselines"
+	"cad/internal/mts"
+)
+
+// HBOS is the detector. Use New.
+type HBOS struct {
+	// Bins per histogram (default: ⌈√train length⌉ capped at 50).
+	Bins int
+
+	lo, hi  []float64
+	density [][]float64 // per sensor, per bin, normalized to max 1
+	n       int
+	fitted  bool
+}
+
+// New returns an HBOS detector (bins ≤ 0 means automatic).
+func New(bins int) *HBOS { return &HBOS{Bins: bins} }
+
+// Name implements baselines.Detector.
+func (h *HBOS) Name() string { return "HBOS" }
+
+// Deterministic implements baselines.Detector.
+func (h *HBOS) Deterministic() bool { return true }
+
+// Fit builds the per-sensor histograms.
+func (h *HBOS) Fit(train *mts.MTS) error {
+	h.n = train.Sensors()
+	length := train.Len()
+	if length < 2 {
+		return fmt.Errorf("%w: training series too short", baselines.ErrBadInput)
+	}
+	bins := h.Bins
+	if bins <= 0 {
+		bins = int(math.Ceil(math.Sqrt(float64(length))))
+		if bins > 50 {
+			bins = 50
+		}
+	}
+	if bins < 2 {
+		bins = 2
+	}
+	h.lo = make([]float64, h.n)
+	h.hi = make([]float64, h.n)
+	h.density = make([][]float64, h.n)
+	for i := 0; i < h.n; i++ {
+		row := train.Row(i)
+		lo, hi := row[0], row[0]
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi == lo {
+			hi = lo + 1
+		}
+		// Widen slightly so max values fall inside the last bin.
+		span := hi - lo
+		lo -= span * 1e-9
+		hi += span * 1e-9
+		h.lo[i], h.hi[i] = lo, hi
+		counts := make([]float64, bins)
+		for _, v := range row {
+			b := int(float64(bins) * (v - lo) / (hi - lo))
+			if b < 0 {
+				b = 0
+			}
+			if b >= bins {
+				b = bins - 1
+			}
+			counts[b]++
+		}
+		var maxC float64
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for b := range counts {
+			counts[b] /= maxC
+		}
+		h.density[i] = counts
+	}
+	h.fitted = true
+	return nil
+}
+
+// Score sums per-sensor −log densities; unseen bins get a pseudo-density so
+// the log stays finite.
+func (h *HBOS) Score(test *mts.MTS) ([]float64, error) {
+	if !h.fitted {
+		if err := h.Fit(test); err != nil {
+			return nil, err
+		}
+	}
+	if test.Sensors() != h.n {
+		return nil, fmt.Errorf("%w: %d sensors, fitted for %d", baselines.ErrBadInput, test.Sensors(), h.n)
+	}
+	const floor = 1e-3
+	out := make([]float64, test.Len())
+	for t := 0; t < test.Len(); t++ {
+		var score float64
+		for i := 0; i < h.n; i++ {
+			bins := len(h.density[i])
+			v := test.At(i, t)
+			d := floor
+			if v >= h.lo[i] && v <= h.hi[i] {
+				b := int(float64(bins) * (v - h.lo[i]) / (h.hi[i] - h.lo[i]))
+				if b >= bins {
+					b = bins - 1
+				}
+				if h.density[i][b] > floor {
+					d = h.density[i][b]
+				}
+			}
+			score += -math.Log(d)
+		}
+		out[t] = score
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package hbos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+func gauss(seed int64, n, length int) *mts.MTS {
+	rng := rand.New(rand.NewSource(seed))
+	m := mts.Zeros(n, length)
+	for t := 0; t < length; t++ {
+		for i := 0; i < n; i++ {
+			m.Set(i, t, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestHBOSSeparates(t *testing.T) {
+	train := gauss(1, 4, 1000)
+	test := gauss(2, 4, 300)
+	for tt := 100; tt < 130; tt++ {
+		for i := 0; i < 4; i++ {
+			test.Set(i, tt, test.At(i, tt)+6)
+		}
+	}
+	h := New(0)
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := h.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 100, 130) <= 1.5*meanOver(scores, 0, 100) {
+		t.Errorf("HBOS failed to separate: %v vs %v", meanOver(scores, 100, 130), meanOver(scores, 0, 100))
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("bad score at %d: %v", i, s)
+		}
+	}
+}
+
+func TestHBOSOutOfRange(t *testing.T) {
+	train := gauss(3, 2, 500)
+	test := mts.Zeros(2, 10)
+	for tt := 0; tt < 10; tt++ {
+		test.Set(0, tt, 1e6) // far outside every histogram
+		test.Set(1, tt, -1e6)
+	}
+	h := New(10)
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := h.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTrain, _ := h.Score(train)
+	if scores[0] <= meanOver(inTrain, 0, 500) {
+		t.Errorf("out-of-range points should score above in-range: %v", scores[0])
+	}
+}
+
+func TestHBOSConstantSensor(t *testing.T) {
+	train := mts.Zeros(2, 100)
+	for tt := 0; tt < 100; tt++ {
+		train.Set(0, tt, 5)
+		train.Set(1, tt, float64(tt%7))
+	}
+	h := New(0)
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := h.Score(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("constant sensor produced bad score at %d: %v", i, s)
+		}
+	}
+}
+
+func TestHBOSMetaAndErrors(t *testing.T) {
+	h := New(0)
+	if !h.Deterministic() || h.Name() != "HBOS" {
+		t.Error("metadata wrong")
+	}
+	if err := h.Fit(mts.Zeros(2, 1)); err == nil {
+		t.Error("short train should error")
+	}
+	if err := h.Fit(gauss(4, 3, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Score(mts.Zeros(9, 10)); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+	// Self-fit path.
+	h2 := New(0)
+	if _, err := h2.Score(gauss(5, 3, 200)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package iforest implements Isolation Forest (Liu et al., ICDM 2008):
+// anomalies are isolated by fewer random axis-parallel splits than normal
+// points. Trees are built from subsamples of the training time points; a
+// test point's score is 2^(−E[h(x)]/c(ψ)), the canonical anomaly score. The
+// method is randomized; the paper reports mean±std over 10 repeats, so the
+// seed is part of the construction.
+package iforest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cad/internal/baselines"
+	"cad/internal/mts"
+)
+
+// Forest is the detector. Use New.
+type Forest struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// SampleSize ψ per tree (default 256).
+	SampleSize int
+	// Seed drives subsampling and split choices.
+	Seed int64
+
+	trees  []*node
+	c      float64 // normalizer c(ψ)
+	dims   int
+	fitted bool
+}
+
+type node struct {
+	splitDim   int
+	splitValue float64
+	left       *node
+	right      *node
+	size       int // leaf: number of training points
+}
+
+// New returns an isolation forest with the given seed.
+func New(seed int64) *Forest {
+	return &Forest{Trees: 100, SampleSize: 256, Seed: seed}
+}
+
+// Name implements baselines.Detector.
+func (f *Forest) Name() string { return "IForest" }
+
+// Deterministic implements baselines.Detector: the ensemble depends on the
+// seed, so distinct repeats (distinct seeds) differ.
+func (f *Forest) Deterministic() bool { return false }
+
+// cFactor is the average path length of an unsuccessful BST search over n
+// points.
+func cFactor(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+func build(points [][]float64, idx []int, depth, maxDepth int, rng *rand.Rand) *node {
+	if len(idx) <= 1 || depth >= maxDepth {
+		return &node{size: len(idx), splitDim: -1}
+	}
+	dims := len(points[0])
+	// Pick a dimension with spread; give up after a few tries.
+	for try := 0; try < 8; try++ {
+		d := rng.Intn(dims)
+		lo, hi := points[idx[0]][d], points[idx[0]][d]
+		for _, i := range idx[1:] {
+			v := points[i][d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		split := lo + rng.Float64()*(hi-lo)
+		var l, r []int
+		for _, i := range idx {
+			if points[i][d] < split {
+				l = append(l, i)
+			} else {
+				r = append(r, i)
+			}
+		}
+		if len(l) == 0 || len(r) == 0 {
+			continue
+		}
+		return &node{
+			splitDim:   d,
+			splitValue: split,
+			left:       build(points, l, depth+1, maxDepth, rng),
+			right:      build(points, r, depth+1, maxDepth, rng),
+		}
+	}
+	return &node{size: len(idx), splitDim: -1}
+}
+
+func pathLength(n *node, p []float64, depth int) float64 {
+	if n.splitDim < 0 {
+		return float64(depth) + cFactor(n.size)
+	}
+	if p[n.splitDim] < n.splitValue {
+		return pathLength(n.left, p, depth+1)
+	}
+	return pathLength(n.right, p, depth+1)
+}
+
+// Fit grows the ensemble on the training time points.
+func (f *Forest) Fit(train *mts.MTS) error {
+	length := train.Len()
+	if length < 2 {
+		return fmt.Errorf("%w: training series too short", baselines.ErrBadInput)
+	}
+	f.dims = train.Sensors()
+	points := make([][]float64, length)
+	for t := 0; t < length; t++ {
+		points[t] = train.Column(t, nil)
+	}
+	psi := f.SampleSize
+	if psi > length {
+		psi = length
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(psi)))) + 1
+	rng := rand.New(rand.NewSource(f.Seed))
+	f.trees = make([]*node, f.Trees)
+	idx := make([]int, psi)
+	for k := 0; k < f.Trees; k++ {
+		perm := rng.Perm(length)
+		copy(idx, perm[:psi])
+		f.trees[k] = build(points, idx, 0, maxDepth, rng)
+	}
+	f.c = cFactor(psi)
+	f.fitted = true
+	return nil
+}
+
+// Score returns the isolation score of each test time point.
+func (f *Forest) Score(test *mts.MTS) ([]float64, error) {
+	if !f.fitted {
+		if err := f.Fit(test); err != nil {
+			return nil, err
+		}
+	}
+	if test.Sensors() != f.dims {
+		return nil, fmt.Errorf("%w: %d sensors, fitted for %d", baselines.ErrBadInput, test.Sensors(), f.dims)
+	}
+	out := make([]float64, test.Len())
+	p := make([]float64, f.dims)
+	for t := 0; t < test.Len(); t++ {
+		test.Column(t, p)
+		var sum float64
+		for _, tr := range f.trees {
+			sum += pathLength(tr, p, 0)
+		}
+		mean := sum / float64(len(f.trees))
+		if f.c == 0 {
+			out[t] = 0.5
+		} else {
+			out[t] = math.Pow(2, -mean/f.c)
+		}
+	}
+	return out, nil
+}

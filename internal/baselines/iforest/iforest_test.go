@@ -1,0 +1,153 @@
+package iforest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+func gauss(seed int64, n, length int) *mts.MTS {
+	rng := rand.New(rand.NewSource(seed))
+	m := mts.Zeros(n, length)
+	for t := 0; t < length; t++ {
+		for i := 0; i < n; i++ {
+			m.Set(i, t, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestForestSeparatesOutliers(t *testing.T) {
+	train := gauss(1, 4, 800)
+	test := gauss(2, 4, 300)
+	for tt := 100; tt < 130; tt++ {
+		for i := 0; i < 4; i++ {
+			test.Set(i, tt, test.At(i, tt)+7)
+		}
+	}
+	f := New(42)
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := f.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anom, norm := meanOver(scores, 100, 130), meanOver(scores, 0, 100)
+	if anom <= norm+0.1 {
+		t.Errorf("anomaly score %v vs normal %v", anom, norm)
+	}
+	for i, s := range scores {
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("score out of [0,1] at %d: %v", i, s)
+		}
+	}
+}
+
+func TestForestSeedReproducible(t *testing.T) {
+	train := gauss(3, 3, 400)
+	test := gauss(4, 3, 100)
+	run := func(seed int64) []float64 {
+		f := New(seed)
+		if err := f.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		s, err := f.Score(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+	if New(1).Deterministic() {
+		t.Error("IForest reports non-deterministic (paper repeats it)")
+	}
+	if New(1).Name() != "IForest" {
+		t.Error("name")
+	}
+}
+
+func TestForestUnfittedFallsBack(t *testing.T) {
+	test := gauss(5, 3, 400)
+	for tt := 200; tt < 210; tt++ {
+		for i := 0; i < 3; i++ {
+			test.Set(i, tt, 10)
+		}
+	}
+	f := New(1)
+	scores, err := f.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 200, 210) <= meanOver(scores, 0, 200) {
+		t.Error("self-fit forest failed")
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	f := New(1)
+	if err := f.Fit(mts.Zeros(2, 1)); err == nil {
+		t.Error("short train should error")
+	}
+	if err := f.Fit(gauss(6, 3, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Score(mts.Zeros(9, 10)); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+}
+
+func TestCFactor(t *testing.T) {
+	if cFactor(1) != 0 || cFactor(0) != 0 {
+		t.Error("cFactor of ≤1 should be 0")
+	}
+	// c(256) ≈ 10.something; monotone increasing.
+	if cFactor(256) <= cFactor(64) {
+		t.Error("cFactor should grow with n")
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	// All-identical points: no split possible; scores should be uniform,
+	// not NaN.
+	m := mts.Zeros(3, 100)
+	f := New(2)
+	if err := f.Fit(m); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := f.Score(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			t.Fatalf("NaN at %d", i)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package lof implements the Local Outlier Factor (Breunig et al., SIGMOD
+// 2000) over time-point vectors: each time point of the MTS is one point in
+// R^n, and its LOF is computed against the training set's density
+// structure, matching how the paper deploys LOF on MTS benchmarks (fit on
+// training data, score test points).
+package lof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cad/internal/baselines"
+	"cad/internal/mts"
+	"cad/internal/stats"
+)
+
+// LOF is the detector. Zero value is not usable; use New.
+type LOF struct {
+	// K is the neighborhood size (MinPts). Defaults to 20.
+	K int
+	// MaxTrain subsamples the training set to at most this many points to
+	// bound the O(N²) fit. Defaults to 1500. Subsampling is deterministic
+	// (evenly strided).
+	MaxTrain int
+
+	train  [][]float64 // training points (normalized)
+	kdist  []float64   // k-distance of each training point
+	lrd    []float64   // local reachability density of each training point
+	knn    [][]int     // k nearest training neighbors of each training point
+	mean   []float64
+	std    []float64
+	fitted bool
+}
+
+// New returns a LOF detector with the given neighborhood size (≤ 0 means
+// the default of 20).
+func New(k int) *LOF {
+	if k <= 0 {
+		k = 20
+	}
+	return &LOF{K: k, MaxTrain: 1500}
+}
+
+// Name implements baselines.Detector.
+func (l *LOF) Name() string { return "LOF" }
+
+// Deterministic implements baselines.Detector: LOF has no randomness.
+func (l *LOF) Deterministic() bool { return true }
+
+func euclid2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Fit builds the k-NN density structure over the training points.
+func (l *LOF) Fit(train *mts.MTS) error {
+	n, length := train.Sensors(), train.Len()
+	if length < l.K+1 {
+		return fmt.Errorf("%w: %d training points for k=%d", baselines.ErrBadInput, length, l.K)
+	}
+	// Per-sensor standardization fitted on train.
+	l.mean = make([]float64, n)
+	l.std = make([]float64, n)
+	for i := 0; i < n; i++ {
+		l.mean[i] = stats.Mean(train.Row(i))
+		l.std[i] = stats.StdDev(train.Row(i))
+		if l.std[i] == 0 {
+			l.std[i] = 1
+		}
+	}
+	// Strided subsample.
+	m := length
+	stride := 1
+	if l.MaxTrain > 0 && m > l.MaxTrain {
+		stride = (m + l.MaxTrain - 1) / l.MaxTrain
+		m = (length + stride - 1) / stride
+	}
+	l.train = make([][]float64, 0, m)
+	for t := 0; t < length; t += stride {
+		p := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p[i] = (train.At(i, t) - l.mean[i]) / l.std[i]
+		}
+		l.train = append(l.train, p)
+	}
+	N := len(l.train)
+	if N < l.K+1 {
+		return fmt.Errorf("%w: %d subsampled points for k=%d", baselines.ErrBadInput, N, l.K)
+	}
+
+	// k-NN among training points.
+	l.knn = make([][]int, N)
+	l.kdist = make([]float64, N)
+	type nd struct {
+		i int
+		d float64
+	}
+	dists := make([]nd, 0, N-1)
+	reachable := make([][]float64, N) // distance to each of the k neighbors
+	for i := 0; i < N; i++ {
+		dists = dists[:0]
+		for j := 0; j < N; j++ {
+			if j == i {
+				continue
+			}
+			dists = append(dists, nd{j, euclid2(l.train[i], l.train[j])})
+		}
+		sort.Slice(dists, func(a, b int) bool {
+			if dists[a].d != dists[b].d {
+				return dists[a].d < dists[b].d
+			}
+			return dists[a].i < dists[b].i
+		})
+		l.knn[i] = make([]int, l.K)
+		reachable[i] = make([]float64, l.K)
+		for k := 0; k < l.K; k++ {
+			l.knn[i][k] = dists[k].i
+			reachable[i][k] = math.Sqrt(dists[k].d)
+		}
+		l.kdist[i] = math.Sqrt(dists[l.K-1].d)
+	}
+	// Local reachability density.
+	l.lrd = make([]float64, N)
+	for i := 0; i < N; i++ {
+		var sum float64
+		for k, j := range l.knn[i] {
+			rd := reachable[i][k]
+			if l.kdist[j] > rd {
+				rd = l.kdist[j]
+			}
+			sum += rd
+		}
+		if sum == 0 {
+			l.lrd[i] = math.Inf(1)
+		} else {
+			l.lrd[i] = float64(l.K) / sum
+		}
+	}
+	l.fitted = true
+	return nil
+}
+
+// Score returns the LOF of each test time point against the training
+// density structure.
+func (l *LOF) Score(test *mts.MTS) ([]float64, error) {
+	if !l.fitted {
+		// Unsupervised fallback: fit on the test series itself.
+		if err := l.Fit(test); err != nil {
+			return nil, err
+		}
+	}
+	if test.Sensors() != len(l.mean) {
+		return nil, fmt.Errorf("%w: %d sensors, fitted for %d", baselines.ErrBadInput, test.Sensors(), len(l.mean))
+	}
+	n := test.Sensors()
+	out := make([]float64, test.Len())
+	p := make([]float64, n)
+	type nd struct {
+		i int
+		d float64
+	}
+	N := len(l.train)
+	dists := make([]nd, N)
+	for t := 0; t < test.Len(); t++ {
+		for i := 0; i < n; i++ {
+			p[i] = (test.At(i, t) - l.mean[i]) / l.std[i]
+		}
+		for j := 0; j < N; j++ {
+			dists[j] = nd{j, euclid2(p, l.train[j])}
+		}
+		sort.Slice(dists, func(a, b int) bool {
+			if dists[a].d != dists[b].d {
+				return dists[a].d < dists[b].d
+			}
+			return dists[a].i < dists[b].i
+		})
+		// lrd of the query point.
+		var sum float64
+		for k := 0; k < l.K; k++ {
+			rd := math.Sqrt(dists[k].d)
+			j := dists[k].i
+			if l.kdist[j] > rd {
+				rd = l.kdist[j]
+			}
+			sum += rd
+		}
+		var lrdP float64
+		if sum == 0 {
+			lrdP = math.Inf(1)
+		} else {
+			lrdP = float64(l.K) / sum
+		}
+		// LOF = mean(lrd of neighbors) / lrd of point.
+		var ratio float64
+		for k := 0; k < l.K; k++ {
+			nb := l.lrd[dists[k].i]
+			switch {
+			case math.IsInf(nb, 1) && math.IsInf(lrdP, 1):
+				ratio++
+			case math.IsInf(lrdP, 1):
+				// Denser than anything seen: not an outlier.
+			default:
+				ratio += nb / lrdP
+			}
+		}
+		out[t] = ratio / float64(l.K)
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package lof
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+// gaussTrainTest builds train data from N(0,1) columns in 3 dims and test
+// data with an injected far-out segment.
+func gaussTrainTest(seed int64, trainLen, testLen, anomFrom, anomTo int) (*mts.MTS, *mts.MTS) {
+	rng := rand.New(rand.NewSource(seed))
+	train := mts.Zeros(3, trainLen)
+	test := mts.Zeros(3, testLen)
+	for t := 0; t < trainLen; t++ {
+		for i := 0; i < 3; i++ {
+			train.Set(i, t, rng.NormFloat64())
+		}
+	}
+	for t := 0; t < testLen; t++ {
+		for i := 0; i < 3; i++ {
+			v := rng.NormFloat64()
+			if t >= anomFrom && t < anomTo {
+				v += 8
+			}
+			test.Set(i, t, v)
+		}
+	}
+	return train, test
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestLOFSeparatesOutliers(t *testing.T) {
+	train, test := gaussTrainTest(1, 400, 200, 80, 100)
+	l := New(10)
+	if err := l.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := l.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 200 {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	anom := meanOver(scores, 80, 100)
+	norm := meanOver(scores, 0, 80)
+	if anom < 2*norm {
+		t.Errorf("anomalous LOF %v vs normal %v: not separated", anom, norm)
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			t.Fatalf("NaN score at %d", i)
+		}
+	}
+}
+
+func TestLOFUnfittedFallsBack(t *testing.T) {
+	// Keep the injected cluster smaller than k so its points cannot form
+	// their own dense neighborhood (a known LOF failure mode).
+	_, test := gaussTrainTest(2, 0, 300, 100, 106)
+	l := New(10)
+	scores, err := l.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 100, 106) <= meanOver(scores, 0, 100) {
+		t.Error("self-fit LOF failed to rank the outliers higher")
+	}
+}
+
+func TestLOFErrors(t *testing.T) {
+	l := New(10)
+	short := mts.Zeros(2, 5)
+	if err := l.Fit(short); err == nil {
+		t.Error("short train should error")
+	}
+	train, _ := gaussTrainTest(3, 100, 0, 0, 0)
+	if err := l.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	wrong := mts.Zeros(7, 50)
+	if _, err := l.Score(wrong); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+}
+
+func TestLOFDeterministic(t *testing.T) {
+	train, test := gaussTrainTest(4, 200, 100, 40, 50)
+	run := func() []float64 {
+		l := New(8)
+		if err := l.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		s, err := l.Score(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	if !New(8).Deterministic() {
+		t.Error("LOF should report deterministic")
+	}
+	if New(0).K != 20 {
+		t.Error("default k")
+	}
+	if New(8).Name() != "LOF" {
+		t.Error("name")
+	}
+}
+
+func TestLOFSubsampling(t *testing.T) {
+	train, test := gaussTrainTest(5, 2000, 100, 40, 60)
+	l := New(10)
+	l.MaxTrain = 300
+	if err := l.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.train) > 334 { // ceil(2000/ceil(2000/300)) bounded near MaxTrain
+		t.Errorf("subsample too large: %d", len(l.train))
+	}
+	scores, err := l.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 40, 60) <= meanOver(scores, 0, 40) {
+		t.Error("subsampled LOF lost separation")
+	}
+}
+
+func TestLOFInliersNearOne(t *testing.T) {
+	train, test := gaussTrainTest(6, 500, 100, 1000, 1000) // no anomaly
+	l := New(15)
+	if err := l.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, _ := l.Score(test)
+	m := meanOver(scores, 0, 100)
+	if m < 0.7 || m > 1.6 {
+		t.Errorf("inlier mean LOF = %v, want ≈ 1", m)
+	}
+}

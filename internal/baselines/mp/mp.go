@@ -1,0 +1,208 @@
+// Package mp implements Matrix Profile discord detection (Yeh et al., ICDM
+// 2016, in the paper's related work): every length-m subsequence is scored
+// by its z-normalized Euclidean distance to its nearest neighbor — large
+// values are discords, i.e. subsequences unlike anything else. The profile
+// is computed with the STOMP recurrence (rolling dot products), O(n²) total
+// but O(1) per cell. Fitted mode does an AB-join against the training
+// series (distance to the nearest *normal* subsequence); unfitted mode is
+// the classic self-join with an exclusion zone.
+package mp
+
+import (
+	"fmt"
+	"math"
+
+	"cad/internal/baselines"
+	"cad/internal/stats"
+)
+
+// MP is the univariate detector. Use New.
+type MP struct {
+	// SubLen m; 0 estimates the ACF period (min 8).
+	SubLen int
+
+	train  []float64
+	fitted bool
+}
+
+// New returns a Matrix Profile detector with the given subsequence length
+// (0 = auto).
+func New(subLen int) *MP { return &MP{SubLen: subLen} }
+
+// Name implements baselines.Univariate.
+func (m *MP) Name() string { return "MP" }
+
+// Deterministic implements baselines.Univariate.
+func (m *MP) Deterministic() bool { return true }
+
+func (m *MP) subLen(x []float64) int {
+	if m.SubLen > 0 {
+		return m.SubLen
+	}
+	maxLag := len(x) / 4
+	if maxLag > 200 {
+		maxLag = 200
+	}
+	l := stats.DominantPeriod(x, 4, maxLag, 0.2, 16)
+	if l < 8 {
+		l = 8
+	}
+	if l > len(x)/4 {
+		l = len(x) / 4
+	}
+	if l < 4 {
+		l = 4
+	}
+	return l
+}
+
+// FitSeries stores the training series for AB-joins.
+func (m *MP) FitSeries(x []float64) error {
+	min := 8
+	if m.SubLen > min {
+		min = m.SubLen
+	}
+	if len(x) < min {
+		return fmt.Errorf("%w: training series of %d points for subsequence length %d", baselines.ErrBadInput, len(x), min)
+	}
+	m.train = append(m.train[:0], x...)
+	m.fitted = true
+	return nil
+}
+
+// rollingStats returns per-window mean and std of length-l windows of x.
+func rollingStats(x []float64, l int) (mean, std []float64) {
+	n := len(x) - l + 1
+	mean = make([]float64, n)
+	std = make([]float64, n)
+	var sum, sum2 float64
+	for i := 0; i < l; i++ {
+		sum += x[i]
+		sum2 += x[i] * x[i]
+	}
+	for i := 0; i < n; i++ {
+		mu := sum / float64(l)
+		mean[i] = mu
+		v := sum2/float64(l) - mu*mu
+		if v < 0 {
+			v = 0
+		}
+		std[i] = math.Sqrt(v)
+		if i+l < len(x) {
+			sum += x[i+l] - x[i]
+			sum2 += x[i+l]*x[i+l] - x[i]*x[i]
+		}
+	}
+	return mean, std
+}
+
+// abJoin computes, for each subsequence of a, the z-normalized distance to
+// its nearest subsequence of b, via the STOMP recurrence. When selfExcl > 0
+// (self-join), matches within that index distance are ignored.
+func abJoin(a, b []float64, l, selfExcl int) []float64 {
+	na := len(a) - l + 1
+	nb := len(b) - l + 1
+	if na <= 0 || nb <= 0 {
+		return nil
+	}
+	muA, sdA := rollingStats(a, l)
+	muB, sdB := rollingStats(b, l)
+	prof := make([]float64, na)
+	for i := range prof {
+		prof[i] = math.Inf(1)
+	}
+	// QT[j] = dot(a[i:i+l], b[j:j+l]); row 0 computed directly, later rows
+	// by the rolling update.
+	qt := make([]float64, nb)
+	for j := 0; j < nb; j++ {
+		var dot float64
+		for t := 0; t < l; t++ {
+			dot += a[t] * b[j+t]
+		}
+		qt[j] = dot
+	}
+	fl := float64(l)
+	update := func(i int) {
+		for j := 0; j < nb; j++ {
+			if selfExcl > 0 {
+				d := i - j
+				if d < 0 {
+					d = -d
+				}
+				if d < selfExcl {
+					continue
+				}
+			}
+			var dist float64
+			if sdA[i] == 0 || sdB[j] == 0 {
+				// Constant subsequences: distance 0 to other constants,
+				// max to everything else.
+				if sdA[i] == 0 && sdB[j] == 0 {
+					dist = 0
+				} else {
+					dist = 2 * fl
+				}
+			} else {
+				corr := (qt[j] - fl*muA[i]*muB[j]) / (fl * sdA[i] * sdB[j])
+				if corr > 1 {
+					corr = 1
+				} else if corr < -1 {
+					corr = -1
+				}
+				dist = 2 * fl * (1 - corr)
+			}
+			if dist < prof[i] {
+				prof[i] = dist
+			}
+		}
+	}
+	update(0)
+	for i := 1; i < na; i++ {
+		// Shift QT in place from the previous row, back-to-front.
+		for j := nb - 1; j > 0; j-- {
+			qt[j] = qt[j-1] - a[i-1]*b[j-1] + a[i+l-1]*b[j+l-1]
+		}
+		var dot float64
+		for t := 0; t < l; t++ {
+			dot += a[i+t] * b[t]
+		}
+		qt[0] = dot
+		update(i)
+	}
+	for i := range prof {
+		if math.IsInf(prof[i], 1) {
+			prof[i] = 0
+		} else {
+			prof[i] = math.Sqrt(prof[i])
+		}
+	}
+	return prof
+}
+
+// ScoreSeries maps the matrix profile onto points: each point receives the
+// maximum profile value of the subsequences covering it (a discord marks
+// all its points).
+func (m *MP) ScoreSeries(x []float64) ([]float64, error) {
+	l := m.subLen(x)
+	if len(x) < 2*l {
+		return nil, fmt.Errorf("%w: series of %d points for subsequence length %d", baselines.ErrBadInput, len(x), l)
+	}
+	var prof []float64
+	if m.fitted {
+		if len(m.train) < l {
+			return nil, fmt.Errorf("%w: training series shorter than subsequence length %d", baselines.ErrBadInput, l)
+		}
+		prof = abJoin(x, m.train, l, 0)
+	} else {
+		prof = abJoin(x, x, l, l/2)
+	}
+	out := make([]float64, len(x))
+	for i, p := range prof {
+		for t := i; t < i+l && t < len(out); t++ {
+			if p > out[t] {
+				out[t] = p
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package mp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func periodic(seed int64, length, anomFrom, anomTo int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, length)
+	for t := range x {
+		x[t] = math.Sin(2*math.Pi*float64(t)/25) + 0.05*rng.NormFloat64()
+		if t >= anomFrom && t < anomTo {
+			x[t] = 0.8 * rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+// naiveProfile is the brute-force reference for the STOMP recurrence.
+func naiveProfile(a, b []float64, l, selfExcl int) []float64 {
+	na := len(a) - l + 1
+	nb := len(b) - l + 1
+	znorm := func(x []float64) []float64 {
+		var mu float64
+		for _, v := range x {
+			mu += v
+		}
+		mu /= float64(len(x))
+		var ss float64
+		for _, v := range x {
+			ss += (v - mu) * (v - mu)
+		}
+		sd := math.Sqrt(ss / float64(len(x)))
+		out := make([]float64, len(x))
+		if sd == 0 {
+			return out
+		}
+		for i, v := range x {
+			out[i] = (v - mu) / sd
+		}
+		return out
+	}
+	prof := make([]float64, na)
+	for i := range prof {
+		prof[i] = math.Inf(1)
+		za := znorm(a[i : i+l])
+		for j := 0; j < nb; j++ {
+			if selfExcl > 0 {
+				d := i - j
+				if d < 0 {
+					d = -d
+				}
+				if d < selfExcl {
+					continue
+				}
+			}
+			zb := znorm(b[j : j+l])
+			var dist float64
+			for t := 0; t < l; t++ {
+				diff := za[t] - zb[t]
+				dist += diff * diff
+			}
+			if dist < prof[i] {
+				prof[i] = dist
+			}
+		}
+		if math.IsInf(prof[i], 1) {
+			prof[i] = 0
+		} else {
+			prof[i] = math.Sqrt(prof[i])
+		}
+	}
+	return prof
+}
+
+func TestSTOMPMatchesNaive(t *testing.T) {
+	a := periodic(1, 150, 60, 80)
+	b := periodic(2, 120, -1, -1)
+	const l = 16
+	got := abJoin(a, b, l, 0)
+	want := naiveProfile(a, b, l, 0)
+	if len(got) != len(want) {
+		t.Fatalf("lengths %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("profile[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Self-join with exclusion.
+	got = abJoin(a, a, l, l/2)
+	want = naiveProfile(a, a, l, l/2)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("self profile[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMPSelfJoinFindsDiscord(t *testing.T) {
+	x := periodic(3, 1200, 600, 680)
+	m := New(0)
+	scores, err := m.ScoreSeries(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(x) {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	if meanOver(scores, 610, 670) <= 1.5*meanOver(scores, 100, 500) {
+		t.Errorf("discord not separated: %v vs %v", meanOver(scores, 610, 670), meanOver(scores, 100, 500))
+	}
+}
+
+func TestMPABJoin(t *testing.T) {
+	train := periodic(4, 1000, -1, -1)
+	test := periodic(5, 800, 400, 470)
+	m := New(25)
+	if err := m.FitSeries(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.ScoreSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 410, 460) <= 2*meanOver(scores, 100, 350) {
+		t.Errorf("AB-join separation weak: %v vs %v", meanOver(scores, 410, 460), meanOver(scores, 100, 350))
+	}
+}
+
+func TestMPConstantRegions(t *testing.T) {
+	// Flat series with one bump: constants must not produce NaN.
+	x := make([]float64, 300)
+	for i := 150; i < 160; i++ {
+		x[i] = 5
+	}
+	m := New(16)
+	scores, err := m.ScoreSeries(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("score[%d] = %v", i, s)
+		}
+	}
+	if meanOver(scores, 150, 160) <= meanOver(scores, 0, 100) {
+		t.Error("bump in flat series should be the discord")
+	}
+}
+
+func TestMPErrors(t *testing.T) {
+	m := New(0)
+	if err := m.FitSeries(make([]float64, 3)); err == nil {
+		t.Error("short train should error")
+	}
+	m = New(64)
+	if _, err := m.ScoreSeries(make([]float64, 100)); err == nil {
+		t.Error("series shorter than 2·m should error")
+	}
+	m = New(16)
+	if err := m.FitSeries(make([]float64, 10)); err == nil {
+		t.Error("train shorter than m should error at fit")
+	}
+	if m.Name() != "MP" || !m.Deterministic() {
+		t.Error("metadata wrong")
+	}
+}
+
+func BenchmarkSelfJoin1000(b *testing.B) {
+	x := periodic(6, 1000, -1, -1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		abJoin(x, x, 32, 16)
+	}
+}

@@ -1,0 +1,158 @@
+// Package norma implements a NormA-style univariate subsequence anomaly
+// detector (Boniol et al., VLDBJ 2021): a normal model — a weighted set of
+// recurring patterns — is built by clustering z-normalized training
+// subsequences; each test subsequence is scored by its weighted distance to
+// the normal patterns, so subsequences unlike any frequent behavior score
+// high. The pattern length is estimated from the autocorrelation function
+// when not set, as the paper's experimental setup describes.
+package norma
+
+import (
+	"fmt"
+
+	"cad/internal/baselines"
+	"cad/internal/fft"
+	"cad/internal/kshape"
+	"cad/internal/stats"
+)
+
+// NormA is the detector for one univariate series. Use New.
+type NormA struct {
+	// PatternLen ℓ; 0 means estimate from the ACF at fit/score time.
+	PatternLen int
+	// Clusters in the normal model (default 4).
+	Clusters int
+	// Stride between extracted subsequences (default ℓ/4).
+	Stride int
+	// Seed drives clustering initialization.
+	Seed int64
+
+	patterns [][]float64
+	weights  []float64
+	fitted   bool
+}
+
+// New returns a NormA detector with the given seed.
+func New(seed int64) *NormA { return &NormA{Clusters: 4, Seed: seed} }
+
+// Name implements baselines.Univariate.
+func (n *NormA) Name() string { return "NormA" }
+
+// Deterministic implements baselines.Univariate: clustering initialization
+// is seed-dependent, so independent repeats differ.
+func (n *NormA) Deterministic() bool { return false }
+
+func (n *NormA) patternLen(x []float64) int {
+	if n.PatternLen > 0 {
+		return n.PatternLen
+	}
+	maxLag := len(x) / 4
+	if maxLag > 200 {
+		maxLag = 200
+	}
+	p := stats.DominantPeriod(x, 4, maxLag, 0.2, 20)
+	// The paper sets the normal-model length to 4·ℓ_ACF; cap to the data.
+	l := 4 * p
+	if l > len(x)/4 {
+		l = len(x) / 4
+	}
+	if l < 8 {
+		l = 8
+	}
+	return l
+}
+
+func subsequences(x []float64, l, stride int) [][]float64 {
+	if l > len(x) {
+		return nil
+	}
+	var out [][]float64
+	for i := 0; i+l <= len(x); i += stride {
+		out = append(out, x[i:i+l])
+	}
+	return out
+}
+
+// FitSeries builds the normal model from a training series.
+func (n *NormA) FitSeries(x []float64) error {
+	l := n.patternLen(x)
+	stride := n.Stride
+	if stride <= 0 {
+		stride = l / 4
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	subs := subsequences(x, l, stride)
+	if len(subs) < 2 {
+		return fmt.Errorf("%w: series of %d points yields %d subsequences of length %d", baselines.ErrBadInput, len(x), len(subs), l)
+	}
+	k := n.Clusters
+	if k > len(subs) {
+		k = len(subs)
+	}
+	res, err := kshape.Cluster(subs, k, 10, n.Seed)
+	if err != nil {
+		return fmt.Errorf("norma: %w", err)
+	}
+	total := float64(len(subs))
+	n.patterns = n.patterns[:0]
+	n.weights = n.weights[:0]
+	for c, size := range res.Sizes {
+		if size == 0 {
+			continue
+		}
+		n.patterns = append(n.patterns, res.Centroids[c])
+		n.weights = append(n.weights, float64(size)/total)
+	}
+	n.fitted = true
+	return nil
+}
+
+// ScoreSeries assigns each point the weighted distance of its covering
+// subsequences to the normal model. Without a prior fit the model is built
+// from the scored series itself (anomalies are a minority, so the frequent
+// patterns still dominate the model).
+func (n *NormA) ScoreSeries(x []float64) ([]float64, error) {
+	if !n.fitted {
+		if err := n.FitSeries(x); err != nil {
+			return nil, err
+		}
+	}
+	l := len(n.patterns[0])
+	out := make([]float64, len(x))
+	counts := make([]float64, len(x))
+	if l > len(x) {
+		return nil, fmt.Errorf("%w: series shorter than pattern length %d", baselines.ErrBadInput, l)
+	}
+	stride := l / 8
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i+l <= len(x); i += stride {
+		sub := stats.ZNormalize(x[i : i+l])
+		var score float64
+		for p, pat := range n.patterns {
+			// Shape-based distance: shift-invariant, so a normal pattern
+			// occurring at any phase scores low (plain Euclidean distance
+			// would penalize phase offsets as much as genuine anomalies).
+			score += n.weights[p] * fft.SBD(pat, sub)
+		}
+		for t := i; t < i+l; t++ {
+			out[t] += score
+			counts[t]++
+		}
+	}
+	for t := range out {
+		if counts[t] > 0 {
+			out[t] /= counts[t]
+		}
+	}
+	// Edge points covered by no subsequence inherit their neighbor.
+	for t := 1; t < len(out); t++ {
+		if counts[t] == 0 {
+			out[t] = out[t-1]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package norma
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// periodic builds a sine series with an anomalous flat (or noisy) segment.
+func periodic(seed int64, length, anomFrom, anomTo int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, length)
+	for t := range x {
+		x[t] = math.Sin(2*math.Pi*float64(t)/25) + 0.05*rng.NormFloat64()
+		if t >= anomFrom && t < anomTo {
+			x[t] = 0.8 * rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestNormASeparates(t *testing.T) {
+	train := periodic(1, 1200, -1, -1)
+	test := periodic(2, 1200, 500, 600)
+	n := New(3)
+	if err := n.FitSeries(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := n.ScoreSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(test) {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	anom := meanOver(scores, 510, 590)
+	norm := meanOver(scores, 100, 400)
+	if anom <= norm*1.2 {
+		t.Errorf("anomaly %v vs normal %v: not separated", anom, norm)
+	}
+}
+
+func TestNormASelfFit(t *testing.T) {
+	test := periodic(4, 1500, 700, 780)
+	n := New(5)
+	scores, err := n.ScoreSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 710, 770) <= meanOver(scores, 100, 600) {
+		t.Error("self-fit NormA failed to separate")
+	}
+}
+
+func TestNormAExplicitPatternLen(t *testing.T) {
+	train := periodic(6, 800, -1, -1)
+	n := New(7)
+	n.PatternLen = 50
+	if err := n.FitSeries(train); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.patterns) == 0 || len(n.patterns[0]) != 50 {
+		t.Errorf("pattern length %d, want 50", len(n.patterns[0]))
+	}
+}
+
+func TestNormAErrors(t *testing.T) {
+	n := New(1)
+	n.PatternLen = 64
+	if err := n.FitSeries(make([]float64, 10)); err == nil {
+		t.Error("too-short series should error")
+	}
+	if n.Name() != "NormA" || n.Deterministic() {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestNormAWeightsSumToOne(t *testing.T) {
+	train := periodic(8, 1000, -1, -1)
+	n := New(9)
+	if err := n.FitSeries(train); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range n.weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}

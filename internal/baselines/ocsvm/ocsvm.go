@@ -1,0 +1,241 @@
+// Package ocsvm implements a one-class support vector machine (Schölkopf
+// et al. 2001, the paper's related work [74]) with an RBF kernel, trained
+// by SMO-style pairwise coordinate optimization on the dual:
+//
+//	min ½ αᵀQα   s.t.  0 ≤ αᵢ ≤ 1/(ν·l),  Σαᵢ = 1,  Q_ij = k(x_i, x_j)
+//
+// The decision value f(x) = Σ αᵢ·k(x_i, x) − ρ is positive inside the
+// learned support region; the anomaly score is ρ − Σ αᵢ·k(x_i, x), rising
+// as points leave the region. Training subsamples to MaxTrain points to
+// bound the kernel matrix.
+package ocsvm
+
+import (
+	"fmt"
+	"math"
+
+	"cad/internal/baselines"
+	"cad/internal/mts"
+	"cad/internal/stats"
+)
+
+// OCSVM is the detector. Use New.
+type OCSVM struct {
+	// Nu ∈ (0,1] bounds the fraction of training outliers (default 0.1).
+	Nu float64
+	// Gamma is the RBF width k(x,y)=exp(−γ‖x−y‖²); 0 uses 1/(n·median
+	// pairwise distance²) — the "scale" heuristic.
+	Gamma float64
+	// MaxTrain subsamples training points (default 600; the kernel matrix
+	// is MaxTrain²).
+	MaxTrain int
+	// Iters caps SMO sweeps (default 200).
+	Iters int
+
+	sv        [][]float64
+	alpha     []float64
+	rho       float64
+	gamma     float64
+	mean, std []float64
+	n         int
+	fitted    bool
+}
+
+// New returns an OC-SVM with ν = 0.1.
+func New() *OCSVM { return &OCSVM{Nu: 0.1, MaxTrain: 600, Iters: 200} }
+
+// Name implements baselines.Detector.
+func (o *OCSVM) Name() string { return "OC-SVM" }
+
+// Deterministic implements baselines.Detector: subsampling is strided and
+// SMO sweeps are ordered, so runs are reproducible.
+func (o *OCSVM) Deterministic() bool { return true }
+
+func (o *OCSVM) kernel(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Exp(-o.gamma * d)
+}
+
+// Fit learns the support region of the training time points.
+func (o *OCSVM) Fit(train *mts.MTS) error {
+	o.n = train.Sensors()
+	length := train.Len()
+	if length < 8 {
+		return fmt.Errorf("%w: training series too short", baselines.ErrBadInput)
+	}
+	if o.Nu <= 0 || o.Nu > 1 {
+		return fmt.Errorf("%w: ν=%v out of (0,1]", baselines.ErrBadInput, o.Nu)
+	}
+	o.mean = make([]float64, o.n)
+	o.std = make([]float64, o.n)
+	for i := 0; i < o.n; i++ {
+		o.mean[i] = stats.Mean(train.Row(i))
+		o.std[i] = stats.StdDev(train.Row(i))
+		if o.std[i] == 0 {
+			o.std[i] = 1
+		}
+	}
+	// Strided subsample of standardized points.
+	stride := 1
+	if o.MaxTrain > 0 && length > o.MaxTrain {
+		stride = (length + o.MaxTrain - 1) / o.MaxTrain
+	}
+	var pts [][]float64
+	for t := 0; t < length; t += stride {
+		p := make([]float64, o.n)
+		for i := 0; i < o.n; i++ {
+			p[i] = (train.At(i, t) - o.mean[i]) / o.std[i]
+		}
+		pts = append(pts, p)
+	}
+	l := len(pts)
+	if l < 4 {
+		return fmt.Errorf("%w: %d subsampled points", baselines.ErrBadInput, l)
+	}
+	// Gamma heuristic: median pairwise squared distance over a sample.
+	if o.Gamma > 0 {
+		o.gamma = o.Gamma
+	} else {
+		var dists []float64
+		step := l/64 + 1
+		for i := 0; i < l; i += step {
+			for j := i + step; j < l; j += step {
+				var d float64
+				for k := range pts[i] {
+					diff := pts[i][k] - pts[j][k]
+					d += diff * diff
+				}
+				dists = append(dists, d)
+			}
+		}
+		med := stats.Quantile(dists, 0.5)
+		if med <= 0 || math.IsNaN(med) {
+			med = float64(o.n)
+		}
+		o.gamma = 1 / med
+	}
+	// Kernel matrix.
+	q := make([][]float64, l)
+	for i := range q {
+		q[i] = make([]float64, l)
+	}
+	for i := 0; i < l; i++ {
+		q[i][i] = 1
+		for j := i + 1; j < l; j++ {
+			v := o.kernel(pts[i], pts[j])
+			q[i][j] = v
+			q[j][i] = v
+		}
+	}
+	// Initialize α feasibly: the first ⌈ν·l⌉ points get 1/(ν·l), matching
+	// Σα = 1 with the box constraint.
+	c := 1 / (o.Nu * float64(l))
+	alpha := make([]float64, l)
+	remaining := 1.0
+	for i := 0; i < l && remaining > 1e-12; i++ {
+		a := math.Min(c, remaining)
+		alpha[i] = a
+		remaining -= a
+	}
+	// Gradient g_i = (Qα)_i.
+	g := make([]float64, l)
+	for i := 0; i < l; i++ {
+		var sum float64
+		for j := 0; j < l; j++ {
+			if alpha[j] > 0 {
+				sum += q[i][j] * alpha[j]
+			}
+		}
+		g[i] = sum
+	}
+	// SMO sweeps: pick the maximal-violating pair (i: smallest gradient
+	// among α_i < C; j: largest gradient among α_j > 0) and shift weight.
+	for iter := 0; iter < o.Iters; iter++ {
+		up, down := -1, -1
+		for i := 0; i < l; i++ {
+			if alpha[i] < c-1e-12 && (up < 0 || g[i] < g[up]) {
+				up = i
+			}
+			if alpha[i] > 1e-12 && (down < 0 || g[i] > g[down]) {
+				down = i
+			}
+		}
+		if up < 0 || down < 0 || g[down]-g[up] < 1e-8 {
+			break
+		}
+		// Optimal unconstrained step along e_up − e_down.
+		denom := q[up][up] + q[down][down] - 2*q[up][down]
+		if denom <= 1e-12 {
+			denom = 1e-12
+		}
+		delta := (g[down] - g[up]) / denom
+		if delta > alpha[down] {
+			delta = alpha[down]
+		}
+		if delta > c-alpha[up] {
+			delta = c - alpha[up]
+		}
+		if delta <= 0 {
+			break
+		}
+		alpha[up] += delta
+		alpha[down] -= delta
+		for i := 0; i < l; i++ {
+			g[i] += delta * (q[i][up] - q[i][down])
+		}
+	}
+	// Keep support vectors; ρ = median decision value over margin SVs
+	// (0 < α < C), falling back to all SVs.
+	var margin []float64
+	for i := 0; i < l; i++ {
+		if alpha[i] > 1e-10 {
+			o.sv = append(o.sv, pts[i])
+			o.alpha = append(o.alpha, alpha[i])
+		}
+	}
+	for i := 0; i < l; i++ {
+		if alpha[i] > 1e-10 && alpha[i] < c-1e-10 {
+			margin = append(margin, g[i])
+		}
+	}
+	if len(margin) == 0 {
+		for i := 0; i < l; i++ {
+			if alpha[i] > 1e-10 {
+				margin = append(margin, g[i])
+			}
+		}
+	}
+	o.rho = stats.Quantile(margin, 0.5)
+	o.fitted = true
+	return nil
+}
+
+// Score returns ρ − f(x) per test point: ≤ 0 inside the support region,
+// growing positive outside it.
+func (o *OCSVM) Score(test *mts.MTS) ([]float64, error) {
+	if !o.fitted {
+		if err := o.Fit(test); err != nil {
+			return nil, err
+		}
+	}
+	if test.Sensors() != o.n {
+		return nil, fmt.Errorf("%w: %d sensors, fitted for %d", baselines.ErrBadInput, test.Sensors(), o.n)
+	}
+	out := make([]float64, test.Len())
+	x := make([]float64, o.n)
+	for t := 0; t < test.Len(); t++ {
+		for i := 0; i < o.n; i++ {
+			x[i] = (test.At(i, t) - o.mean[i]) / o.std[i]
+		}
+		var f float64
+		for s, sv := range o.sv {
+			f += o.alpha[s] * o.kernel(sv, x)
+		}
+		out[t] = o.rho - f
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package ocsvm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+// ringData builds points on a correlated 2-D latent ring in 4 dims;
+// anomalies jump off it.
+func ringData(seed int64, length, anomFrom, anomTo int) *mts.MTS {
+	rng := rand.New(rand.NewSource(seed))
+	m := mts.Zeros(4, length)
+	for t := 0; t < length; t++ {
+		a := math.Sin(2 * math.Pi * float64(t) / 19)
+		b := math.Cos(2 * math.Pi * float64(t) / 19)
+		vals := []float64{a, b, a + b, a - b}
+		for i := 0; i < 4; i++ {
+			v := vals[i] + 0.05*rng.NormFloat64()
+			if t >= anomFrom && t < anomTo {
+				v = 1.5 * rng.NormFloat64()
+			}
+			m.Set(i, t, v)
+		}
+	}
+	return m
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestOCSVMSeparates(t *testing.T) {
+	train := ringData(1, 700, -1, -1)
+	test := ringData(2, 400, 150, 250)
+	o := New()
+	if err := o.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := o.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anom, norm := meanOver(scores, 160, 240), meanOver(scores, 0, 140)
+	if anom <= norm {
+		t.Errorf("OC-SVM failed to separate: %v vs %v", anom, norm)
+	}
+	// Normal points sit near or inside the boundary (score ≈ ≤ small).
+	if norm > anom/2 {
+		t.Errorf("normal score %v too close to anomalous %v", norm, anom)
+	}
+}
+
+func TestOCSVMConstraints(t *testing.T) {
+	train := ringData(3, 500, -1, -1)
+	o := New()
+	if err := o.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	// The training series has 500 points, under MaxTrain, so l = 500.
+	c := 1 / (o.Nu * 500)
+	for _, a := range o.alpha {
+		if a < -1e-12 {
+			t.Errorf("negative α %v", a)
+		}
+		if a > c+1e-9 {
+			t.Errorf("α %v exceeds box %v", a, c)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σα = %v, want 1", sum)
+	}
+	if len(o.sv) == 0 || len(o.sv) > o.MaxTrain {
+		t.Errorf("%d support vectors", len(o.sv))
+	}
+}
+
+func TestOCSVMDeterministic(t *testing.T) {
+	train := ringData(4, 400, -1, -1)
+	test := ringData(5, 150, 60, 90)
+	run := func() []float64 {
+		o := New()
+		if err := o.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		s, err := o.Score(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("OC-SVM must be deterministic")
+		}
+	}
+	if !New().Deterministic() || New().Name() != "OC-SVM" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestOCSVMErrors(t *testing.T) {
+	o := New()
+	if err := o.Fit(mts.Zeros(3, 2)); err == nil {
+		t.Error("short train should error")
+	}
+	o = New()
+	o.Nu = 0
+	if err := o.Fit(ringData(6, 100, -1, -1)); err == nil {
+		t.Error("ν=0 should error")
+	}
+	o = New()
+	if err := o.Fit(ringData(7, 200, -1, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Score(mts.Zeros(9, 10)); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+}
+
+func TestOCSVMSelfFit(t *testing.T) {
+	test := ringData(8, 600, 400, 460)
+	o := New()
+	scores, err := o.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 410, 450) <= meanOver(scores, 0, 350) {
+		t.Error("self-fit OC-SVM failed")
+	}
+}
+
+func TestOCSVMExplicitGamma(t *testing.T) {
+	train := ringData(9, 300, -1, -1)
+	o := New()
+	o.Gamma = 0.5
+	if err := o.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if o.gamma != 0.5 {
+		t.Errorf("gamma = %v, want 0.5", o.gamma)
+	}
+}

@@ -1,0 +1,195 @@
+// Package pca implements the classic PCA anomaly detector (Shyu et al.
+// 2003, surveyed in the paper's related work): training time points are
+// standardized, the top-q principal components of their covariance are
+// extracted by deterministic power iteration with deflation, and a test
+// point's anomaly score is its squared reconstruction error — the energy
+// that falls outside the normal subspace. Deterministic and training-cheap,
+// it complements the paper's nine baselines as the canonical linear method.
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"cad/internal/baselines"
+	"cad/internal/mts"
+	"cad/internal/stats"
+)
+
+// PCA is the detector. Use New.
+type PCA struct {
+	// Components is the subspace dimension q; 0 picks the smallest q
+	// explaining ≥ 90% of the training variance.
+	Components int
+
+	mean, std []float64
+	comps     [][]float64 // orthonormal rows
+	n         int
+	fitted    bool
+	explained float64
+}
+
+// New returns a PCA detector with q components (0 = auto by explained
+// variance).
+func New(q int) *PCA { return &PCA{Components: q} }
+
+// Name implements baselines.Detector.
+func (p *PCA) Name() string { return "PCA" }
+
+// Deterministic implements baselines.Detector.
+func (p *PCA) Deterministic() bool { return true }
+
+// Explained returns the fraction of training variance captured by the
+// chosen subspace.
+func (p *PCA) Explained() float64 { return p.explained }
+
+// Fit standardizes per sensor and extracts the principal subspace.
+func (p *PCA) Fit(train *mts.MTS) error {
+	p.n = train.Sensors()
+	length := train.Len()
+	if length < 2 {
+		return fmt.Errorf("%w: training series too short", baselines.ErrBadInput)
+	}
+	p.mean = make([]float64, p.n)
+	p.std = make([]float64, p.n)
+	for i := 0; i < p.n; i++ {
+		p.mean[i] = stats.Mean(train.Row(i))
+		p.std[i] = stats.StdDev(train.Row(i))
+		if p.std[i] == 0 {
+			p.std[i] = 1
+		}
+	}
+	// Covariance of standardized columns (n×n).
+	cov := make([][]float64, p.n)
+	for i := range cov {
+		cov[i] = make([]float64, p.n)
+	}
+	x := make([]float64, p.n)
+	for t := 0; t < length; t++ {
+		for i := 0; i < p.n; i++ {
+			x[i] = (train.At(i, t) - p.mean[i]) / p.std[i]
+		}
+		for i := 0; i < p.n; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			row := cov[i]
+			for j := 0; j < p.n; j++ {
+				row[j] += xi * x[j]
+			}
+		}
+	}
+	inv := 1 / float64(length)
+	var totalVar float64
+	for i := range cov {
+		for j := range cov[i] {
+			cov[i][j] *= inv
+		}
+		totalVar += cov[i][i]
+	}
+	if totalVar == 0 {
+		return fmt.Errorf("%w: training data is constant", baselines.ErrBadInput)
+	}
+	maxQ := p.Components
+	if maxQ <= 0 || maxQ > p.n {
+		maxQ = p.n
+	}
+	var captured float64
+	p.comps = p.comps[:0]
+	for q := 0; q < maxQ; q++ {
+		vec, lambda := powerIteration(cov)
+		if lambda <= 1e-12 {
+			break
+		}
+		p.comps = append(p.comps, vec)
+		captured += lambda
+		// Deflate.
+		for i := 0; i < p.n; i++ {
+			for j := 0; j < p.n; j++ {
+				cov[i][j] -= lambda * vec[i] * vec[j]
+			}
+		}
+		if p.Components <= 0 && captured/totalVar >= 0.9 {
+			break
+		}
+	}
+	if len(p.comps) == 0 {
+		return fmt.Errorf("%w: no principal components found", baselines.ErrBadInput)
+	}
+	p.explained = captured / totalVar
+	p.fitted = true
+	return nil
+}
+
+// powerIteration returns the dominant eigenvector and eigenvalue of the
+// symmetric matrix, starting from a fixed non-degenerate vector.
+func powerIteration(m [][]float64) ([]float64, float64) {
+	n := len(m)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(float64(i)+1) + 0.5
+	}
+	tmp := make([]float64, n)
+	var lambda float64
+	for iter := 0; iter < 100; iter++ {
+		for i := 0; i < n; i++ {
+			var sum float64
+			row := m[i]
+			for j := 0; j < n; j++ {
+				sum += row[j] * v[j]
+			}
+			tmp[i] = sum
+		}
+		var norm float64
+		for _, x := range tmp {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return v, 0
+		}
+		lambda = norm
+		for i := range v {
+			v[i] = tmp[i] / norm
+		}
+	}
+	return v, lambda
+}
+
+// Score returns the squared reconstruction error of each test point.
+func (p *PCA) Score(test *mts.MTS) ([]float64, error) {
+	if !p.fitted {
+		if err := p.Fit(test); err != nil {
+			return nil, err
+		}
+	}
+	if test.Sensors() != p.n {
+		return nil, fmt.Errorf("%w: %d sensors, fitted for %d", baselines.ErrBadInput, test.Sensors(), p.n)
+	}
+	out := make([]float64, test.Len())
+	x := make([]float64, p.n)
+	proj := make([]float64, len(p.comps))
+	for t := 0; t < test.Len(); t++ {
+		var energy float64
+		for i := 0; i < p.n; i++ {
+			x[i] = (test.At(i, t) - p.mean[i]) / p.std[i]
+			energy += x[i] * x[i]
+		}
+		var inSubspace float64
+		for c, comp := range p.comps {
+			var dot float64
+			for i := 0; i < p.n; i++ {
+				dot += comp[i] * x[i]
+			}
+			proj[c] = dot
+			inSubspace += dot * dot
+		}
+		resid := energy - inSubspace
+		if resid < 0 {
+			resid = 0
+		}
+		out[t] = resid
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+// manifold builds points on a 2-D latent manifold in 6 dims plus noise;
+// anomalies leave the manifold (correlation break) without leaving the
+// marginal ranges.
+func manifold(seed int64, length, anomFrom, anomTo int) *mts.MTS {
+	rng := rand.New(rand.NewSource(seed))
+	m := mts.Zeros(6, length)
+	for t := 0; t < length; t++ {
+		a := math.Sin(2 * math.Pi * float64(t) / 23)
+		b := math.Cos(2 * math.Pi * float64(t) / 31)
+		vals := []float64{a, 2 * a, a - b, b, -b, 0.5*a + 0.5*b}
+		for i := 0; i < 6; i++ {
+			v := vals[i] + 0.05*rng.NormFloat64()
+			if t >= anomFrom && t < anomTo {
+				v = 1.2 * rng.NormFloat64() // off-manifold, in-range
+			}
+			m.Set(i, t, v)
+		}
+	}
+	return m
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestPCASeparatesOffManifold(t *testing.T) {
+	train := manifold(1, 800, -1, -1)
+	test := manifold(2, 400, 150, 250)
+	p := New(0)
+	if err := p.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if p.Explained() < 0.85 {
+		t.Errorf("explained variance %v, want ≥ 0.9 target", p.Explained())
+	}
+	scores, err := p.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anom, norm := meanOver(scores, 160, 240), meanOver(scores, 0, 140)
+	if anom < 3*norm {
+		t.Errorf("PCA separation weak: %v vs %v", anom, norm)
+	}
+}
+
+func TestPCAFixedComponents(t *testing.T) {
+	train := manifold(3, 600, -1, -1)
+	p := New(2)
+	if err := p.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.comps) != 2 {
+		t.Errorf("components = %d, want 2", len(p.comps))
+	}
+	// Components are orthonormal.
+	for i := range p.comps {
+		var norm float64
+		for _, v := range p.comps[i] {
+			norm += v * v
+		}
+		if math.Abs(norm-1) > 1e-6 {
+			t.Errorf("component %d norm %v", i, norm)
+		}
+		for j := i + 1; j < len(p.comps); j++ {
+			var dot float64
+			for k := range p.comps[i] {
+				dot += p.comps[i][k] * p.comps[j][k]
+			}
+			if math.Abs(dot) > 1e-3 {
+				t.Errorf("components %d,%d not orthogonal: %v", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestPCADeterministic(t *testing.T) {
+	train := manifold(4, 500, -1, -1)
+	test := manifold(5, 200, 80, 120)
+	run := func() []float64 {
+		p := New(3)
+		if err := p.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.Score(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PCA must be deterministic")
+		}
+	}
+	if !New(0).Deterministic() || New(0).Name() != "PCA" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	p := New(0)
+	if err := p.Fit(mts.Zeros(3, 1)); err == nil {
+		t.Error("short train should error")
+	}
+	if err := p.Fit(mts.Zeros(3, 50)); err == nil {
+		t.Error("constant train should error")
+	}
+	if err := p.Fit(manifold(6, 300, -1, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Score(mts.Zeros(9, 10)); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+}
+
+func TestPCASelfFit(t *testing.T) {
+	test := manifold(7, 600, 400, 460)
+	p := New(0)
+	scores, err := p.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 410, 450) <= meanOver(scores, 0, 350) {
+		t.Error("self-fit PCA failed to separate")
+	}
+}
+
+func TestPCAScoresNonNegative(t *testing.T) {
+	train := manifold(8, 400, -1, -1)
+	test := manifold(9, 200, -1, -1)
+	p := New(0)
+	if err := p.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, _ := p.Score(test)
+	for i, s := range scores {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("score[%d] = %v", i, s)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package rcoders
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+func latentMTS(seed int64, n, length, anomFrom, anomTo int, anomSensors []int) *mts.MTS {
+	rng := rand.New(rand.NewSource(seed))
+	anom := map[int]bool{}
+	for _, s := range anomSensors {
+		anom[s] = true
+	}
+	m := mts.Zeros(n, length)
+	for t := 0; t < length; t++ {
+		latent := math.Sin(2 * math.Pi * float64(t) / 30)
+		for i := 0; i < n; i++ {
+			v := latent*(1+0.3*float64(i)) + 0.05*rng.NormFloat64()
+			if anom[i] && t >= anomFrom && t < anomTo {
+				v = rng.NormFloat64() * 2
+			}
+			m.Set(i, t, v)
+		}
+	}
+	return m
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestRCodersSeparates(t *testing.T) {
+	train := latentMTS(1, 6, 700, -1, -1, nil)
+	test := latentMTS(2, 6, 500, 250, 330, []int{0, 1, 2, 3, 4, 5})
+	r := New(3)
+	r.Epochs = 10
+	if err := r.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := r.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anom, norm := meanOver(scores, 260, 320), meanOver(scores, 30, 220)
+	if anom <= 2*norm {
+		t.Errorf("RCoders separation weak: %v vs %v", anom, norm)
+	}
+}
+
+func TestRCodersLocalizes(t *testing.T) {
+	train := latentMTS(4, 6, 700, -1, -1, nil)
+	test := latentMTS(5, 6, 500, 250, 330, []int{1, 2})
+	r := New(6)
+	r.Epochs = 10
+	if err := r.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	per, err := r.SensorScores(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 6 || len(per[0]) != 500 {
+		t.Fatalf("shape %dx%d", len(per), len(per[0]))
+	}
+	bad := (meanOver(per[1], 260, 320) + meanOver(per[2], 260, 320)) / 2
+	good := (meanOver(per[0], 260, 320) + meanOver(per[4], 260, 320)) / 2
+	if bad <= 2*good {
+		t.Errorf("localization weak: affected %v vs unaffected %v", bad, good)
+	}
+}
+
+func TestRCodersSeedReproducible(t *testing.T) {
+	train := latentMTS(7, 4, 300, -1, -1, nil)
+	test := latentMTS(8, 4, 150, 70, 100, []int{0})
+	run := func() []float64 {
+		r := New(9)
+		r.Epochs = 3
+		if err := r.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.Score(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	if New(1).Deterministic() || New(1).Name() != "RCoders" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestRCodersErrors(t *testing.T) {
+	r := New(1)
+	if err := r.Fit(mts.Zeros(3, 2)); err == nil {
+		t.Error("short train should error")
+	}
+	r = New(1)
+	r.Epochs = 2
+	if err := r.Fit(latentMTS(10, 4, 200, -1, -1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Score(mts.Zeros(9, 20)); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+}
+
+func TestRCodersSelfFit(t *testing.T) {
+	test := latentMTS(11, 4, 600, 450, 500, []int{0, 1, 2, 3})
+	r := New(12)
+	r.Epochs = 6
+	scores, err := r.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 460, 490) <= meanOver(scores, 50, 400) {
+		t.Error("self-fit RCoders failed")
+	}
+}

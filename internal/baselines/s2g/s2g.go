@@ -1,0 +1,252 @@
+// Package s2g implements a Series2Graph-style univariate subsequence
+// anomaly detector (Boniol & Palpanas, PVLDB 2020): overlapping z-normalized
+// subsequences are embedded into a low-dimensional space (here the top two
+// principal components, found by power iteration), the embedding is
+// discretized into graph nodes (angular × radial bins), and consecutive
+// subsequences trace weighted edges. Trajectories along rare edges are
+// anomalous: the normality of a subsequence is the weight of the edges its
+// neighborhood traverses, degraded by node rarity. S2G is deterministic.
+package s2g
+
+import (
+	"fmt"
+	"math"
+
+	"cad/internal/baselines"
+	"cad/internal/stats"
+)
+
+// S2G is the detector for one univariate series. Use New.
+type S2G struct {
+	// QueryLen ℓ is the subsequence (query) length; the paper's setup uses
+	// 100 for all datasets. 0 means 100, clamped to len(series)/4.
+	QueryLen int
+	// AngularBins and RadialBins discretize the embedding (defaults 16, 4).
+	AngularBins, RadialBins int
+
+	// Model state after Fit (optional; Score self-fits when absent).
+	pc1, pc2 []float64
+	edges    map[[2]int]float64
+	nodeCnt  map[int]float64
+	total    float64
+	l        int
+	maxR     float64
+	fitted   bool
+}
+
+// New returns an S2G detector.
+func New() *S2G { return &S2G{QueryLen: 100, AngularBins: 16, RadialBins: 4} }
+
+// Name implements baselines.Univariate.
+func (s *S2G) Name() string { return "S2G" }
+
+// Deterministic implements baselines.Univariate: projection and binning are
+// deterministic (power iteration starts from a fixed vector).
+func (s *S2G) Deterministic() bool { return true }
+
+func (s *S2G) queryLen(x []float64) int {
+	l := s.QueryLen
+	if l <= 0 {
+		l = 100
+	}
+	if l > len(x)/4 {
+		l = len(x) / 4
+	}
+	if l < 4 {
+		l = 4
+	}
+	return l
+}
+
+// principalComponents finds the top two eigenvectors of the covariance of
+// the z-normalized subsequences by deterministic power iteration with
+// deflation.
+func principalComponents(subs [][]float64) (pc1, pc2 []float64) {
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	l := len(subs[0])
+	cov := make([][]float64, l)
+	for i := range cov {
+		cov[i] = make([]float64, l)
+	}
+	for _, sub := range subs {
+		for i := 0; i < l; i++ {
+			si := sub[i]
+			if si == 0 {
+				continue
+			}
+			row := cov[i]
+			for j := 0; j < l; j++ {
+				row[j] += si * sub[j]
+			}
+		}
+	}
+	power := func() []float64 {
+		v := make([]float64, l)
+		for i := range v {
+			// Deterministic, non-degenerate start.
+			v[i] = math.Sin(float64(i)+1) + 0.5
+		}
+		tmp := make([]float64, l)
+		for iter := 0; iter < 50; iter++ {
+			for i := 0; i < l; i++ {
+				var sum float64
+				row := cov[i]
+				for j := 0; j < l; j++ {
+					sum += row[j] * v[j]
+				}
+				tmp[i] = sum
+			}
+			var norm float64
+			for _, x := range tmp {
+				norm += x * x
+			}
+			norm = math.Sqrt(norm)
+			if norm == 0 {
+				return v
+			}
+			for i := range v {
+				v[i] = tmp[i] / norm
+			}
+		}
+		return v
+	}
+	pc1 = append([]float64(nil), power()...)
+	// Deflate: cov ← cov − λ·v·vᵀ with λ = vᵀ·cov·v.
+	var lambda float64
+	for i := 0; i < l; i++ {
+		var sum float64
+		for j := 0; j < l; j++ {
+			sum += cov[i][j] * pc1[j]
+		}
+		lambda += pc1[i] * sum
+	}
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			cov[i][j] -= lambda * pc1[i] * pc1[j]
+		}
+	}
+	pc2 = append([]float64(nil), power()...)
+	return pc1, pc2
+}
+
+func project(sub, pc []float64) float64 {
+	var d float64
+	for i := range sub {
+		d += sub[i] * pc[i]
+	}
+	return d
+}
+
+// embed maps a subsequence to its node id.
+func (s *S2G) embed(sub []float64) int {
+	x := project(sub, s.pc1)
+	y := project(sub, s.pc2)
+	ang := math.Atan2(y, x) + math.Pi // [0, 2π]
+	ai := int(ang / (2 * math.Pi) * float64(s.AngularBins))
+	if ai >= s.AngularBins {
+		ai = s.AngularBins - 1
+	}
+	radius := math.Hypot(x, y)
+	ri := 0
+	if s.maxR > 0 {
+		ri = int(radius / s.maxR * float64(s.RadialBins))
+		if ri >= s.RadialBins {
+			ri = s.RadialBins - 1
+		}
+	}
+	return ai*s.RadialBins + ri
+}
+
+// buildModel constructs the transition graph from a series.
+func (s *S2G) buildModel(x []float64) error {
+	l := s.queryLen(x)
+	if len(x) < 2*l {
+		return fmt.Errorf("%w: series of %d points for query length %d", baselines.ErrBadInput, len(x), l)
+	}
+	s.l = l
+	stride := l / 8
+	if stride < 1 {
+		stride = 1
+	}
+	var subs [][]float64
+	for i := 0; i+l <= len(x); i += stride {
+		subs = append(subs, stats.ZNormalize(x[i:i+l]))
+	}
+	s.pc1, s.pc2 = principalComponents(subs)
+	// Radius scale from the embedding spread.
+	s.maxR = 0
+	coords := make([][2]float64, len(subs))
+	for i, sub := range subs {
+		cx, cy := project(sub, s.pc1), project(sub, s.pc2)
+		coords[i] = [2]float64{cx, cy}
+		if r := math.Hypot(cx, cy); r > s.maxR {
+			s.maxR = r
+		}
+	}
+	s.edges = make(map[[2]int]float64)
+	s.nodeCnt = make(map[int]float64)
+	prev := -1
+	for _, sub := range subs {
+		nd := s.embed(sub)
+		s.nodeCnt[nd]++
+		if prev >= 0 {
+			s.edges[[2]int{prev, nd}]++
+			s.total++
+		}
+		prev = nd
+	}
+	s.fitted = true
+	return nil
+}
+
+// FitSeries builds the graph model from a training series.
+func (s *S2G) FitSeries(x []float64) error { return s.buildModel(x) }
+
+// ScoreSeries scores each point by the rarity of the graph path its
+// subsequences traverse: score = −log of the traversed edge frequencies.
+func (s *S2G) ScoreSeries(x []float64) ([]float64, error) {
+	if !s.fitted {
+		if err := s.buildModel(x); err != nil {
+			return nil, err
+		}
+	}
+	l := s.l
+	if len(x) < 2*l {
+		return nil, fmt.Errorf("%w: series of %d points for query length %d", baselines.ErrBadInput, len(x), l)
+	}
+	stride := l / 8
+	if stride < 1 {
+		stride = 1
+	}
+	out := make([]float64, len(x))
+	counts := make([]float64, len(x))
+	prev := -1
+	prevStart := 0
+	for i := 0; i+l <= len(x); i += stride {
+		nd := s.embed(stats.ZNormalize(x[i : i+l]))
+		if prev >= 0 {
+			w := s.edges[[2]int{prev, nd}]
+			// Rare transitions score high; unseen ones highest.
+			score := -math.Log((w + 0.5) / (s.total + 1))
+			for t := prevStart; t < i+l && t < len(out); t++ {
+				out[t] += score
+				counts[t]++
+			}
+		}
+		prev = nd
+		prevStart = i
+	}
+	for t := range out {
+		if counts[t] > 0 {
+			out[t] /= counts[t]
+		}
+	}
+	for t := 1; t < len(out); t++ {
+		if counts[t] == 0 {
+			out[t] = out[t-1]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package s2g
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func periodic(seed int64, length, anomFrom, anomTo int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, length)
+	for t := range x {
+		x[t] = math.Sin(2*math.Pi*float64(t)/25) + 0.05*rng.NormFloat64()
+		if t >= anomFrom && t < anomTo {
+			x[t] = 0.8 * rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestS2GSeparates(t *testing.T) {
+	test := periodic(1, 1500, 800, 900)
+	s := New()
+	scores, err := s.ScoreSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(test) {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	anom := meanOver(scores, 810, 890)
+	norm := meanOver(scores, 100, 700)
+	if anom <= norm {
+		t.Errorf("S2G failed: anomaly %v vs normal %v", anom, norm)
+	}
+}
+
+func TestS2GFitThenScore(t *testing.T) {
+	train := periodic(2, 1500, -1, -1)
+	test := periodic(3, 1500, 700, 800)
+	s := New()
+	if err := s.FitSeries(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := s.ScoreSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 710, 790) <= meanOver(scores, 100, 600) {
+		t.Error("fitted S2G failed to separate")
+	}
+}
+
+func TestS2GDeterministic(t *testing.T) {
+	test := periodic(4, 1200, 500, 560)
+	run := func() []float64 {
+		s := New()
+		out, err := s.ScoreSeries(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("S2G must be deterministic")
+		}
+	}
+	if !New().Deterministic() || New().Name() != "S2G" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestS2GQueryLenClamping(t *testing.T) {
+	s := New() // QueryLen 100 but series is short
+	x := periodic(5, 240, -1, -1)
+	if _, err := s.ScoreSeries(x); err != nil {
+		t.Fatalf("clamped query length should work: %v", err)
+	}
+	if s.l > 60 {
+		t.Errorf("query length %d not clamped to len/4", s.l)
+	}
+}
+
+func TestS2GErrors(t *testing.T) {
+	s := New()
+	if err := s.FitSeries(make([]float64, 6)); err == nil {
+		t.Error("tiny series should error")
+	}
+	// Fitted on long series, scoring a much shorter one must fail.
+	s2 := New()
+	if err := s2.FitSeries(periodic(6, 1000, -1, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.ScoreSeries(make([]float64, 30)); err == nil {
+		t.Error("short score series should error")
+	}
+}
+
+func TestPrincipalComponents(t *testing.T) {
+	// Subsequences lying on a 1-D subspace: pc1 should capture it.
+	subs := [][]float64{}
+	dir := []float64{1, 2, 3, 4}
+	for i := 1; i <= 8; i++ {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = float64(i) * dir[j]
+		}
+		subs = append(subs, row)
+	}
+	pc1, pc2 := principalComponents(subs)
+	if pc1 == nil || pc2 == nil {
+		t.Fatal("nil components")
+	}
+	// pc1 ∝ dir (up to sign).
+	var dot, nd, np float64
+	for j := range dir {
+		dot += dir[j] * pc1[j]
+		nd += dir[j] * dir[j]
+		np += pc1[j] * pc1[j]
+	}
+	cos := math.Abs(dot) / math.Sqrt(nd*np)
+	if cos < 0.999 {
+		t.Errorf("pc1 misaligned: |cos| = %v", cos)
+	}
+	if p1, p2 := principalComponents(nil); p1 != nil || p2 != nil {
+		t.Error("empty input should return nils")
+	}
+}

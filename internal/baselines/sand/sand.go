@@ -1,0 +1,245 @@
+// Package sand implements SAND (Boniol et al., PVLDB 2021) and its online
+// variant SAND*: streaming subsequence anomaly detection built on k-Shape.
+// A set of weighted shape centroids summarizes normal behavior; each test
+// subsequence is scored by its (weight-discounted) shape-based distance to
+// the nearest centroid. The online variant processes the series in batches,
+// re-clustering each batch and merging the new centroids into the model
+// with an update rate α, as the paper's SAND* configuration describes.
+package sand
+
+import (
+	"fmt"
+	"math"
+
+	"cad/internal/baselines"
+	"cad/internal/fft"
+	"cad/internal/kshape"
+	"cad/internal/stats"
+)
+
+// SAND is the detector for one univariate series. Use New or NewOnline.
+type SAND struct {
+	// PatternLen ℓ; 0 estimates 4·ACF-period, the paper's setting for the
+	// centroid length.
+	PatternLen int
+	// Clusters k in the model (default 3).
+	Clusters int
+	// Stride between training subsequences (default ℓ/4).
+	Stride int
+	// Seed drives clustering initialization.
+	Seed int64
+	// Online enables the SAND* batch-update mode.
+	Online bool
+	// Alpha is the SAND* update rate (paper: 0.5).
+	Alpha float64
+	// BatchFrac is the SAND* batch size as a fraction of the series
+	// (paper: 0.1); InitFrac the initial model fraction (paper: 0.5).
+	BatchFrac, InitFrac float64
+
+	centroids [][]float64
+	weights   []float64
+	fitted    bool
+}
+
+// New returns an offline SAND detector.
+func New(seed int64) *SAND {
+	return &SAND{Clusters: 3, Seed: seed}
+}
+
+// NewOnline returns the SAND* configuration from the paper: α = 0.5,
+// initial model from the first half, batches of 10%.
+func NewOnline(seed int64) *SAND {
+	return &SAND{Clusters: 3, Seed: seed, Online: true, Alpha: 0.5, BatchFrac: 0.1, InitFrac: 0.5}
+}
+
+// Name implements baselines.Univariate.
+func (s *SAND) Name() string {
+	if s.Online {
+		return "SAND*"
+	}
+	return "SAND"
+}
+
+// Deterministic implements baselines.Univariate.
+func (s *SAND) Deterministic() bool { return false }
+
+func (s *SAND) patternLen(x []float64) int {
+	if s.PatternLen > 0 {
+		return s.PatternLen
+	}
+	maxLag := len(x) / 4
+	if maxLag > 200 {
+		maxLag = 200
+	}
+	p := stats.DominantPeriod(x, 4, maxLag, 0.2, 16)
+	l := 4 * p
+	if l > len(x)/4 {
+		l = len(x) / 4
+	}
+	if l < 8 {
+		l = 8
+	}
+	return l
+}
+
+func (s *SAND) cluster(x []float64, l int) ([][]float64, []float64, error) {
+	stride := s.Stride
+	if stride <= 0 {
+		stride = l / 4
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	var subs [][]float64
+	for i := 0; i+l <= len(x); i += stride {
+		subs = append(subs, x[i:i+l])
+	}
+	if len(subs) < 2 {
+		return nil, nil, fmt.Errorf("%w: %d subsequences of length %d from %d points", baselines.ErrBadInput, len(subs), l, len(x))
+	}
+	k := s.Clusters
+	if k > len(subs) {
+		k = len(subs)
+	}
+	res, err := kshape.Cluster(subs, k, 8, s.Seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sand: %w", err)
+	}
+	var cents [][]float64
+	var weights []float64
+	total := float64(len(subs))
+	for c, size := range res.Sizes {
+		if size == 0 {
+			continue
+		}
+		cents = append(cents, res.Centroids[c])
+		weights = append(weights, float64(size)/total)
+	}
+	return cents, weights, nil
+}
+
+// FitSeries builds the initial centroid model.
+func (s *SAND) FitSeries(x []float64) error {
+	l := s.patternLen(x)
+	cents, weights, err := s.cluster(x, l)
+	if err != nil {
+		return err
+	}
+	s.centroids, s.weights = cents, weights
+	s.fitted = true
+	return nil
+}
+
+// merge folds batch centroids into the model with update rate α: existing
+// weights decay by (1−α) and close shapes are merged.
+func (s *SAND) merge(cents [][]float64, weights []float64) {
+	for i := range s.weights {
+		s.weights[i] *= 1 - s.Alpha
+	}
+	for j, c := range cents {
+		// Merge into the closest existing centroid when very close.
+		bestI, bestD := -1, 0.25
+		for i, ex := range s.centroids {
+			if d := fft.SBD(ex, c); d < bestD {
+				bestI, bestD = i, d
+			}
+		}
+		if bestI >= 0 {
+			s.weights[bestI] += s.Alpha * weights[j]
+		} else {
+			s.centroids = append(s.centroids, c)
+			s.weights = append(s.weights, s.Alpha*weights[j])
+		}
+	}
+}
+
+// scoreInto accumulates subsequence scores for x[from:to] into out/counts.
+func (s *SAND) scoreInto(x []float64, from, to, l int, out, counts []float64) {
+	stride := l / 8
+	if stride < 1 {
+		stride = 1
+	}
+	for i := from; i+l <= to; i += stride {
+		sub := stats.ZNormalize(x[i : i+l])
+		best := math.Inf(1)
+		for c, cent := range s.centroids {
+			d := fft.SBD(cent, sub) / (s.weights[c] + 0.5)
+			if d < best {
+				best = d
+			}
+		}
+		for t := i; t < i+l && t < len(out); t++ {
+			out[t] += best
+			counts[t]++
+		}
+	}
+}
+
+// ScoreSeries scores every point. Offline mode scores against the fitted
+// model (self-fitting when none exists); online mode initializes the model
+// from the first InitFrac of the series and then alternates batch scoring
+// and model updates.
+func (s *SAND) ScoreSeries(x []float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	counts := make([]float64, len(x))
+	if s.Online {
+		l := s.patternLen(x)
+		init := int(s.InitFrac * float64(len(x)))
+		if init < 2*l {
+			init = 2 * l
+		}
+		if init > len(x) {
+			init = len(x)
+		}
+		cents, weights, err := s.cluster(x[:init], l)
+		if err != nil {
+			return nil, err
+		}
+		s.centroids, s.weights = cents, weights
+		s.fitted = true
+		s.scoreInto(x, 0, init, l, out, counts)
+		batch := int(s.BatchFrac * float64(len(x)))
+		if batch < l+1 {
+			batch = l + 1
+		}
+		for from := init; from < len(x); from += batch {
+			to := from + batch
+			if to > len(x) {
+				to = len(x)
+			}
+			// Score the batch with the current model, then update.
+			lo := from - l + 1 // cover points at the seam
+			if lo < 0 {
+				lo = 0
+			}
+			s.scoreInto(x, lo, to, l, out, counts)
+			if to-from > l {
+				if cents, weights, err := s.cluster(x[from:to], l); err == nil {
+					s.merge(cents, weights)
+				}
+			}
+		}
+	} else {
+		if !s.fitted {
+			if err := s.FitSeries(x); err != nil {
+				return nil, err
+			}
+		}
+		l := len(s.centroids[0])
+		if l > len(x) {
+			return nil, fmt.Errorf("%w: series shorter than centroid length %d", baselines.ErrBadInput, l)
+		}
+		s.scoreInto(x, 0, len(x), l, out, counts)
+	}
+	for t := range out {
+		if counts[t] > 0 {
+			out[t] /= counts[t]
+		}
+	}
+	for t := 1; t < len(out); t++ {
+		if counts[t] == 0 {
+			out[t] = out[t-1]
+		}
+	}
+	return out, nil
+}

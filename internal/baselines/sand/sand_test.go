@@ -1,0 +1,110 @@
+package sand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func periodic(seed int64, length, anomFrom, anomTo int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, length)
+	for t := range x {
+		x[t] = math.Sin(2*math.Pi*float64(t)/25) + 0.05*rng.NormFloat64()
+		if t >= anomFrom && t < anomTo {
+			x[t] = 0.8 * rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestSANDOffline(t *testing.T) {
+	train := periodic(1, 1200, -1, -1)
+	test := periodic(2, 1200, 600, 700)
+	s := New(3)
+	if err := s.FitSeries(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := s.ScoreSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(test) {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	if meanOver(scores, 610, 690) <= meanOver(scores, 100, 500)*1.2 {
+		t.Errorf("offline SAND failed: anomaly %v vs normal %v",
+			meanOver(scores, 610, 690), meanOver(scores, 100, 500))
+	}
+}
+
+func TestSANDSelfFit(t *testing.T) {
+	test := periodic(4, 1500, 900, 1000)
+	s := New(5)
+	scores, err := s.ScoreSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 910, 990) <= meanOver(scores, 100, 800) {
+		t.Error("self-fit SAND failed")
+	}
+}
+
+func TestSANDOnline(t *testing.T) {
+	test := periodic(6, 2000, 1400, 1500)
+	s := NewOnline(7)
+	scores, err := s.ScoreSeries(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(test) {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	if meanOver(scores, 1410, 1490) <= meanOver(scores, 200, 1200)*1.1 {
+		t.Errorf("SAND* failed: anomaly %v vs normal %v",
+			meanOver(scores, 1410, 1490), meanOver(scores, 200, 1200))
+	}
+	if s.Name() != "SAND*" {
+		t.Errorf("online name %q", s.Name())
+	}
+	if New(1).Name() != "SAND" {
+		t.Error("offline name")
+	}
+	if New(1).Deterministic() {
+		t.Error("SAND should be randomized")
+	}
+}
+
+func TestSANDOnlineModelGrowth(t *testing.T) {
+	// After an online pass the model must still have normalized-ish
+	// weights (all positive, bounded count).
+	test := periodic(8, 1500, -1, -1)
+	s := NewOnline(9)
+	if _, err := s.ScoreSeries(test); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.centroids) == 0 || len(s.centroids) != len(s.weights) {
+		t.Fatalf("model: %d centroids, %d weights", len(s.centroids), len(s.weights))
+	}
+	for i, w := range s.weights {
+		if w <= 0 {
+			t.Errorf("weight[%d] = %v", i, w)
+		}
+	}
+}
+
+func TestSANDErrors(t *testing.T) {
+	s := New(1)
+	s.PatternLen = 64
+	if err := s.FitSeries(make([]float64, 10)); err == nil {
+		t.Error("too-short series should error")
+	}
+}

@@ -1,0 +1,122 @@
+package usad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+// latentMTS builds series where all sensors follow one latent sine; the
+// anomaly decouples them into noise.
+func latentMTS(seed int64, n, length, anomFrom, anomTo int) *mts.MTS {
+	rng := rand.New(rand.NewSource(seed))
+	m := mts.Zeros(n, length)
+	for t := 0; t < length; t++ {
+		latent := math.Sin(2 * math.Pi * float64(t) / 30)
+		for i := 0; i < n; i++ {
+			v := latent*(1+0.3*float64(i)) + 0.05*rng.NormFloat64()
+			if t >= anomFrom && t < anomTo {
+				v = rng.NormFloat64()
+			}
+			m.Set(i, t, v)
+		}
+	}
+	return m
+}
+
+func meanOver(s []float64, from, to int) float64 {
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += s[i]
+	}
+	return sum / float64(to-from)
+}
+
+func TestUSADSeparates(t *testing.T) {
+	train := latentMTS(1, 6, 800, -1, -1)
+	test := latentMTS(2, 6, 600, 300, 380)
+	u := New(3)
+	u.Epochs = 8
+	if err := u.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := u.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 600 {
+		t.Fatalf("scores len %d", len(scores))
+	}
+	anom, norm := meanOver(scores, 310, 370), meanOver(scores, 50, 250)
+	if anom <= 2*norm {
+		t.Errorf("USAD separation weak: anomaly %v vs normal %v", anom, norm)
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) || s < 0 {
+			t.Fatalf("bad score at %d: %v", i, s)
+		}
+	}
+}
+
+func TestUSADSeedReproducible(t *testing.T) {
+	train := latentMTS(4, 4, 400, -1, -1)
+	test := latentMTS(5, 4, 200, 100, 130)
+	run := func(seed int64) []float64 {
+		u := New(seed)
+		u.Epochs = 3
+		if err := u.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		s, err := u.Score(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(9), run(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	if New(1).Deterministic() {
+		t.Error("USAD is randomized")
+	}
+	if New(1).Name() != "USAD" {
+		t.Error("name")
+	}
+}
+
+func TestUSADErrors(t *testing.T) {
+	u := New(1)
+	if err := u.Fit(mts.Zeros(3, 2)); err == nil {
+		t.Error("short train should error")
+	}
+	train := latentMTS(6, 4, 300, -1, -1)
+	u = New(1)
+	u.Epochs = 2
+	if err := u.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Score(mts.Zeros(9, 50)); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+	if _, err := u.Score(mts.Zeros(4, 2)); err == nil {
+		t.Error("too-short test should error")
+	}
+}
+
+func TestUSADSelfFit(t *testing.T) {
+	test := latentMTS(7, 4, 600, 400, 450)
+	u := New(8)
+	u.Epochs = 5
+	scores, err := u.Score(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOver(scores, 410, 440) <= meanOver(scores, 50, 350) {
+		t.Error("self-fit USAD failed")
+	}
+}

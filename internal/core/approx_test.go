@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestApproxTSGDetection verifies the HNSW-backed detector catches the same
+// injected anomaly as the exact one and stays deterministic.
+func TestApproxTSGDetection(t *testing.T) {
+	his := synth(21, 3, 4, 800, nil, -1, -1)
+	test := synth(22, 3, 4, 800, []int{0, 1}, 400, 520)
+
+	run := func(approx bool) *Result {
+		cfg := testConfig()
+		cfg.ApproxTSG = approx
+		cfg.ApproxSeed = 99
+		det, err := NewDetector(12, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.WarmUp(his); err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Detect(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	approxRes := run(true)
+	if len(approxRes.Anomalies) == 0 {
+		t.Fatal("approx detector found nothing")
+	}
+	found := false
+	for _, a := range approxRes.Anomalies {
+		if a.Start < 520 && a.End > 400 {
+			for _, s := range a.Sensors {
+				if s == 0 || s == 1 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("approx detector missed the injected sensors: %+v", approxRes.Anomalies)
+	}
+	// Determinism with a fixed ApproxSeed.
+	again := run(true)
+	if len(again.Rounds) != len(approxRes.Rounds) {
+		t.Fatal("round counts differ across runs")
+	}
+	for i := range again.Rounds {
+		if again.Rounds[i].Variations != approxRes.Rounds[i].Variations {
+			t.Fatalf("round %d differs across identical approx runs", i)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cad/internal/louvain"
+	"cad/internal/mts"
+	"cad/internal/stats"
+	"cad/internal/tsg"
+)
+
+// Anomaly is one detected anomaly Z = (V_Z, R_Z) (paper Def. 1) mapped back
+// to time points.
+type Anomaly struct {
+	// Sensors is V_Z: indices of the abnormal sensors, sorted ascending.
+	Sensors []int
+	// Onsets[i] is the first abnormal round in which Sensors[i] appeared
+	// in the outlier set. Sensors with the earliest onset are the best
+	// root-cause candidates: a failure typically decorrelates its own
+	// sensors first and propagates to neighbors later (§I).
+	Onsets []int
+	// FirstRound and LastRound delimit R_Z (inclusive, 0-indexed rounds).
+	FirstRound, LastRound int
+	// Start and End delimit the covered time points [Start, End) in the
+	// original series.
+	Start, End int
+	// Score is the peak normalized deviation max_r |n_r − μ| / σ over R_Z.
+	Score float64
+}
+
+// RootCauses returns the sensors ordered by onset (earliest first, ties by
+// sensor id) — the ranking a maintenance crew should inspect in.
+func (a Anomaly) RootCauses() []int {
+	idx := make([]int, len(a.Sensors))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		if a.Onsets[idx[x]] != a.Onsets[idx[y]] {
+			return a.Onsets[idx[x]] < a.Onsets[idx[y]]
+		}
+		return a.Sensors[idx[x]] < a.Sensors[idx[y]]
+	})
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = a.Sensors[j]
+	}
+	return out
+}
+
+// RoundReport describes the outcome of processing one round.
+type RoundReport struct {
+	// Round is the 0-indexed round number within the processed series.
+	Round int
+	// Outliers is O_r, sorted ascending.
+	Outliers []int
+	// Variations is n_r, the number of outlier transitions (Def. 8).
+	Variations int
+	// Score is |n_r − μ| / max(σ, SigmaFloor) against the history *before*
+	// this round was appended. 0 while history is shorter than MinHistory.
+	Score float64
+	// Abnormal reports whether the round was flagged.
+	Abnormal bool
+	// Communities is the number of Louvain communities found.
+	Communities int
+}
+
+// Result is the output of Detector.Detect.
+type Result struct {
+	// Anomalies in chronological order.
+	Anomalies []Anomaly
+	// Rounds holds one report per processed round.
+	Rounds []RoundReport
+	// PointScores maps the per-round scores onto time points: point t gets
+	// the score of the first round whose window fully covers t (0 before
+	// any round completes).
+	PointScores []float64
+	// PointLabels is the binary per-time-point prediction derived from the
+	// abnormal rounds (see Detector.pointSpan for the mapping).
+	PointLabels []bool
+}
+
+// Detector runs CAD. It is stateful: the co-appearance history, outlier set,
+// and n_r statistics persist across calls, which is what makes WarmUp and
+// streaming detection (ProcessWindow) work. A Detector is not safe for
+// concurrent use.
+type Detector struct {
+	cfg     Config
+	n       int
+	builder tsg.Builder
+
+	round    int // rounds processed so far (warm-up included)
+	havePrev bool
+	prevPart louvain.Partition
+
+	sumS     []float64   // Σ S_i(v) over the active horizon, or EWMA state
+	ring     [][]float64 // per-vertex trailing S values (RCSliding only)
+	ringPos  int
+	rcRounds int    // co-appearance rounds accumulated
+	outlier  []bool // O_{r-1}
+
+	hist history // μ, σ estimator over n_r (unbounded or trailing horizon)
+}
+
+// history estimates μ and σ of the n_r series, either over the entire past
+// (the paper's Algorithm 2) or over a trailing horizon of samples
+// (Config.HistoryHorizon > 0), which lets the 3σ threshold adapt when the
+// plant's noise regime drifts.
+type history struct {
+	run    stats.Running
+	ring   []float64 // nil when unbounded
+	pos    int
+	filled int
+}
+
+func newHistory(horizon int) history {
+	if horizon <= 0 {
+		return history{}
+	}
+	return history{ring: make([]float64, horizon)}
+}
+
+func (h *history) Add(x float64) {
+	if h.ring == nil {
+		h.run.Add(x)
+		return
+	}
+	h.ring[h.pos] = x
+	h.pos = (h.pos + 1) % len(h.ring)
+	if h.filled < len(h.ring) {
+		h.filled++
+	}
+}
+
+func (h *history) N() int {
+	if h.ring == nil {
+		return h.run.N()
+	}
+	return h.filled
+}
+
+func (h *history) Mean() float64 {
+	if h.ring == nil {
+		return h.run.Mean()
+	}
+	return stats.Mean(h.ring[:h.filled])
+}
+
+func (h *history) StdDev() float64 {
+	if h.ring == nil {
+		return h.run.StdDev()
+	}
+	return stats.StdDev(h.ring[:h.filled])
+}
+
+// NewDetector validates cfg for n sensors and returns a fresh detector.
+func NewDetector(n int, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	if cfg.RCHorizon == 0 {
+		cfg.RCHorizon = 10
+	}
+	d := &Detector{
+		cfg:     cfg,
+		n:       n,
+		builder: tsg.Builder{K: cfg.K, Tau: cfg.Tau},
+		sumS:    make([]float64, n),
+		outlier: make([]bool, n),
+		hist:    newHistory(cfg.HistoryHorizon),
+	}
+	if cfg.RCMode == RCSliding {
+		d.ring = make([][]float64, n)
+		backing := make([]float64, n*cfg.RCHorizon)
+		for v := range d.ring {
+			d.ring[v] = backing[v*cfg.RCHorizon : (v+1)*cfg.RCHorizon]
+		}
+	}
+	return d, nil
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Sensors returns the number of sensors the detector was built for.
+func (d *Detector) Sensors() int { return d.n }
+
+// Rounds returns the number of rounds processed so far, warm-up included.
+func (d *Detector) Rounds() int { return d.round }
+
+// HistoryMean returns the running mean μ of n_r.
+func (d *Detector) HistoryMean() float64 { return d.hist.Mean() }
+
+// HistoryStdDev returns the running standard deviation σ of n_r.
+func (d *Detector) HistoryStdDev() float64 { return d.hist.StdDev() }
+
+// WarmUp processes the historical series T_his exactly as Algorithm 2's
+// WarmUp function: every round is mined for outliers and its n_r feeds the
+// μ/σ history, but no anomalies are reported. The co-appearance state
+// carries over into subsequent Detect/ProcessWindow calls.
+func (d *Detector) WarmUp(his *mts.MTS) error {
+	if his.Sensors() != d.n {
+		return fmt.Errorf("%w: warm-up has %d sensors, detector expects %d", ErrBadConfig, his.Sensors(), d.n)
+	}
+	wd := d.cfg.Window
+	R := wd.Rounds(his.Len())
+	if R == 0 {
+		return fmt.Errorf("%w: warm-up series too short for window w=%d", ErrBadConfig, wd.W)
+	}
+	for r := 0; r < R; r++ {
+		win, err := wd.Window(his, r)
+		if err != nil {
+			return err
+		}
+		if _, err := d.step(win); err != nil {
+			return fmt.Errorf("cad: warm-up round %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Detect runs Algorithm 2 over T and returns all detected anomalies. The
+// detector's state advances; to analyze an unrelated series build a new
+// Detector.
+func (d *Detector) Detect(t *mts.MTS) (*Result, error) {
+	if t.Sensors() != d.n {
+		return nil, fmt.Errorf("%w: series has %d sensors, detector expects %d", ErrBadConfig, t.Sensors(), d.n)
+	}
+	wd := d.cfg.Window
+	R := wd.Rounds(t.Len())
+	if R == 0 {
+		return nil, fmt.Errorf("%w: series length %d too short for window w=%d", ErrBadConfig, t.Len(), wd.W)
+	}
+	return d.assemble(t, R, func(r int) (RoundReport, error) {
+		win, err := wd.Window(t, r)
+		if err != nil {
+			return RoundReport{}, err
+		}
+		return d.step(win)
+	})
+}
+
+// assemble drives the per-round reports into a Result: anomaly grouping,
+// point labels, and point scores. nextReport must advance the detector's
+// state for round r and return its report.
+func (d *Detector) assemble(t *mts.MTS, R int, nextReport func(r int) (RoundReport, error)) (*Result, error) {
+	res := &Result{
+		Rounds:      make([]RoundReport, 0, R),
+		PointScores: make([]float64, t.Len()),
+		PointLabels: make([]bool, t.Len()),
+	}
+	var open *Anomaly
+	sensorOnset := make(map[int]int)
+	for r := 0; r < R; r++ {
+		rep, err := nextReport(r)
+		if err != nil {
+			return nil, fmt.Errorf("cad: round %d: %w", r, err)
+		}
+		rep.Round = r
+		res.Rounds = append(res.Rounds, rep)
+
+		if rep.Abnormal {
+			if open == nil {
+				open = &Anomaly{FirstRound: r, LastRound: r, Score: rep.Score}
+				sensorOnset = make(map[int]int)
+			}
+			open.LastRound = r
+			if rep.Score > open.Score {
+				open.Score = rep.Score
+			}
+			for _, v := range rep.Outliers {
+				if _, seen := sensorOnset[v]; !seen {
+					sensorOnset[v] = r
+				}
+			}
+			from, to := d.pointSpan(r)
+			for p := from; p < to && p < t.Len(); p++ {
+				res.PointLabels[p] = true
+			}
+		} else if open != nil {
+			res.Anomalies = append(res.Anomalies, d.finish(open, sensorOnset))
+			open = nil
+		}
+	}
+	if open != nil {
+		res.Anomalies = append(res.Anomalies, d.finish(open, sensorOnset))
+	}
+	// Point scores: point t takes the score of the first round covering it.
+	for p := 0; p < t.Len(); p++ {
+		r := d.cfg.Window.RoundOf(p)
+		if r < 0 {
+			r = 0
+		}
+		if r >= R {
+			r = R - 1
+		}
+		res.PointScores[p] = res.Rounds[r].Score
+	}
+	return res, nil
+}
+
+// ProcessWindow advances the detector by one round with an explicit window
+// (streaming use; the caller owns window assembly — see Streamer for a
+// column-at-a-time wrapper). The window must be exactly w columns.
+func (d *Detector) ProcessWindow(win *mts.MTS) (RoundReport, error) {
+	if win.Sensors() != d.n {
+		return RoundReport{}, fmt.Errorf("%w: window has %d sensors, detector expects %d", ErrBadConfig, win.Sensors(), d.n)
+	}
+	if win.Len() != d.cfg.Window.W {
+		return RoundReport{}, fmt.Errorf("%w: window length %d, want w=%d", ErrBadConfig, win.Len(), d.cfg.Window.W)
+	}
+	rep, err := d.step(win)
+	rep.Round = d.round - 1
+	return rep, err
+}
+
+// finish converts an open anomaly plus its sensor onset map into the final
+// record.
+func (d *Detector) finish(a *Anomaly, onsets map[int]int) Anomaly {
+	a.Sensors = make([]int, 0, len(onsets))
+	for v := range onsets {
+		a.Sensors = append(a.Sensors, v)
+	}
+	sort.Ints(a.Sensors)
+	a.Onsets = make([]int, len(a.Sensors))
+	for i, v := range a.Sensors {
+		a.Onsets[i] = onsets[v]
+	}
+	from, _ := d.pointSpan(a.FirstRound)
+	_, to := d.pointSpan(a.LastRound)
+	a.Start, a.End = from, to
+	return *a
+}
+
+// pointSpan maps an abnormal round to the time points it newly implicates:
+// the final step's worth of columns of its window. Consecutive abnormal
+// rounds therefore mark contiguous time, and the first marked point of an
+// anomaly is the moment the anomaly became visible at the window's edge —
+// which is what makes the alarm early under DPA.
+func (d *Detector) pointSpan(r int) (from, to int) {
+	_, to = d.cfg.Window.Bounds(r)
+	from = to - d.cfg.Window.S
+	if from < 0 {
+		from = 0
+	}
+	return from, to
+}
+
+// partition runs the stateless half of Algorithm 1 — TSG construction and
+// community detection — for one window. It is safe to call concurrently for
+// different windows.
+func (d *Detector) partition(win *mts.MTS) (louvain.Partition, error) {
+	var (
+		g   *tsg.Graph
+		err error
+	)
+	if d.cfg.ApproxTSG {
+		g, err = d.builder.BuildApprox(win, tsg.ApproxConfig{Seed: d.cfg.ApproxSeed})
+	} else {
+		g, err = d.builder.Build(win)
+	}
+	if err != nil {
+		return louvain.Partition{}, err
+	}
+	return louvain.Communities(g), nil
+}
+
+// step runs Algorithm 1 (OutlierDetection) for one window and applies the
+// abnormal-round rule.
+func (d *Detector) step(win *mts.MTS) (RoundReport, error) {
+	part, err := d.partition(win)
+	if err != nil {
+		return RoundReport{}, err
+	}
+	return d.advance(part), nil
+}
+
+// advance runs the stateful half of Algorithm 1 — co-appearance mining,
+// outlier-set maintenance, and the abnormal-round rule — on an
+// already-computed partition.
+func (d *Detector) advance(part louvain.Partition) RoundReport {
+	rep := RoundReport{Communities: part.Count}
+
+	// Phase 2: co-appearance mining (Defs. 4–6). S_r(v) counts the other
+	// vertices sharing v's community in both round r−1 and round r. With
+	// communities as sets, S_r(v) = |C_{r−1}(v) ∩ C_r(v)| − 1, computable
+	// for all v in O(n) by bucketing on the (previous, current) pair.
+	nOut := 0
+	if d.havePrev {
+		pairCount := make(map[[2]int]int, d.n)
+		for v := 0; v < d.n; v++ {
+			pairCount[[2]int{d.prevPart.Of[v], part.Of[v]}]++
+		}
+		outNow := make([]bool, d.n)
+		for v := 0; v < d.n; v++ {
+			s := float64(pairCount[[2]int{d.prevPart.Of[v], part.Of[v]}] - 1)
+			switch d.cfg.RCMode {
+			case RCExponential:
+				if d.rcRounds == 0 {
+					d.sumS[v] = s
+				} else {
+					d.sumS[v] = (1-d.cfg.RCAlpha)*d.sumS[v] + d.cfg.RCAlpha*s
+				}
+			case RCSliding:
+				d.sumS[v] += s - d.ring[v][d.ringPos]
+				d.ring[v][d.ringPos] = s
+			default: // RCCumulative
+				d.sumS[v] += s
+			}
+		}
+		if d.cfg.RCMode == RCSliding {
+			d.ringPos = (d.ringPos + 1) % d.cfg.RCHorizon
+		}
+		d.rcRounds++
+		for v := 0; v < d.n; v++ {
+			rc := d.rc(v)
+			if rc < d.cfg.Theta {
+				outNow[v] = true
+				rep.Outliers = append(rep.Outliers, v)
+			}
+			if outNow[v] != d.outlier[v] {
+				nOut++
+			}
+		}
+		copy(d.outlier, outNow)
+	}
+	rep.Variations = nOut
+
+	// Phase 3 + §IV-E: abnormal-round decision against history so far.
+	mu, sigma := d.hist.Mean(), d.hist.StdDev()
+	enough := d.hist.N() >= d.cfg.MinHistory && d.round > 0
+	if enough {
+		if d.cfg.DisableVariationRule {
+			rep.Abnormal = len(rep.Outliers) >= d.cfg.FixedXi
+			rep.Score = float64(len(rep.Outliers))
+		} else {
+			dev := float64(nOut) - mu
+			if dev < 0 {
+				dev = -dev
+			}
+			s := sigma
+			if s < d.cfg.SigmaFloor {
+				s = d.cfg.SigmaFloor
+			}
+			if s > 0 {
+				rep.Score = dev / s
+			} else if dev > 0 {
+				rep.Score = dev * 1e9 // σ = 0 and no floor: any deviation alarms
+			}
+			rep.Abnormal = rep.Score >= d.cfg.Eta
+		}
+	}
+	d.hist.Add(float64(nOut))
+
+	d.prevPart = part
+	d.havePrev = true
+	d.round++
+	return rep
+}
+
+// rc returns RC_{v,r} for the current accumulation state.
+func (d *Detector) rc(v int) float64 {
+	if d.rcRounds == 0 {
+		return 1
+	}
+	switch d.cfg.RCMode {
+	case RCExponential:
+		return d.sumS[v] / float64(d.n-1)
+	case RCSliding:
+		h := d.rcRounds
+		if h > d.cfg.RCHorizon {
+			h = d.cfg.RCHorizon
+		}
+		return d.sumS[v] / (float64(h) * float64(d.n-1))
+	default: // RCCumulative
+		return d.sumS[v] / (float64(d.rcRounds) * float64(d.n-1))
+	}
+}
+
+// RC exposes the current ratio of co-appearance number of sensor v, mainly
+// for tests and diagnostics.
+func (d *Detector) RC(v int) float64 { return d.rc(v) }

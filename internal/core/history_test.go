@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestHistoryUnbounded(t *testing.T) {
+	h := newHistory(0)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+	if math.Abs(h.Mean()-50.5) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	h := newHistory(4)
+	for i := 1; i <= 10; i++ {
+		h.Add(float64(i))
+	}
+	// Only the last 4 values (7,8,9,10) remain.
+	if h.N() != 4 {
+		t.Errorf("N = %d", h.N())
+	}
+	if math.Abs(h.Mean()-8.5) > 1e-9 {
+		t.Errorf("bounded mean = %v, want 8.5", h.Mean())
+	}
+	// Partially filled.
+	h2 := newHistory(8)
+	h2.Add(2)
+	h2.Add(4)
+	if h2.N() != 2 || h2.Mean() != 3 {
+		t.Errorf("partial: N=%d mean=%v", h2.N(), h2.Mean())
+	}
+}
+
+func TestHistoryHorizonConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.HistoryHorizon = -1
+	if err := cfg.Validate(12); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative horizon should be invalid")
+	}
+	cfg = testConfig()
+	cfg.HistoryHorizon = cfg.MinHistory - 1
+	if err := cfg.Validate(12); !errors.Is(err, ErrBadConfig) {
+		t.Error("horizon below MinHistory should be invalid")
+	}
+}
+
+// TestHistoryHorizonAdaptsToRegimeChange: after a permanent noise-regime
+// shift, the bounded-history detector recalibrates and stops alarming,
+// while the unbounded one keeps a stale μ/σ blend.
+func TestHistoryHorizonAdaptsToRegimeChange(t *testing.T) {
+	his := synth(71, 3, 4, 600, nil, -1, -1)
+	// A long fault on sensors 0..3 makes the "regime" noisier forever
+	// after t=300 (fault never ends within the series).
+	test := synth(72, 3, 4, 1500, []int{0, 1, 2, 3}, 300, 1500)
+
+	run := func(horizon int) int {
+		cfg := testConfig()
+		cfg.HistoryHorizon = horizon
+		det, err := NewDetector(12, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.WarmUp(his); err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Detect(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count alarms in the late tail, long after the regime settled.
+		late := 0
+		for _, rep := range res.Rounds {
+			if rep.Abnormal && rep.Round > len(res.Rounds)*3/4 {
+				late++
+			}
+		}
+		return late
+	}
+	bounded := run(40)
+	unbounded := run(0)
+	// The bounded-history detector should be at least as quiet late on.
+	if bounded > unbounded {
+		t.Errorf("bounded history alarms more in steady state: %d vs %d", bounded, unbounded)
+	}
+}
+
+func TestHistoryHorizonPersistence(t *testing.T) {
+	his := synth(73, 3, 4, 600, nil, -1, -1)
+	cfg := testConfig()
+	cfg.HistoryHorizon = 32
+	det, err := NewDetector(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.WarmUp(his); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.HistoryMean() != det.HistoryMean() || loaded.HistoryStdDev() != det.HistoryStdDev() {
+		t.Error("bounded history not restored")
+	}
+}

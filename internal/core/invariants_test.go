@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cad/internal/mts"
+)
+
+// TestResultInvariants drives the detector over random series and checks
+// every structural invariant of Result.
+func TestResultInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		groups := 2 + rng.Intn(2)
+		per := 3 + rng.Intn(3)
+		n := groups * per
+		length := 300 + rng.Intn(400)
+		var breakSensors []int
+		breakFrom, breakTo := -1, -1
+		if rng.Float64() < 0.7 {
+			breakFrom = length/3 + rng.Intn(length/4)
+			breakTo = breakFrom + 40 + rng.Intn(80)
+			for s := 0; s < 1+rng.Intn(3) && s < n; s++ {
+				breakSensors = append(breakSensors, s)
+			}
+		}
+		test := synth(seed, groups, per, length, breakSensors, breakFrom, breakTo)
+		cfg := Config{
+			Window:     mts.Windowing{W: 30 + rng.Intn(20), S: 2 + rng.Intn(4)},
+			K:          2 + rng.Intn(per),
+			Tau:        0.3 + rng.Float64()*0.3,
+			Theta:      0.1 + rng.Float64()*0.15,
+			Eta:        3,
+			SigmaFloor: 0.5,
+			MinHistory: 8,
+			RCMode:     RCSliding,
+			RCHorizon:  4 + rng.Intn(8),
+		}
+		if cfg.K >= n {
+			cfg.K = n - 1
+		}
+		det, err := NewDetector(n, cfg)
+		if err != nil {
+			return false
+		}
+		res, err := det.Detect(test)
+		if err != nil {
+			return false
+		}
+		R := cfg.Window.Rounds(length)
+		if len(res.Rounds) != R || len(res.PointScores) != length || len(res.PointLabels) != length {
+			return false
+		}
+		for r, rep := range res.Rounds {
+			if rep.Round != r || rep.Variations < 0 || rep.Variations > n {
+				return false
+			}
+			if rep.Score < 0 || math.IsNaN(rep.Score) {
+				return false
+			}
+			if rep.Communities < 0 || rep.Communities > n {
+				return false
+			}
+			for _, v := range rep.Outliers {
+				if v < 0 || v >= n {
+					return false
+				}
+			}
+		}
+		prevEnd := -1
+		for _, a := range res.Anomalies {
+			if a.Start < 0 || a.End > length || a.Start >= a.End {
+				return false
+			}
+			if a.FirstRound > a.LastRound || a.LastRound >= R {
+				return false
+			}
+			if a.Start < prevEnd {
+				return false // anomalies must be chronological
+			}
+			prevEnd = a.Start
+			for i, s := range a.Sensors {
+				if s < 0 || s >= n {
+					return false
+				}
+				if i > 0 && a.Sensors[i-1] >= s {
+					return false // sorted, unique
+				}
+			}
+		}
+		for _, sc := range res.PointScores {
+			if sc < 0 || math.IsNaN(sc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cad/internal/louvain"
+	"cad/internal/mts"
+)
+
+// DetectParallel is Detect with the stateless per-round work (TSG
+// construction + Louvain) fanned out across a worker pool. The stateful
+// co-appearance chain still runs in round order, so the result is
+// bit-identical to Detect — this is the paper's §IV-F observation that
+// detection can run concurrently with collection, applied across rounds.
+// workers ≤ 0 uses GOMAXPROCS.
+func (d *Detector) DetectParallel(t *mts.MTS, workers int) (*Result, error) {
+	if t.Sensors() != d.n {
+		return nil, fmt.Errorf("%w: series has %d sensors, detector expects %d", ErrBadConfig, t.Sensors(), d.n)
+	}
+	wd := d.cfg.Window
+	R := wd.Rounds(t.Len())
+	if R == 0 {
+		return nil, fmt.Errorf("%w: series length %d too short for window w=%d", ErrBadConfig, t.Len(), wd.W)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > R {
+		workers = R
+	}
+
+	parts := make([]louvain.Partition, R)
+	errs := make([]error, R)
+	var wg sync.WaitGroup
+	next := make(chan int, R)
+	for r := 0; r < R; r++ {
+		next <- r
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				win, err := wd.Window(t, r)
+				if err != nil {
+					errs[r] = err
+					continue
+				}
+				parts[r], errs[r] = d.partition(win)
+			}
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cad: round %d: %w", r, err)
+		}
+	}
+
+	// Sequential stateful pass, identical to Detect's loop.
+	return d.assemble(t, R, func(r int) (RoundReport, error) {
+		return d.advance(parts[r]), nil
+	})
+}

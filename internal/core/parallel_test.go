@@ -1,0 +1,93 @@
+package core
+
+import "testing"
+
+// TestDetectParallelMatchesSequential checks bit-identical results between
+// Detect and DetectParallel for several worker counts.
+func TestDetectParallelMatchesSequential(t *testing.T) {
+	his := synth(31, 3, 4, 700, nil, -1, -1)
+	test := synth(32, 3, 4, 700, []int{4, 5}, 350, 460)
+
+	seq := func() *Result {
+		det, err := NewDetector(12, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.WarmUp(his); err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Detect(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	for _, workers := range []int{0, 1, 2, 4} {
+		det, err := NewDetector(12, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.WarmUp(his); err != nil {
+			t.Fatal(err)
+		}
+		par, err := det.DetectParallel(test, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Rounds) != len(seq.Rounds) {
+			t.Fatalf("workers=%d: %d rounds vs %d", workers, len(par.Rounds), len(seq.Rounds))
+		}
+		for i := range par.Rounds {
+			if par.Rounds[i].Variations != seq.Rounds[i].Variations ||
+				par.Rounds[i].Abnormal != seq.Rounds[i].Abnormal ||
+				par.Rounds[i].Score != seq.Rounds[i].Score {
+				t.Fatalf("workers=%d: round %d differs", workers, i)
+			}
+		}
+		if len(par.Anomalies) != len(seq.Anomalies) {
+			t.Fatalf("workers=%d: %d anomalies vs %d", workers, len(par.Anomalies), len(seq.Anomalies))
+		}
+		for i := range par.Anomalies {
+			a, b := par.Anomalies[i], seq.Anomalies[i]
+			if a.Start != b.Start || a.End != b.End || len(a.Sensors) != len(b.Sensors) {
+				t.Fatalf("workers=%d: anomaly %d differs: %+v vs %+v", workers, i, a, b)
+			}
+		}
+		for p := range par.PointLabels {
+			if par.PointLabels[p] != seq.PointLabels[p] || par.PointScores[p] != seq.PointScores[p] {
+				t.Fatalf("workers=%d: point %d differs", workers, p)
+			}
+		}
+	}
+}
+
+func TestDetectParallelErrors(t *testing.T) {
+	det, err := NewDetector(12, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.DetectParallel(synth(33, 2, 3, 100, nil, -1, -1), 2); err == nil {
+		t.Error("sensor mismatch should error")
+	}
+	short := synth(34, 3, 4, 10, nil, -1, -1)
+	if _, err := det.DetectParallel(short, 2); err == nil {
+		t.Error("too-short series should error")
+	}
+}
+
+func BenchmarkDetectParallel(b *testing.B) {
+	test := synth(35, 5, 10, 3000, nil, -1, -1)
+	cfg := testConfig()
+	cfg.K = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, err := NewDetector(50, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := det.DetectParallel(test, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

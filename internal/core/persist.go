@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cad/internal/louvain"
+)
+
+// persistedState is the gob wire format of a Detector. Fields are exported
+// for encoding only; the format is versioned so a stale snapshot fails
+// loudly instead of resuming with garbage.
+type persistedState struct {
+	Version    int
+	N          int
+	Config     Config
+	Round      int
+	HavePrev   bool
+	PrevOf     []int
+	PrevCnt    int
+	SumS       []float64
+	Ring       [][]float64
+	RingPos    int
+	RCRounds   int
+	Outlier    []bool
+	HistN      int
+	HistMean   float64
+	HistM2     float64
+	HistRing   []float64
+	HistPos    int
+	HistFilled int
+}
+
+const persistVersion = 1
+
+// SaveState serializes the detector's full streaming state — configuration,
+// co-appearance history, outlier set, and the n_r statistics — so a process
+// restart can resume detection without repeating the warm-up.
+func (d *Detector) SaveState(w io.Writer) error {
+	st := persistedState{
+		Version:  persistVersion,
+		N:        d.n,
+		Config:   d.cfg,
+		Round:    d.round,
+		HavePrev: d.havePrev,
+		SumS:     d.sumS,
+		Ring:     d.ring,
+		RingPos:  d.ringPos,
+		RCRounds: d.rcRounds,
+		Outlier:  d.outlier,
+	}
+	if d.havePrev {
+		st.PrevOf = d.prevPart.Of
+		st.PrevCnt = d.prevPart.Count
+	}
+	st.HistN, st.HistMean, st.HistM2 = d.hist.run.State()
+	st.HistRing = d.hist.ring
+	st.HistPos = d.hist.pos
+	st.HistFilled = d.hist.filled
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("cad: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadDetector reconstructs a detector from a SaveState snapshot. The
+// returned detector continues exactly where the saved one stopped.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	var st persistedState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("cad: load state: %w", err)
+	}
+	if st.Version != persistVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrBadConfig, st.Version, persistVersion)
+	}
+	d, err := NewDetector(st.N, st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("cad: load state: %w", err)
+	}
+	if len(st.SumS) != st.N || len(st.Outlier) != st.N {
+		return nil, fmt.Errorf("%w: snapshot arrays sized for %d sensors, header says %d", ErrBadConfig, len(st.SumS), st.N)
+	}
+	d.round = st.Round
+	d.havePrev = st.HavePrev
+	if st.HavePrev {
+		if len(st.PrevOf) != st.N {
+			return nil, fmt.Errorf("%w: snapshot partition sized %d, want %d", ErrBadConfig, len(st.PrevOf), st.N)
+		}
+		d.prevPart = louvain.Partition{Of: st.PrevOf, Count: st.PrevCnt}
+	}
+	copy(d.sumS, st.SumS)
+	if d.ring != nil {
+		if len(st.Ring) != st.N {
+			return nil, fmt.Errorf("%w: snapshot ring sized %d, want %d", ErrBadConfig, len(st.Ring), st.N)
+		}
+		for v := range d.ring {
+			if len(st.Ring[v]) != len(d.ring[v]) {
+				return nil, fmt.Errorf("%w: snapshot ring horizon %d, want %d", ErrBadConfig, len(st.Ring[v]), len(d.ring[v]))
+			}
+			copy(d.ring[v], st.Ring[v])
+		}
+		d.ringPos = st.RingPos
+	}
+	d.rcRounds = st.RCRounds
+	copy(d.outlier, st.Outlier)
+	d.hist.run.SetState(st.HistN, st.HistMean, st.HistM2)
+	if d.hist.ring != nil {
+		if len(st.HistRing) != len(d.hist.ring) {
+			return nil, fmt.Errorf("%w: snapshot history horizon %d, want %d", ErrBadConfig, len(st.HistRing), len(d.hist.ring))
+		}
+		copy(d.hist.ring, st.HistRing)
+		d.hist.pos = st.HistPos
+		d.hist.filled = st.HistFilled
+	}
+	return d, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"cad/internal/mts"
+)
+
+// Streamer feeds a Detector one time point at a time, emitting a RoundReport
+// whenever a full step of new columns has arrived (§IV-F "Generalization":
+// when a new round of data arrives, repeat Lines 6–11 of Algorithm 2). It
+// maintains the trailing window internally, so callers only push columns.
+//
+// A Streamer is not safe for concurrent use.
+type Streamer struct {
+	det *Detector
+	buf *mts.MTS // trailing window buffer, at most w columns
+	// pending counts columns received since the last emitted round (or
+	// since start, for the first round).
+	pending int
+	started bool
+}
+
+// NewStreamer wraps det for streaming ingestion. The detector may already be
+// warmed up.
+func NewStreamer(det *Detector) *Streamer {
+	return &Streamer{det: det, buf: mts.Zeros(det.Sensors(), 0)}
+}
+
+// Detector returns the wrapped detector.
+func (s *Streamer) Detector() *Detector { return s.det }
+
+// Push appends one column of sensor readings. When enough data has
+// accumulated to complete a round (w columns for the first round, s more for
+// each later one) the round is processed and its report returned with
+// ok=true; otherwise ok=false.
+func (s *Streamer) Push(col []float64) (rep RoundReport, ok bool, err error) {
+	if len(col) != s.det.Sensors() {
+		return RoundReport{}, false, fmt.Errorf("%w: column has %d readings, want %d", ErrBadConfig, len(col), s.det.Sensors())
+	}
+	if err := s.buf.AppendColumn(col); err != nil {
+		return RoundReport{}, false, err
+	}
+	w, step := s.det.cfg.Window.W, s.det.cfg.Window.S
+	// Trim the buffer to the window length.
+	if s.buf.Len() > w {
+		trimmed, err := s.buf.Slice(s.buf.Len()-w, s.buf.Len())
+		if err != nil {
+			return RoundReport{}, false, err
+		}
+		s.buf = trimmed.Clone()
+	}
+	s.pending++
+	need := w
+	if s.started {
+		need = step
+	}
+	if s.buf.Len() < w || s.pending < need {
+		return RoundReport{}, false, nil
+	}
+	s.pending = 0
+	s.started = true
+	rep, err = s.det.ProcessWindow(s.buf)
+	if err != nil {
+		return RoundReport{}, false, err
+	}
+	return rep, true, nil
+}
+
+// PushSeries pushes every column of t in order and returns the reports of
+// all rounds completed along the way.
+func (s *Streamer) PushSeries(t *mts.MTS) ([]RoundReport, error) {
+	var reps []RoundReport
+	col := make([]float64, t.Sensors())
+	for p := 0; p < t.Len(); p++ {
+		t.Column(p, col)
+		rep, ok, err := s.Push(col)
+		if err != nil {
+			return reps, err
+		}
+		if ok {
+			reps = append(reps, rep)
+		}
+	}
+	return reps, nil
+}

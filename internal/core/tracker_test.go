@@ -1,0 +1,79 @@
+package core
+
+import "testing"
+
+// TestTrackerMatchesDetect feeds Detect's round reports through a Tracker
+// and expects the same anomalies.
+func TestTrackerMatchesDetect(t *testing.T) {
+	his := synth(61, 3, 4, 700, nil, -1, -1)
+	test := synth(62, 3, 4, 700, []int{0, 1}, 350, 470)
+	cfg := testConfig()
+	det, err := NewDetector(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.WarmUp(his); err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Detect(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(cfg)
+	var got []Anomaly
+	for _, rep := range res.Rounds {
+		tr.Push(rep)
+		got = append(got, tr.Drain()...)
+	}
+	tr.Flush()
+	got = append(got, tr.Drain()...)
+
+	if len(got) != len(res.Anomalies) {
+		t.Fatalf("tracker found %d anomalies, Detect %d", len(got), len(res.Anomalies))
+	}
+	for i := range got {
+		a, b := got[i], res.Anomalies[i]
+		if a.FirstRound != b.FirstRound || a.LastRound != b.LastRound {
+			t.Errorf("anomaly %d rounds [%d,%d] vs [%d,%d]", i, a.FirstRound, a.LastRound, b.FirstRound, b.LastRound)
+		}
+		if a.Start != b.Start || a.End != b.End {
+			t.Errorf("anomaly %d span [%d,%d) vs [%d,%d)", i, a.Start, a.End, b.Start, b.End)
+		}
+		if a.Score != b.Score || len(a.Sensors) != len(b.Sensors) {
+			t.Errorf("anomaly %d score/sensors differ: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Sensors {
+			if a.Sensors[j] != b.Sensors[j] || a.Onsets[j] != b.Onsets[j] {
+				t.Errorf("anomaly %d sensor %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestTrackerOpenAndFlush(t *testing.T) {
+	cfg := testConfig()
+	tr := NewTracker(cfg)
+	if tr.Open() {
+		t.Error("fresh tracker should not be open")
+	}
+	tr.Push(RoundReport{Round: 5, Abnormal: true, Score: 4, Outliers: []int{1, 2}})
+	if !tr.Open() {
+		t.Error("tracker should be open after an abnormal round")
+	}
+	if got := tr.Drain(); len(got) != 0 {
+		t.Errorf("open anomaly must not drain: %v", got)
+	}
+	tr.Flush()
+	got := tr.Drain()
+	if len(got) != 1 || tr.Open() {
+		t.Fatalf("flush should close the anomaly: %v", got)
+	}
+	if got[0].FirstRound != 5 || got[0].LastRound != 5 || len(got[0].Sensors) != 2 {
+		t.Errorf("flushed anomaly: %+v", got[0])
+	}
+	// Flush with nothing open is a no-op.
+	tr.Flush()
+	if len(tr.Drain()) != 0 {
+		t.Error("second flush should produce nothing")
+	}
+}

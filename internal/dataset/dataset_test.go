@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"testing"
+
+	"cad/internal/simulator"
+)
+
+func TestRecipesBuild(t *testing.T) {
+	recipes := []Recipe{PSM().Scaled(0.5), SMD(0).Scaled(0.5), SWaT().Scaled(0.5)}
+	for _, r := range recipes {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			ds, err := r.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds.Test.Sensors() != r.Sensors {
+				t.Errorf("sensors = %d, want %d", ds.Test.Sensors(), r.Sensors)
+			}
+			if ds.Test.Len() != r.TestLen || ds.Train.Len() != r.TrainLen {
+				t.Errorf("lengths train=%d test=%d, want %d/%d", ds.Train.Len(), ds.Test.Len(), r.TrainLen, r.TestLen)
+			}
+			if len(ds.Injections) != r.Anomalies.Count {
+				t.Errorf("injections = %d, want %d", len(ds.Injections), r.Anomalies.Count)
+			}
+			if ds.SuggestedK != r.K {
+				t.Errorf("K = %d, want %d", ds.SuggestedK, r.K)
+			}
+			if ds.Test.HasNaN() || ds.Train.HasNaN() {
+				t.Error("NaN in generated data")
+			}
+		})
+	}
+}
+
+func TestISRecipes(t *testing.T) {
+	for i := 1; i <= 5; i++ {
+		r, err := IS(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Sensors != ISSensorCounts[i-1] {
+			t.Errorf("IS-%d sensors = %d, want %d", i, r.Sensors, ISSensorCounts[i-1])
+		}
+	}
+	if _, err := IS(0); err == nil {
+		t.Error("IS(0) should error")
+	}
+	if _, err := IS(6); err == nil {
+		t.Error("IS(6) should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIS(9) should panic")
+		}
+	}()
+	MustIS(9)
+}
+
+func TestIS1Builds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("IS-1 build is moderately expensive")
+	}
+	ds, err := MustIS(1).Scaled(0.4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Test.Sensors() != 143 {
+		t.Errorf("IS-1 sensors = %d", ds.Test.Sensors())
+	}
+}
+
+func TestSMDSubsetNames(t *testing.T) {
+	if SMD(0).Name != "SMD-1_1" || SMD(8).Name != "SMD-2_1" || SMD(27).Name != "SMD-4_4" {
+		t.Errorf("SMD naming: %s %s %s", SMD(0).Name, SMD(8).Name, SMD(27).Name)
+	}
+	// All subsets differ in seed.
+	seen := map[int64]bool{}
+	for i := 0; i < SMDSubsets; i++ {
+		r := SMD(i)
+		if seen[r.Seed] {
+			t.Fatalf("duplicate seed %d", r.Seed)
+		}
+		seen[r.Seed] = true
+	}
+}
+
+func TestScaled(t *testing.T) {
+	r := PSM()
+	s := r.Scaled(0.5)
+	if s.TestLen != r.TestLen/2 || s.TrainLen != r.TrainLen/2 {
+		t.Errorf("Scaled lengths: %d/%d", s.TrainLen, s.TestLen)
+	}
+	if s.Anomalies.MaxLen != r.Anomalies.MaxLen/2 {
+		t.Errorf("Scaled anomaly MaxLen: %d", s.Anomalies.MaxLen)
+	}
+	if r.Scaled(0).TestLen != r.TestLen {
+		t.Error("Scaled(0) should be a no-op")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a, err := PSM().Scaled(0.3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PSM().Scaled(0.3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Test.At(3, 7) != b.Test.At(3, 7) || len(a.Injections) != len(b.Injections) {
+		t.Error("recipe builds are not deterministic")
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != 4 || all[0].Name != "PSM" || all[3].Name != "IS-2" {
+		t.Errorf("All() = %v", all)
+	}
+}
+
+func TestAnomalyKindsPerSource(t *testing.T) {
+	// SWaT (network attack) must include stealthy kinds, not spikes.
+	for _, k := range SWaT().Anomalies.Kinds {
+		if k == simulator.Spike {
+			t.Error("SWaT recipe should not use spikes")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package eval implements the paper's evaluation machinery (§V): the
+// classic Point Adjustment (PA), the proposed Delay-aware Evaluation (DaE)
+// with Delay-Point Adjustment (DPA) and the relative measures Ahead and
+// Miss, plus F1 grid search over score thresholds, VUS-ROC/VUS-PR surfaces,
+// and sensor-localization F1.
+package eval
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned when labels and predictions differ in length.
+var ErrLengthMismatch = errors.New("eval: length mismatch")
+
+// Segment is a maximal run of consecutive anomalous points [Start, End).
+type Segment struct {
+	Start, End int
+}
+
+// Len returns the number of points in the segment.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Segments extracts the maximal anomalous runs from a boolean label series.
+func Segments(labels []bool) []Segment {
+	var out []Segment
+	start := -1
+	for i, b := range labels {
+		switch {
+		case b && start < 0:
+			start = i
+		case !b && start >= 0:
+			out = append(out, Segment{start, i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, Segment{start, len(labels)})
+	}
+	return out
+}
+
+// Adjuster rewrites binary predictions with respect to the ground truth
+// before point-wise scoring.
+type Adjuster int
+
+const (
+	// None scores raw point-wise predictions.
+	None Adjuster = iota
+	// PA is classic point adjustment: if any point of a ground-truth
+	// anomaly is predicted, every point of that anomaly counts as detected.
+	PA
+	// DPA is the paper's delay-point adjustment: only the points from the
+	// first true positive onward are adjusted; earlier points stay missed,
+	// penalizing late detection.
+	DPA
+)
+
+// String returns the adjuster name.
+func (a Adjuster) String() string {
+	switch a {
+	case None:
+		return "none"
+	case PA:
+		return "PA"
+	case DPA:
+		return "DPA"
+	default:
+		return "Adjuster(?)"
+	}
+}
+
+// Adjust returns a copy of pred rewritten under the adjuster's rule against
+// truth. None returns an unmodified copy.
+func Adjust(pred, truth []bool, a Adjuster) ([]bool, error) {
+	if len(pred) != len(truth) {
+		return nil, ErrLengthMismatch
+	}
+	out := make([]bool, len(pred))
+	copy(out, pred)
+	if a == None {
+		return out, nil
+	}
+	for _, seg := range Segments(truth) {
+		first := -1
+		for i := seg.Start; i < seg.End; i++ {
+			if pred[i] {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			continue
+		}
+		from := seg.Start
+		if a == DPA {
+			from = first
+		}
+		for i := from; i < seg.End; i++ {
+			out[i] = true
+		}
+	}
+	return out, nil
+}
+
+// Confusion counts point-wise TP/FP/FN/TN.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Count tallies the confusion matrix of pred against truth.
+func Count(pred, truth []bool) (Confusion, error) {
+	if len(pred) != len(truth) {
+		return Confusion{}, ErrLengthMismatch
+	}
+	var c Confusion
+	for i := range pred {
+		switch {
+		case pred[i] && truth[i]:
+			c.TP++
+		case pred[i] && !truth[i]:
+			c.FP++
+		case !pred[i] && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FPR returns FP/(FP+TN), or 0 when undefined.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// F1At binarizes scores at the threshold (score ≥ threshold ⇒ anomalous),
+// applies the adjuster, and returns the F1.
+func F1At(scores []float64, truth []bool, threshold float64, a Adjuster) (float64, error) {
+	pred := make([]bool, len(scores))
+	for i, s := range scores {
+		pred[i] = s >= threshold
+	}
+	adj, err := Adjust(pred, truth, a)
+	if err != nil {
+		return 0, err
+	}
+	c, err := Count(adj, truth)
+	if err != nil {
+		return 0, err
+	}
+	return c.F1(), nil
+}
+
+// Normalize rescales scores into [0,1] by min-max. Constant scores map to
+// all zeros. NaNs map to 0.
+func Normalize(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range scores {
+		if math.IsNaN(s) {
+			continue
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if !(hi > lo) {
+		return out
+	}
+	for i, s := range scores {
+		if math.IsNaN(s) {
+			continue
+		}
+		out[i] = (s - lo) / (hi - lo)
+	}
+	return out
+}
+
+// GridResult is the outcome of a threshold grid search.
+type GridResult struct {
+	F1        float64
+	Threshold float64 // on the normalized [0,1] scale
+	Pred      []bool  // adjusted predictions at the best threshold
+}
+
+// GridSearchF1 normalizes scores to [0,1] and sweeps `steps` thresholds
+// evenly over (0,1], returning the best F1 under the adjuster — the paper's
+// protocol ("grid search the optimal abnormal threshold from 0 to 1 with an
+// interval of 0.001" means steps = 1000).
+func GridSearchF1(scores []float64, truth []bool, a Adjuster, steps int) (GridResult, error) {
+	if len(scores) != len(truth) {
+		return GridResult{}, ErrLengthMismatch
+	}
+	if steps < 1 {
+		steps = 1000
+	}
+	norm := Normalize(scores)
+	best := GridResult{Threshold: math.NaN()}
+	pred := make([]bool, len(norm))
+	for k := 1; k <= steps; k++ {
+		th := float64(k) / float64(steps)
+		for i, s := range norm {
+			pred[i] = s >= th
+		}
+		adj, err := Adjust(pred, truth, a)
+		if err != nil {
+			return GridResult{}, err
+		}
+		c, _ := Count(adj, truth)
+		if f1 := c.F1(); f1 > best.F1 {
+			best = GridResult{F1: f1, Threshold: th, Pred: adj}
+		}
+	}
+	if best.Pred == nil {
+		adj, err := Adjust(make([]bool, len(truth)), truth, a)
+		if err != nil {
+			return GridResult{}, err
+		}
+		best.Pred = adj
+		best.Threshold = 1
+	}
+	return best, nil
+}
+
+// BinaryF1 scores already-binary predictions under the adjuster.
+func BinaryF1(pred, truth []bool, a Adjuster) (float64, error) {
+	adj, err := Adjust(pred, truth, a)
+	if err != nil {
+		return 0, err
+	}
+	c, err := Count(adj, truth)
+	if err != nil {
+		return 0, err
+	}
+	return c.F1(), nil
+}

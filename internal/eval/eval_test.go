@@ -1,0 +1,397 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func boolsFrom(idx []int, n int) []bool {
+	out := make([]bool, n)
+	for _, i := range idx {
+		out[i] = true
+	}
+	return out
+}
+
+func rangeBools(n int, spans ...[2]int) []bool {
+	out := make([]bool, n)
+	for _, sp := range spans {
+		for i := sp[0]; i < sp[1]; i++ {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func TestSegments(t *testing.T) {
+	labels := rangeBools(10, [2]int{2, 5}, [2]int{7, 10})
+	segs := Segments(labels)
+	if len(segs) != 2 || segs[0] != (Segment{2, 5}) || segs[1] != (Segment{7, 10}) {
+		t.Errorf("Segments = %v", segs)
+	}
+	if len(Segments(make([]bool, 5))) != 0 {
+		t.Error("no segments expected")
+	}
+	all := Segments([]bool{true, true})
+	if len(all) != 1 || all[0] != (Segment{0, 2}) {
+		t.Errorf("full-run segment = %v", all)
+	}
+	if (Segment{2, 5}).Len() != 3 {
+		t.Error("Segment.Len wrong")
+	}
+}
+
+// TestPaperFigure3 reproduces the worked example of §V: ground truth
+// anomalies at t2–t4 and t7–t10 (0-indexed), M1 predicting {t2, t10}.
+// Raw F1 = 44.4%, F1_PA = 100%, F1_DPA = 72.7%.
+func TestPaperFigure3(t *testing.T) {
+	truth := rangeBools(12, [2]int{2, 5}, [2]int{7, 11})
+	m1 := boolsFrom([]int{2, 10}, 12)
+
+	raw, err := BinaryF1(m1, truth, None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(raw-4.0/9.0) > 1e-9 {
+		t.Errorf("raw F1 = %v, want 0.444…", raw)
+	}
+	pa, _ := BinaryF1(m1, truth, PA)
+	if math.Abs(pa-1) > 1e-9 {
+		t.Errorf("F1_PA = %v, want 1", pa)
+	}
+	dpa, _ := BinaryF1(m1, truth, DPA)
+	if math.Abs(dpa-8.0/11.0) > 1e-9 {
+		t.Errorf("F1_DPA = %v, want 0.727…", dpa)
+	}
+
+	// Relative comparison with M2 = {t3, t8}: M1 detects anomaly 1 earlier,
+	// M2 detects anomaly 2 earlier → Ahead = 50%, Miss = 0.
+	m2 := boolsFrom([]int{3, 8}, 12)
+	rel, err := AheadMiss(m1, m2, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Ahead != 0.5 || rel.Miss != 0 || rel.Detected != 2 || rel.Total != 2 {
+		t.Errorf("AheadMiss = %+v, want Ahead=0.5 Miss=0", rel)
+	}
+}
+
+func TestAdjustModes(t *testing.T) {
+	truth := rangeBools(8, [2]int{2, 6})
+	pred := boolsFrom([]int{4}, 8)
+	adjPA, _ := Adjust(pred, truth, PA)
+	for i := 2; i < 6; i++ {
+		if !adjPA[i] {
+			t.Errorf("PA: point %d not adjusted", i)
+		}
+	}
+	adjDPA, _ := Adjust(pred, truth, DPA)
+	if adjDPA[2] || adjDPA[3] || !adjDPA[4] || !adjDPA[5] {
+		t.Errorf("DPA adjusted = %v", adjDPA)
+	}
+	adjNone, _ := Adjust(pred, truth, None)
+	if adjNone[5] {
+		t.Error("None must not adjust")
+	}
+	// Missed anomaly stays missed under both.
+	missed := make([]bool, 8)
+	for _, a := range []Adjuster{PA, DPA} {
+		adj, _ := Adjust(missed, truth, a)
+		for i, b := range adj {
+			if b {
+				t.Errorf("%v adjusted point %d of an undetected anomaly", a, i)
+			}
+		}
+	}
+	if _, err := Adjust(pred, truth[:3], PA); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestAdjusterString(t *testing.T) {
+	if None.String() != "none" || PA.String() != "PA" || DPA.String() != "DPA" {
+		t.Error("Adjuster names wrong")
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 6, FP: 2, FN: 2, TN: 10}
+	if c.Precision() != 0.75 || c.Recall() != 0.75 {
+		t.Errorf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+	if c.F1() != 0.75 {
+		t.Errorf("F1 = %v", c.F1())
+	}
+	if c.FPR() != 2.0/12.0 {
+		t.Errorf("FPR = %v", c.FPR())
+	}
+	zero := Confusion{}
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 || zero.FPR() != 0 {
+		t.Error("degenerate confusion should yield zeros")
+	}
+}
+
+// Property: F1_DPA ≤ F1_PA for any prediction/truth pair (DPA is the more
+// rigorous evaluation, §V).
+func TestDPALEQPAProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		truth := make([]bool, n)
+		pred := make([]bool, n)
+		for i := range truth {
+			truth[i] = rng.Float64() < 0.25
+			pred[i] = rng.Float64() < 0.2
+		}
+		pa, err := BinaryF1(pred, truth, PA)
+		if err != nil {
+			return false
+		}
+		dpa, err := BinaryF1(pred, truth, DPA)
+		if err != nil {
+			return false
+		}
+		raw, _ := BinaryF1(pred, truth, None)
+		return dpa <= pa+1e-9 && raw <= dpa+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 6})
+	if out[0] != 0 || out[1] != 0.5 || out[2] != 1 {
+		t.Errorf("Normalize = %v", out)
+	}
+	flat := Normalize([]float64{3, 3})
+	if flat[0] != 0 || flat[1] != 0 {
+		t.Errorf("constant Normalize = %v", flat)
+	}
+	withNaN := Normalize([]float64{math.NaN(), 1, 3})
+	if withNaN[0] != 0 || withNaN[2] != 1 {
+		t.Errorf("NaN Normalize = %v", withNaN)
+	}
+}
+
+func TestGridSearchF1(t *testing.T) {
+	truth := rangeBools(20, [2]int{5, 10})
+	scores := make([]float64, 20)
+	for i := 5; i < 10; i++ {
+		scores[i] = 0.9
+	}
+	scores[15] = 0.3 // noise below the best threshold
+	res, err := GridSearchF1(scores, truth, None, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F1 != 1 {
+		t.Errorf("best F1 = %v, want 1 (scores separate perfectly)", res.F1)
+	}
+	if res.Threshold <= 0.3 {
+		t.Errorf("threshold %v should exceed the noise score", res.Threshold)
+	}
+	// All-zero scores: F1 is 0 but call must not fail.
+	res, err = GridSearchF1(make([]float64, 20), truth, PA, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F1 != 0 || res.Pred == nil {
+		t.Errorf("zero-score grid: %+v", res)
+	}
+	if _, err := GridSearchF1(scores, truth[:5], None, 10); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestF1At(t *testing.T) {
+	truth := rangeBools(10, [2]int{4, 8})
+	scores := []float64{0, 0, 0, 0, 0.9, 0.1, 0.1, 0.1, 0, 0}
+	f1, err := F1At(scores, truth, 0.5, PA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != 1 {
+		t.Errorf("F1At PA = %v, want 1 (first point detected)", f1)
+	}
+	f1, _ = F1At(scores, truth, 0.5, None)
+	if f1 >= 1 {
+		t.Errorf("F1At None = %v, want < 1", f1)
+	}
+}
+
+func TestAheadMissEdgeCases(t *testing.T) {
+	truth := rangeBools(10, [2]int{2, 4}, [2]int{6, 9})
+	// M1 detects nothing: Ahead = 0; Miss counts M2's detections.
+	none := make([]bool, 10)
+	m2 := boolsFrom([]int{2}, 10)
+	rel, err := AheadMiss(none, m2, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Ahead != 0 || rel.Miss != 0.5 || rel.Detected != 0 {
+		t.Errorf("none vs m2: %+v", rel)
+	}
+	// M1 detects an anomaly M2 misses entirely → counted as ahead.
+	m1 := boolsFrom([]int{7}, 10)
+	rel, _ = AheadMiss(m1, none, truth)
+	if rel.Ahead != 1 || rel.Miss != 0 {
+		t.Errorf("m1 vs none: %+v", rel)
+	}
+	// Same first detection: not ahead.
+	rel, _ = AheadMiss(m2, m2, truth)
+	if rel.Ahead != 0 {
+		t.Errorf("tie should not count as ahead: %+v", rel)
+	}
+	if _, err := AheadMiss(m1, m2, truth[:4]); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestDetectionDelay(t *testing.T) {
+	truth := rangeBools(12, [2]int{2, 6}, [2]int{8, 11})
+	pred := boolsFrom([]int{4, 5}, 12)
+	d, err := DetectionDelay(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d[0] != 2 || d[1] != -1 {
+		t.Errorf("delays = %v, want [2, -1]", d)
+	}
+	if _, err := DetectionDelay(pred, truth[:3]); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestVUSPerfectScores(t *testing.T) {
+	truth := rangeBools(200, [2]int{50, 80}, [2]int{120, 140})
+	scores := make([]float64, 200)
+	for i := range scores {
+		if truth[i] {
+			scores[i] = 1
+		}
+	}
+	res, err := VUS(scores, truth, VUSConfig{MaxBuffer: 8, Thresholds: 50, Adjust: PA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ROC < 0.9 || res.PR < 0.8 {
+		t.Errorf("perfect scores: VUS = %+v, want near 1", res)
+	}
+}
+
+func TestVUSRandomScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := rangeBools(500, [2]int{100, 150})
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	res, err := VUS(scores, truth, VUSConfig{MaxBuffer: 0, Thresholds: 100, Adjust: None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ROC < 0.3 || res.ROC > 0.7 {
+		t.Errorf("random scores: VUS-ROC = %v, want ≈ 0.5", res.ROC)
+	}
+}
+
+// Property: VUS values stay within [0,1].
+func TestVUSBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		truth := make([]bool, n)
+		scores := make([]float64, n)
+		for i := range truth {
+			truth[i] = rng.Float64() < 0.2
+			scores[i] = rng.Float64()
+		}
+		res, err := VUS(scores, truth, VUSConfig{MaxBuffer: 4, Thresholds: 20, Adjust: DPA})
+		if err != nil {
+			return false
+		}
+		return res.ROC >= -1e-9 && res.ROC <= 1+1e-9 && res.PR >= -1e-9 && res.PR <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVUSErrors(t *testing.T) {
+	if _, err := VUS([]float64{1}, []bool{true, false}, VUSConfig{}); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestSensorF1(t *testing.T) {
+	truths := []SensorTruth{
+		{Segment: Segment{10, 20}, Sensors: []int{0, 1, 2}},
+		{Segment: Segment{40, 50}, Sensors: []int{5}},
+	}
+	preds := []SensorPrediction{
+		{Segment: Segment{12, 18}, Sensors: []int{0, 1, 2}}, // perfect on anomaly 1
+		{Segment: Segment{44, 46}, Sensors: []int{5, 6}},    // partial on anomaly 2
+	}
+	got := SensorF1(preds, truths)
+	// Anomaly 1: F1 = 1. Anomaly 2: P = 1/2, R = 1 → F1 = 2/3. Mean = 5/6.
+	if math.Abs(got-5.0/6.0) > 1e-9 {
+		t.Errorf("SensorF1 = %v, want 5/6", got)
+	}
+	// Missed anomalies contribute 0.
+	got = SensorF1(nil, truths)
+	if got != 0 {
+		t.Errorf("no predictions: SensorF1 = %v", got)
+	}
+	if SensorF1(preds, nil) != 0 {
+		t.Error("no truths: want 0")
+	}
+	// Non-overlapping prediction contributes nothing.
+	got = SensorF1([]SensorPrediction{{Segment: Segment{100, 110}, Sensors: []int{0}}}, truths)
+	if got != 0 {
+		t.Errorf("disjoint prediction: SensorF1 = %v", got)
+	}
+}
+
+func TestSetF1Dedup(t *testing.T) {
+	// Duplicate predicted sensors must not inflate precision.
+	got := setF1([]int{1, 1, 2}, []int{1, 2})
+	if got != 1 {
+		t.Errorf("dedup setF1 = %v, want 1", got)
+	}
+	if setF1(nil, nil) != 1 {
+		t.Error("empty-vs-empty should be 1")
+	}
+	if setF1([]int{1}, nil) != 0 {
+		t.Error("prediction against empty truth should be 0")
+	}
+}
+
+func TestTopKSensors(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.9, 0.2}
+	got := TopKSensors(scores, 3)
+	want := []int{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("TopKSensors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopKSensors = %v, want %v", got, want)
+		}
+	}
+	if len(TopKSensors(scores, 99)) != 5 {
+		t.Error("k beyond len should clamp")
+	}
+}
+
+func TestFirstDetection(t *testing.T) {
+	truth := rangeBools(10, [2]int{2, 5}, [2]int{7, 9})
+	segs := Segments(truth)
+	pred := boolsFrom([]int{3, 4}, 10)
+	f := FirstDetection(pred, segs)
+	if f[0] != 3 || f[1] != -1 {
+		t.Errorf("FirstDetection = %v", f)
+	}
+}

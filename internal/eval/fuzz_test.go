@@ -1,0 +1,95 @@
+package eval
+
+import "testing"
+
+func decodeBools(data []byte, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		if i < len(data) {
+			out[i] = data[i]&1 == 1
+		}
+	}
+	return out
+}
+
+// FuzzAdjust checks the adjustment invariants on arbitrary label pairs:
+// never panics, never unsets a prediction, DPA ⊆ PA, and F1 ordering
+// raw ≤ DPA ≤ PA.
+func FuzzAdjust(f *testing.F) {
+	f.Add([]byte{1, 0, 1}, []byte{0, 1, 1})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 1, 1, 1}, []byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, predBytes, truthBytes []byte) {
+		n := len(predBytes)
+		if len(truthBytes) < n {
+			n = len(truthBytes)
+		}
+		if n > 4096 {
+			n = 4096
+		}
+		pred := decodeBools(predBytes[:n], n)
+		truth := decodeBools(truthBytes[:n], n)
+
+		pa, err := Adjust(pred, truth, PA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpa, err := Adjust(pred, truth, DPA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if pred[i] && !pa[i] {
+				t.Fatalf("PA unset a prediction at %d", i)
+			}
+			if dpa[i] && !pa[i] {
+				t.Fatalf("DPA ⊄ PA at %d", i)
+			}
+			if (pa[i] && !pred[i]) && !truth[i] {
+				t.Fatalf("PA set a point outside ground truth at %d", i)
+			}
+		}
+		raw, _ := BinaryF1(pred, truth, None)
+		fd, _ := BinaryF1(pred, truth, DPA)
+		fp, _ := BinaryF1(pred, truth, PA)
+		if raw > fd+1e-9 || fd > fp+1e-9 {
+			t.Fatalf("F1 ordering violated: raw %v dpa %v pa %v", raw, fd, fp)
+		}
+	})
+}
+
+// FuzzSegments checks that Segments is a partition of the true points.
+func FuzzSegments(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data)
+		if n > 4096 {
+			n = 4096
+		}
+		labels := decodeBools(data[:n], n)
+		segs := Segments(labels)
+		covered := make([]bool, n)
+		prevEnd := -1
+		for _, s := range segs {
+			if s.Start >= s.End || s.Start < 0 || s.End > n {
+				t.Fatalf("bad segment %+v", s)
+			}
+			if s.Start <= prevEnd {
+				t.Fatalf("segments overlap or touch: %v", segs)
+			}
+			prevEnd = s.End
+			for i := s.Start; i < s.End; i++ {
+				if !labels[i] {
+					t.Fatalf("segment covers false point %d", i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, l := range labels {
+			if l && !covered[i] {
+				t.Fatalf("true point %d uncovered", i)
+			}
+		}
+	})
+}

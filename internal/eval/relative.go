@@ -1,0 +1,90 @@
+package eval
+
+// relative.go implements the DaE scheme's relative comparison (§V): Ahead
+// and Miss between two methods' binary predictions.
+
+// FirstDetection returns, per ground-truth segment, the index of the first
+// predicted point inside the segment, or -1 when the segment is missed.
+func FirstDetection(pred []bool, segs []Segment) []int {
+	out := make([]int, len(segs))
+	for i, seg := range segs {
+		out[i] = -1
+		for t := seg.Start; t < seg.End && t < len(pred); t++ {
+			if pred[t] {
+				out[i] = t
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RelativeResult carries the Ahead and Miss measures of method M1 against
+// method M2.
+type RelativeResult struct {
+	// Ahead = I_ahead / I_d: of the anomalies M1 detected, the fraction it
+	// detected strictly ahead of M2 (anomalies M2 missed entirely count as
+	// ahead). 0 when M1 detected nothing.
+	Ahead float64
+	// Miss = I_miss / (I − I_d): of the anomalies M1 missed, the fraction
+	// M2 detected. 0 when M1 detected everything.
+	Miss float64
+	// Detected is I_d, the number of anomalies M1 detected.
+	Detected int
+	// Total is I, the number of ground-truth anomalies.
+	Total int
+}
+
+// AheadMiss compares M1's predictions against M2's on the same ground
+// truth. An anomaly counts as detected by a method when any of its points is
+// predicted (the PA notion of detection); "ahead" compares the first
+// detected point within the anomaly.
+func AheadMiss(pred1, pred2, truth []bool) (RelativeResult, error) {
+	if len(pred1) != len(truth) || len(pred2) != len(truth) {
+		return RelativeResult{}, ErrLengthMismatch
+	}
+	segs := Segments(truth)
+	f1 := FirstDetection(pred1, segs)
+	f2 := FirstDetection(pred2, segs)
+	res := RelativeResult{Total: len(segs)}
+	ahead, miss := 0, 0
+	for i := range segs {
+		switch {
+		case f1[i] >= 0:
+			res.Detected++
+			if f2[i] < 0 || f1[i] < f2[i] {
+				ahead++
+			}
+		case f2[i] >= 0:
+			miss++
+		}
+	}
+	if res.Detected > 0 {
+		res.Ahead = float64(ahead) / float64(res.Detected)
+	}
+	if missed := res.Total - res.Detected; missed > 0 {
+		res.Miss = float64(miss) / float64(missed)
+	}
+	return res, nil
+}
+
+// DetectionDelay returns, per ground-truth segment, the delay in time
+// points between the anomaly's start and the first detection (−1 when
+// missed). This backs the paper's case study (Figure 7), which reports how
+// many points each method needs before alarming.
+func DetectionDelay(pred []bool, truth []bool) ([]int, error) {
+	if len(pred) != len(truth) {
+		return nil, ErrLengthMismatch
+	}
+	segs := Segments(truth)
+	first := FirstDetection(pred, segs)
+	out := make([]int, len(segs))
+	for i := range segs {
+		if first[i] < 0 {
+			out[i] = -1
+		} else {
+			out[i] = first[i] - segs[i].Start
+		}
+	}
+	return out, nil
+}

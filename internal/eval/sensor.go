@@ -1,0 +1,104 @@
+package eval
+
+// sensor.go implements the abnormal-sensor localization metric (paper
+// §VI-C): per ground-truth anomaly, the predicted abnormal sensors are
+// merged over the anomaly's period and compared against the labeled
+// abnormal sensors with a set F1; F1_sensor is the mean over anomalies.
+
+import "sort"
+
+// SensorTruth labels one ground-truth anomaly: its time span and the
+// sensors responsible.
+type SensorTruth struct {
+	Segment Segment
+	Sensors []int
+}
+
+// SensorPrediction is one predicted anomaly with the sensors the detector
+// blames.
+type SensorPrediction struct {
+	Segment Segment
+	Sensors []int
+}
+
+func setF1(pred, truth []int) float64 {
+	if len(truth) == 0 {
+		if len(pred) == 0 {
+			return 1
+		}
+		return 0
+	}
+	ts := make(map[int]struct{}, len(truth))
+	for _, s := range truth {
+		ts[s] = struct{}{}
+	}
+	tp := 0
+	seen := make(map[int]struct{}, len(pred))
+	for _, s := range pred {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		if _, ok := ts[s]; ok {
+			tp++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(len(seen))
+	r := float64(tp) / float64(len(ts))
+	return 2 * p * r / (p + r)
+}
+
+func overlaps(a, b Segment) bool { return a.Start < b.End && b.Start < a.End }
+
+// SensorF1 merges, for each ground-truth anomaly, the sensors of every
+// predicted anomaly overlapping its period, and returns the mean set-F1
+// across all ground-truth anomalies (missed anomalies contribute 0).
+func SensorF1(preds []SensorPrediction, truths []SensorTruth) float64 {
+	if len(truths) == 0 {
+		return 0
+	}
+	var total float64
+	for _, gt := range truths {
+		merged := make(map[int]struct{})
+		for _, p := range preds {
+			if overlaps(p.Segment, gt.Segment) {
+				for _, s := range p.Sensors {
+					merged[s] = struct{}{}
+				}
+			}
+		}
+		ps := make([]int, 0, len(merged))
+		for s := range merged {
+			ps = append(ps, s)
+		}
+		sort.Ints(ps)
+		total += setF1(ps, gt.Sensors)
+	}
+	return total / float64(len(truths))
+}
+
+// TopKSensors converts a per-sensor score vector into the k highest-scoring
+// sensor indices — the localization rule used to give score-based baselines
+// (ECOD, RCoders) a sensor prediction.
+func TopKSensors(scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]int, k)
+	copy(out, idx[:k])
+	sort.Ints(out)
+	return out
+}

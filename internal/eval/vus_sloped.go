@@ -1,0 +1,159 @@
+package eval
+
+// vus_sloped.go implements the continuous-label variant of the VUS metrics,
+// closer to the reference definition of Paparrizos et al. (PVLDB 2022):
+// instead of extending ground-truth segments with binary buffers, each
+// buffer point carries a weight decaying linearly from 1 at the segment
+// edge to 0 at distance ℓ, and the confusion counts become weighted sums.
+// The recall term additionally receives the reference's "existence" reward:
+// a segment contributes its detection indicator so that detecting an
+// anomaly at all is worth part of the credit.
+
+import "sort"
+
+// slopedLabels returns the continuous label vector for buffer width l.
+func slopedLabels(truth []bool, l int) []float64 {
+	out := make([]float64, len(truth))
+	for i, b := range truth {
+		if b {
+			out[i] = 1
+		}
+	}
+	if l == 0 {
+		return out
+	}
+	for _, seg := range Segments(truth) {
+		for d := 1; d <= l; d++ {
+			w := 1 - float64(d)/float64(l+1)
+			if i := seg.Start - d; i >= 0 && out[i] < w {
+				out[i] = w
+			}
+			if i := seg.End - 1 + d; i < len(out) && out[i] < w {
+				out[i] = w
+			}
+		}
+	}
+	return out
+}
+
+// weightedCounts computes the weighted confusion of binary pred against
+// continuous labels: TP = Σ label over predicted points, FP = Σ (1−label)
+// over predicted points, etc.
+func weightedCounts(pred []bool, labels []float64) (tp, fp, fn, tn float64) {
+	for i, p := range pred {
+		l := labels[i]
+		if p {
+			tp += l
+			fp += 1 - l
+		} else {
+			fn += l
+			tn += 1 - l
+		}
+	}
+	return tp, fp, fn, tn
+}
+
+// existenceReward returns the fraction of ground-truth segments with at
+// least one predicted point.
+func existenceReward(pred []bool, segs []Segment) float64 {
+	if len(segs) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, seg := range segs {
+		for i := seg.Start; i < seg.End && i < len(pred); i++ {
+			if pred[i] {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(segs))
+}
+
+// VUSSloped computes VUS-ROC and VUS-PR with sloped buffer labels and the
+// existence-weighted recall. The cfg.Adjust rewriting applies before the
+// weighted counting, as in VUS.
+func VUSSloped(scores []float64, truth []bool, cfg VUSConfig) (VUSResult, error) {
+	if len(scores) != len(truth) {
+		return VUSResult{}, ErrLengthMismatch
+	}
+	if cfg.Thresholds <= 0 {
+		cfg.Thresholds = 100
+	}
+	if cfg.MaxBuffer < 0 {
+		cfg.MaxBuffer = 0
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = cfg.MaxBuffer / 4
+		if cfg.Step < 1 {
+			cfg.Step = 1
+		}
+	}
+	norm := Normalize(scores)
+	segs := Segments(truth)
+	var sumROC, sumPR float64
+	count := 0
+	pred := make([]bool, len(norm))
+	for l := 0; l <= cfg.MaxBuffer; l += cfg.Step {
+		labels := slopedLabels(truth, l)
+		// Binary truth for the PA/DPA rewriting step uses the widened
+		// segments (label > 0).
+		widened := make([]bool, len(labels))
+		for i, v := range labels {
+			widened[i] = v > 0
+		}
+		type pt struct{ fpr, tpr, prec float64 }
+		pts := make([]pt, 0, cfg.Thresholds+2)
+		for k := 1; k <= cfg.Thresholds; k++ {
+			th := float64(k) / float64(cfg.Thresholds+1)
+			for i, s := range norm {
+				pred[i] = s >= th
+			}
+			adj, err := Adjust(pred, widened, cfg.Adjust)
+			if err != nil {
+				return VUSResult{}, err
+			}
+			tp, fp, fn, tn := weightedCounts(adj, labels)
+			ex := existenceReward(adj, segs)
+			var tpr, fpr, prec float64
+			if tp+fn > 0 {
+				// Existence-weighted recall, as in the reference: the
+				// point-level recall scaled toward segment detection.
+				tpr = (tp / (tp + fn)) * (0.5 + 0.5*ex)
+			}
+			if fp+tn > 0 {
+				fpr = fp / (fp + tn)
+			}
+			if tp+fp > 0 {
+				prec = tp / (tp + fp)
+			}
+			pts = append(pts, pt{fpr, tpr, prec})
+		}
+		pts = append(pts, pt{0, 0, 1}, pt{1, 1, 0})
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].fpr != pts[j].fpr {
+				return pts[i].fpr < pts[j].fpr
+			}
+			return pts[i].tpr < pts[j].tpr
+		})
+		var roc float64
+		for i := 1; i < len(pts); i++ {
+			roc += (pts[i].fpr - pts[i-1].fpr) * (pts[i].tpr + pts[i-1].tpr) / 2
+		}
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].tpr != pts[j].tpr {
+				return pts[i].tpr < pts[j].tpr
+			}
+			return pts[i].prec > pts[j].prec
+		})
+		var pr float64
+		for i := 1; i < len(pts); i++ {
+			pr += (pts[i].tpr - pts[i-1].tpr) * (pts[i].prec + pts[i-1].prec) / 2
+		}
+		sumROC += roc
+		sumPR += pr
+		count++
+	}
+	return VUSResult{ROC: sumROC / float64(count), PR: sumPR / float64(count)}, nil
+}

@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlopedLabels(t *testing.T) {
+	truth := rangeBools(12, [2]int{5, 8})
+	labels := slopedLabels(truth, 2)
+	// Core stays at 1.
+	for i := 5; i < 8; i++ {
+		if labels[i] != 1 {
+			t.Errorf("labels[%d] = %v, want 1", i, labels[i])
+		}
+	}
+	// Linear decay outside: distance 1 → 2/3, distance 2 → 1/3.
+	if math.Abs(labels[4]-2.0/3) > 1e-9 || math.Abs(labels[3]-1.0/3) > 1e-9 {
+		t.Errorf("left slope = %v %v", labels[4], labels[3])
+	}
+	if math.Abs(labels[8]-2.0/3) > 1e-9 || math.Abs(labels[9]-1.0/3) > 1e-9 {
+		t.Errorf("right slope = %v %v", labels[8], labels[9])
+	}
+	if labels[2] != 0 || labels[11] != 0 {
+		t.Errorf("beyond buffer should be 0: %v %v", labels[2], labels[11])
+	}
+	// l=0 reproduces the binary labels.
+	bin := slopedLabels(truth, 0)
+	for i := range truth {
+		want := 0.0
+		if truth[i] {
+			want = 1
+		}
+		if bin[i] != want {
+			t.Errorf("l=0 labels[%d] = %v", i, bin[i])
+		}
+	}
+}
+
+func TestWeightedCounts(t *testing.T) {
+	labels := []float64{1, 0.5, 0, 0}
+	pred := []bool{true, true, true, false}
+	tp, fp, fn, tn := weightedCounts(pred, labels)
+	if tp != 1.5 || fp != 1.5 || fn != 0 || tn != 1 {
+		t.Errorf("counts = %v %v %v %v", tp, fp, fn, tn)
+	}
+}
+
+func TestExistenceReward(t *testing.T) {
+	truth := rangeBools(10, [2]int{1, 3}, [2]int{6, 9})
+	segs := Segments(truth)
+	if r := existenceReward(boolsFrom([]int{2}, 10), segs); r != 0.5 {
+		t.Errorf("one of two detected: %v", r)
+	}
+	if r := existenceReward(boolsFrom([]int{2, 7}, 10), segs); r != 1 {
+		t.Errorf("both detected: %v", r)
+	}
+	if r := existenceReward(make([]bool, 10), segs); r != 0 {
+		t.Errorf("none detected: %v", r)
+	}
+	if r := existenceReward(nil, nil); r != 0 {
+		t.Errorf("no segments: %v", r)
+	}
+}
+
+func TestVUSSlopedPerfect(t *testing.T) {
+	truth := rangeBools(300, [2]int{100, 150})
+	scores := make([]float64, 300)
+	for i := range scores {
+		if truth[i] {
+			scores[i] = 1
+		}
+	}
+	res, err := VUSSloped(scores, truth, VUSConfig{MaxBuffer: 8, Thresholds: 50, Adjust: PA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ROC < 0.85 || res.PR < 0.75 {
+		t.Errorf("perfect scores: %+v", res)
+	}
+}
+
+func TestVUSSlopedRanksLikeBinary(t *testing.T) {
+	// A good scorer must beat a random scorer under both variants.
+	rng := rand.New(rand.NewSource(4))
+	truth := rangeBools(600, [2]int{200, 260}, [2]int{400, 430})
+	good := make([]float64, 600)
+	bad := make([]float64, 600)
+	for i := range good {
+		if truth[i] {
+			good[i] = 0.8 + 0.2*rng.Float64()
+		} else {
+			good[i] = 0.2 * rng.Float64()
+		}
+		bad[i] = rng.Float64()
+	}
+	cfg := VUSConfig{MaxBuffer: 10, Thresholds: 40, Adjust: DPA}
+	gs, err := VUSSloped(good, truth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := VUSSloped(bad, truth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.ROC <= bs.ROC || gs.PR <= bs.PR {
+		t.Errorf("sloped VUS failed to rank: good %+v vs bad %+v", gs, bs)
+	}
+	gb, _ := VUS(good, truth, cfg)
+	bb, _ := VUS(bad, truth, cfg)
+	if gb.ROC <= bb.ROC {
+		t.Errorf("binary VUS failed to rank: %v vs %v", gb.ROC, bb.ROC)
+	}
+}
+
+// Property: sloped VUS stays within [0, 1].
+func TestVUSSlopedBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(200)
+		truth := make([]bool, n)
+		scores := make([]float64, n)
+		for i := range truth {
+			truth[i] = rng.Float64() < 0.15
+			scores[i] = rng.Float64()
+		}
+		res, err := VUSSloped(scores, truth, VUSConfig{MaxBuffer: 6, Thresholds: 20, Adjust: PA})
+		if err != nil {
+			return false
+		}
+		return res.ROC >= -1e-9 && res.ROC <= 1+1e-9 && res.PR >= -1e-9 && res.PR <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVUSSlopedErrors(t *testing.T) {
+	if _, err := VUSSloped([]float64{1}, []bool{true, false}, VUSConfig{}); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+}

@@ -1,0 +1,449 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cad/internal/core"
+	"cad/internal/dataset"
+	"cad/internal/eval"
+	"cad/internal/mts"
+)
+
+// Figure4Result reproduces Figure 4: over the SMD subsets, for each
+// baseline, how many subsets have Ahead ≥ x (left panel) and Miss ≤ x
+// (right panel) as x sweeps 0→1.
+type Figure4Result struct {
+	Subsets int
+	Xs      []float64
+	// AheadCount/MissCount[method][xi] = subset counts.
+	AheadCount, MissCount map[MethodID][]int
+	Order                 []MethodID
+}
+
+// Figure4 runs the experiment.
+func (s *Suite) Figure4() (*Figure4Result, error) {
+	runs, err := s.SMD()
+	if err != nil {
+		return nil, err
+	}
+	const steps = 21
+	res := &Figure4Result{
+		Subsets:    len(runs),
+		AheadCount: map[MethodID][]int{},
+		MissCount:  map[MethodID][]int{},
+	}
+	for i := 0; i < steps; i++ {
+		res.Xs = append(res.Xs, float64(i)/float64(steps-1))
+	}
+	// Per (baseline, subset) relative measures.
+	rel := map[MethodID][]eval.RelativeResult{}
+	for _, id := range s.Opts.Methods {
+		if id == MCAD {
+			continue
+		}
+		res.Order = append(res.Order, id)
+		for _, run := range runs {
+			cadPred := run.Methods[MCAD].Best().PredDPA
+			otherPred := run.Methods[id].Best().PredDPA
+			rr, err := eval.AheadMiss(cadPred, otherPred, run.Dataset.Labels)
+			if err != nil {
+				return nil, err
+			}
+			rel[id] = append(rel[id], rr)
+		}
+		res.AheadCount[id] = make([]int, steps)
+		res.MissCount[id] = make([]int, steps)
+		for xi, x := range res.Xs {
+			for _, rr := range rel[id] {
+				if rr.Ahead >= x {
+					res.AheadCount[id][xi]++
+				}
+				if rr.Miss <= x {
+					res.MissCount[id][xi]++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats both panels as series.
+func (r *Figure4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: #SMD subsets (of %d) vs ratio threshold\n", r.Subsets)
+	fmt.Fprintf(&b, "-- #subsets with Ahead ≥ x --\n%-9s", "x")
+	for _, x := range r.Xs {
+		if int(x*100)%25 == 0 {
+			fmt.Fprintf(&b, " %5.2f", x)
+		}
+	}
+	fmt.Fprintln(&b)
+	for _, id := range r.Order {
+		fmt.Fprintf(&b, "%-9s", id)
+		for xi, x := range r.Xs {
+			if int(x*100)%25 == 0 {
+				fmt.Fprintf(&b, " %5d", r.AheadCount[id][xi])
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "-- #subsets with Miss ≤ x --\n%-9s", "x")
+	for _, x := range r.Xs {
+		if int(x*100)%25 == 0 {
+			fmt.Fprintf(&b, " %5.2f", x)
+		}
+	}
+	fmt.Fprintln(&b)
+	for _, id := range r.Order {
+		fmt.Fprintf(&b, "%-9s", id)
+		for xi, x := range r.Xs {
+			if int(x*100)%25 == 0 {
+				fmt.Fprintf(&b, " %5d", r.MissCount[id][xi])
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Figure5Result reproduces Figure 5: VUS-ROC and VUS-PR after PA and DPA on
+// the headline datasets.
+type Figure5Result struct {
+	Datasets []string
+	// Values[method][dataset] = {ROC-PA, PR-PA, ROC-DPA, PR-DPA}, percent.
+	Values map[MethodID][][4]float64
+	Order  []MethodID
+}
+
+// Figure5 runs the experiment.
+func (s *Suite) Figure5() (*Figure5Result, error) {
+	runs, err := s.HeadlineWithVUS()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5Result{Values: map[MethodID][][4]float64{}, Order: s.Opts.Methods}
+	for _, run := range runs {
+		res.Datasets = append(res.Datasets, run.Name)
+	}
+	for _, id := range s.Opts.Methods {
+		for _, run := range runs {
+			mr := run.Methods[id]
+			var v [4]float64
+			for _, rr := range mr.Repeats {
+				v[0] += 100 * rr.VUS.ROCPA
+				v[1] += 100 * rr.VUS.PRPA
+				v[2] += 100 * rr.VUS.ROCDPA
+				v[3] += 100 * rr.VUS.PRDPA
+			}
+			for i := range v {
+				v[i] /= float64(len(mr.Repeats))
+			}
+			res.Values[id] = append(res.Values[id], v)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the figure.
+func (r *Figure5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: VUS-ROC / VUS-PR after PA and DPA (%%)\n")
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, " | %s ROCpa PRpa ROCdpa PRdpa", d)
+	}
+	fmt.Fprintln(&b)
+	for _, id := range r.Order {
+		fmt.Fprintf(&b, "%-9s", id)
+		for i := range r.Datasets {
+			v := r.Values[id][i]
+			fmt.Fprintf(&b, " | %s %5.1f %4.1f %6.1f %5.1f", strings.Repeat(" ", len(r.Datasets[i])), v[0], v[1], v[2], v[3])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Figure6Result reproduces Figure 6: CAD's scalability on IS-1..IS-5 —
+// F1_PA/F1_DPA and time per round as the sensor count grows.
+type Figure6Result struct {
+	Names     []string
+	Sensors   []int
+	F1PA      []float64
+	F1DPA     []float64
+	TPRMillis []float64
+}
+
+// Figure6 runs CAD alone on the five IS datasets. MaxIS caps how many run
+// (5 = all; lower for quick tests).
+func (s *Suite) Figure6(maxIS int) (*Figure6Result, error) {
+	if maxIS < 1 || maxIS > 5 {
+		maxIS = 5
+	}
+	res := &Figure6Result{}
+	opts := s.Opts
+	opts.Methods = []MethodID{MCAD}
+	for i := 1; i <= maxIS; i++ {
+		r := dataset.MustIS(i)
+		run, err := RunDataset(r, opts)
+		if err != nil {
+			return nil, fmt.Errorf("figure 6 %s: %w", r.Name, err)
+		}
+		cad := run.Methods[MCAD].Best()
+		res.Names = append(res.Names, r.Name)
+		res.Sensors = append(res.Sensors, r.Sensors)
+		res.F1PA = append(res.F1PA, 100*cad.F1PA)
+		res.F1DPA = append(res.F1DPA, 100*cad.F1DPA)
+		res.TPRMillis = append(res.TPRMillis, float64(cad.TPR.Microseconds())/1000)
+	}
+	return res, nil
+}
+
+// Render formats the figure.
+func (r *Figure6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: CAD scalability on IS datasets\n")
+	fmt.Fprintf(&b, "%-6s %8s %7s %7s %9s\n", "Name", "#Sensors", "F1_PA", "F1_DPA", "TPR(ms)")
+	for i := range r.Names {
+		fmt.Fprintf(&b, "%-6s %8d %7.1f %7.1f %9.3f\n", r.Names[i], r.Sensors[i], r.F1PA[i], r.F1DPA[i], r.TPRMillis[i])
+	}
+	return b.String()
+}
+
+// Figure7Result reproduces the Figure 7 case study: on one SMD subset, each
+// method's detection delay (time points from anomaly onset to first alarm)
+// for every ground-truth anomaly, plus which sensors CAD implicates.
+type Figure7Result struct {
+	Dataset string
+	// Delays[method][anomaly] = points until first alarm (−1 = missed).
+	Delays map[MethodID][]int
+	// TruthSensors and CADSensors for the first anomaly, for the
+	// affected-vs-normal sensor narrative of the case study.
+	TruthSensors []int
+	CADSensors   []int
+	Anomalies    int
+	Order        []MethodID
+}
+
+// Figure7 runs the case study on SMD subset `subset` (the paper uses 1_6,
+// i.e. index 5).
+func (s *Suite) Figure7(subset int) (*Figure7Result, error) {
+	if subset < 0 || subset >= dataset.SMDSubsets {
+		subset = 5
+	}
+	run, err := RunDataset(dataset.SMD(subset), s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure7Result{
+		Dataset: run.Name,
+		Delays:  map[MethodID][]int{},
+		Order:   s.Opts.Methods,
+	}
+	res.Anomalies = len(run.Dataset.Injections)
+	if res.Anomalies > 0 {
+		res.TruthSensors = run.Dataset.Injections[0].Sensors
+	}
+	for _, id := range s.Opts.Methods {
+		best := run.Methods[id].Best()
+		delays, err := eval.DetectionDelay(best.PredDPA, run.Dataset.Labels)
+		if err != nil {
+			return nil, err
+		}
+		res.Delays[id] = delays
+		if id == MCAD && len(best.SensorPreds) > 0 {
+			res.CADSensors = best.SensorPreds[0].Sensors
+		}
+	}
+	return res, nil
+}
+
+// Render formats the case study.
+func (r *Figure7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 case study on %s (%d labeled anomalies)\n", r.Dataset, r.Anomalies)
+	fmt.Fprintf(&b, "Detection delay in time points per anomaly (−1 = missed):\n")
+	for _, id := range r.Order {
+		fmt.Fprintf(&b, "%-9s %v\n", id, r.Delays[id])
+	}
+	fmt.Fprintf(&b, "First anomaly: true sensors %v; CAD blamed %v\n", r.TruthSensors, r.CADSensors)
+	return b.String()
+}
+
+// Figure8Result reproduces Figure 8: CAD's parameter study — F1_PA and
+// F1_DPA as w/|T|, s/w, τ, θ, and k vary on three datasets.
+type Figure8Result struct {
+	Datasets []string
+	// Sweeps[param][dataset] = (values, F1PA, F1DPA) triples.
+	Sweeps map[string][]SweepSeries
+	Params []string
+}
+
+// SweepSeries is one parameter sweep on one dataset.
+type SweepSeries struct {
+	Values []float64
+	F1PA   []float64
+	F1DPA  []float64
+}
+
+// Figure8 runs the parameter study on PSM, SMD 1_7 (index 6), and SWaT.
+func (s *Suite) Figure8() (*Figure8Result, error) {
+	recipes := []dataset.Recipe{dataset.PSM(), dataset.SMD(6), dataset.SWaT()}
+	res := &Figure8Result{
+		Sweeps: map[string][]SweepSeries{},
+		Params: []string{"w/|T|", "s/w", "tau", "theta", "k"},
+	}
+	for _, rec := range recipes {
+		rec := rec.Scaled(s.Opts.Scale)
+		ds, err := rec.Build()
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, rec.Name)
+		base := CADConfigFor(ds)
+
+		eval1 := func(cfg core.Config) (float64, float64, error) {
+			return evalCAD(ds.Train, ds.Test, ds.Labels, cfg, s.Opts.GridSteps)
+		}
+
+		// Sweep w/|T|.
+		var ws SweepSeries
+		for _, frac := range []float64{0.01, 0.02, 0.04, 0.08, 0.15} {
+			cfg := base
+			cfg.Window.W = maxInt(8, int(frac*float64(ds.Test.Len())))
+			cfg.Window.S = maxInt(1, cfg.Window.W/50)
+			pa, dpa, err := eval1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ws.Values = append(ws.Values, frac)
+			ws.F1PA = append(ws.F1PA, 100*pa)
+			ws.F1DPA = append(ws.F1DPA, 100*dpa)
+		}
+		res.Sweeps["w/|T|"] = append(res.Sweeps["w/|T|"], ws)
+
+		// Sweep s/w.
+		var ss SweepSeries
+		for _, frac := range []float64{0.01, 0.02, 0.05, 0.1, 0.2} {
+			cfg := base
+			cfg.Window.S = maxInt(1, int(frac*float64(cfg.Window.W)))
+			if cfg.Window.S >= cfg.Window.W {
+				cfg.Window.S = cfg.Window.W - 1
+			}
+			pa, dpa, err := eval1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ss.Values = append(ss.Values, frac)
+			ss.F1PA = append(ss.F1PA, 100*pa)
+			ss.F1DPA = append(ss.F1DPA, 100*dpa)
+		}
+		res.Sweeps["s/w"] = append(res.Sweeps["s/w"], ss)
+
+		// Sweep τ.
+		var ts SweepSeries
+		for _, tau := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			cfg := base
+			cfg.Tau = tau
+			pa, dpa, err := eval1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ts.Values = append(ts.Values, tau)
+			ts.F1PA = append(ts.F1PA, 100*pa)
+			ts.F1DPA = append(ts.F1DPA, 100*dpa)
+		}
+		res.Sweeps["tau"] = append(res.Sweeps["tau"], ts)
+
+		// Sweep θ.
+		var hs SweepSeries
+		for _, theta := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+			cfg := base
+			cfg.Theta = theta
+			pa, dpa, err := eval1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			hs.Values = append(hs.Values, theta)
+			hs.F1PA = append(hs.F1PA, 100*pa)
+			hs.F1DPA = append(hs.F1DPA, 100*dpa)
+		}
+		res.Sweeps["theta"] = append(res.Sweeps["theta"], hs)
+
+		// Sweep k.
+		var ks SweepSeries
+		for _, k := range []int{5, 10, 15, 20, 30} {
+			if k >= ds.Test.Sensors() {
+				continue
+			}
+			cfg := base
+			cfg.K = k
+			pa, dpa, err := eval1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			ks.Values = append(ks.Values, float64(k))
+			ks.F1PA = append(ks.F1PA, 100*pa)
+			ks.F1DPA = append(ks.F1DPA, 100*dpa)
+		}
+		res.Sweeps["k"] = append(res.Sweeps["k"], ks)
+	}
+	return res, nil
+}
+
+// evalCAD runs a fresh CAD with cfg and returns grid-searched F1_PA/F1_DPA.
+func evalCAD(train, test *mts.MTS, labels []bool, cfg core.Config, gridSteps int) (float64, float64, error) {
+	det, err := core.NewDetector(test.Sensors(), cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := det.WarmUp(train); err != nil {
+		return 0, 0, err
+	}
+	r, err := det.Detect(test)
+	if err != nil {
+		return 0, 0, err
+	}
+	pa, err := eval.GridSearchF1(r.PointScores, labels, eval.PA, gridSteps)
+	if err != nil {
+		return 0, 0, err
+	}
+	dpa, err := eval.GridSearchF1(r.PointScores, labels, eval.DPA, gridSteps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pa.F1, dpa.F1, nil
+}
+
+// Render formats the sweeps.
+func (r *Figure8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: CAD parameter study (F1_PA / F1_DPA, %%)\n")
+	for _, p := range r.Params {
+		fmt.Fprintf(&b, "-- %s --\n", p)
+		for di, d := range r.Datasets {
+			if di >= len(r.Sweeps[p]) {
+				continue
+			}
+			sw := r.Sweeps[p][di]
+			fmt.Fprintf(&b, "%-9s", d)
+			for i := range sw.Values {
+				fmt.Fprintf(&b, " | %.3g: %4.1f/%4.1f", sw.Values[i], sw.F1PA[i], sw.F1DPA[i])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// TPRBudget summarizes the real-time argument of §VI-D: CAD sustains
+// real-time detection when TPR < s/freq.
+func TPRBudget(tpr time.Duration, step int, freq float64) (maxFreq float64, realTime bool) {
+	if tpr <= 0 {
+		return 0, true
+	}
+	maxFreq = float64(step) / tpr.Seconds()
+	return maxFreq, freq < maxFreq
+}

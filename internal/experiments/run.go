@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cad/internal/baselines"
+	"cad/internal/dataset"
+	"cad/internal/eval"
+	"cad/internal/simulator"
+	"cad/internal/stats"
+)
+
+// Options tune the harness globally.
+type Options struct {
+	// Scale multiplies every recipe's series lengths (default 1; use < 1
+	// for quick runs).
+	Scale float64
+	// Repeats for randomized methods (the paper uses 10; default 3 to keep
+	// laptop runs short). Deterministic methods always run once.
+	Repeats int
+	// GridSteps of the F1 threshold search (the paper uses 1000; default
+	// 200).
+	GridSteps int
+	// VUSBuffer is the max boundary extension of the VUS surfaces
+	// (default 16).
+	VUSBuffer int
+	// Methods restricts the evaluated methods (default AllMethods).
+	Methods []MethodID
+}
+
+func (o *Options) fill() {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	if o.GridSteps <= 0 {
+		o.GridSteps = 200
+	}
+	if o.VUSBuffer <= 0 {
+		o.VUSBuffer = 16
+	}
+	if len(o.Methods) == 0 {
+		o.Methods = AllMethods
+	}
+}
+
+// RepeatResult holds one repeat's outcome for one method on one dataset.
+type RepeatResult struct {
+	F1PA    float64
+	F1DPA   float64
+	PredPA  []bool // adjusted predictions at the best PA threshold
+	PredDPA []bool
+	Scores  []float64
+	VUS     struct {
+		ROCPA, PRPA   float64
+		ROCDPA, PRDPA float64
+	}
+	TrainTime time.Duration
+	TestTime  time.Duration
+	// CAD extras (zero for baselines).
+	TPR         time.Duration // time per round
+	SensorF1    float64
+	SensorPreds []eval.SensorPrediction
+}
+
+// MethodRun aggregates the repeats of one method on one dataset.
+type MethodRun struct {
+	ID            MethodID
+	Deterministic bool
+	Repeats       []RepeatResult
+}
+
+// MeanF1PA returns the mean F1_PA over repeats (×100, percent).
+func (m *MethodRun) MeanF1PA() float64 {
+	return 100 * meanOf(m.Repeats, func(r RepeatResult) float64 { return r.F1PA })
+}
+
+// MeanF1DPA returns the mean F1_DPA over repeats (percent).
+func (m *MethodRun) MeanF1DPA() float64 {
+	return 100 * meanOf(m.Repeats, func(r RepeatResult) float64 { return r.F1DPA })
+}
+
+// StdF1PA returns the std of F1_PA over repeats (percent).
+func (m *MethodRun) StdF1PA() float64 {
+	return 100 * stdOf(m.Repeats, func(r RepeatResult) float64 { return r.F1PA })
+}
+
+// StdF1DPA returns the std of F1_DPA over repeats (percent).
+func (m *MethodRun) StdF1DPA() float64 {
+	return 100 * stdOf(m.Repeats, func(r RepeatResult) float64 { return r.F1DPA })
+}
+
+// MinF1PA returns the minimum F1_PA over repeats (percent, Table VIII).
+func (m *MethodRun) MinF1PA() float64 {
+	return 100 * minOf(m.Repeats, func(r RepeatResult) float64 { return r.F1PA })
+}
+
+// MinF1DPA returns the minimum F1_DPA over repeats (percent).
+func (m *MethodRun) MinF1DPA() float64 {
+	return 100 * minOf(m.Repeats, func(r RepeatResult) float64 { return r.F1DPA })
+}
+
+// Best returns the repeat with the highest F1_DPA (used for relative
+// comparisons and localization).
+func (m *MethodRun) Best() *RepeatResult {
+	best := &m.Repeats[0]
+	for i := range m.Repeats {
+		if m.Repeats[i].F1DPA > best.F1DPA {
+			best = &m.Repeats[i]
+		}
+	}
+	return best
+}
+
+func meanOf(rs []RepeatResult, f func(RepeatResult) float64) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rs {
+		s += f(r)
+	}
+	return s / float64(len(rs))
+}
+
+func stdOf(rs []RepeatResult, f func(RepeatResult) float64) float64 {
+	if len(rs) < 2 {
+		return 0
+	}
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = f(r)
+	}
+	return stats.StdDev(vals)
+}
+
+func minOf(rs []RepeatResult, f func(RepeatResult) float64) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	m := f(rs[0])
+	for _, r := range rs[1:] {
+		if v := f(r); v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// DatasetRun is the full evaluation of one dataset.
+type DatasetRun struct {
+	Name    string
+	Dataset *simulator.Dataset
+	Methods map[MethodID]*MethodRun
+	Order   []MethodID
+}
+
+// RunDataset evaluates the selected methods on the recipe.
+func RunDataset(r dataset.Recipe, opts Options) (*DatasetRun, error) {
+	opts.fill()
+	ds, err := r.Scaled(opts.Scale).Build()
+	if err != nil {
+		return nil, err
+	}
+	return RunBuiltDataset(ds, opts)
+}
+
+// RunBuiltDataset evaluates the selected methods on an already-built
+// dataset.
+func RunBuiltDataset(ds *simulator.Dataset, opts Options) (*DatasetRun, error) {
+	opts.fill()
+	run := &DatasetRun{Name: ds.Name, Dataset: ds, Methods: map[MethodID]*MethodRun{}, Order: opts.Methods}
+	truths := ds.SensorTruths()
+	for _, id := range opts.Methods {
+		mr := &MethodRun{ID: id}
+		repeats := opts.Repeats
+		for rep := 0; rep < repeats; rep++ {
+			seed := int64(1000*rep + 17)
+			det, err := NewMethod(id, ds, seed)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 {
+				mr.Deterministic = det.Deterministic()
+				if mr.Deterministic {
+					repeats = 1
+				}
+			}
+			var rr RepeatResult
+			start := time.Now()
+			if err := det.Fit(ds.Train); err != nil {
+				return nil, fmt.Errorf("%s on %s: fit: %w", id, ds.Name, err)
+			}
+			rr.TrainTime = time.Since(start)
+			start = time.Now()
+			scores, err := det.Score(ds.Test)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: score: %w", id, ds.Name, err)
+			}
+			rr.TestTime = time.Since(start)
+			rr.Scores = scores
+
+			pa, err := eval.GridSearchF1(scores, ds.Labels, eval.PA, opts.GridSteps)
+			if err != nil {
+				return nil, err
+			}
+			dpa, err := eval.GridSearchF1(scores, ds.Labels, eval.DPA, opts.GridSteps)
+			if err != nil {
+				return nil, err
+			}
+			rr.F1PA, rr.PredPA = pa.F1, pa.Pred
+			rr.F1DPA, rr.PredDPA = dpa.F1, dpa.Pred
+
+			if cad, ok := det.(*CADAdapter); ok {
+				if cad.RoundsProcessed > 0 {
+					rr.TPR = cad.DetectTime / time.Duration(cad.RoundsProcessed)
+				}
+				rr.SensorPreds = cad.SensorPredictions()
+				rr.SensorF1 = eval.SensorF1(rr.SensorPreds, truths)
+			} else if loc, ok := det.(baselines.SensorLocalizer); ok {
+				preds, err := localizerPredictions(loc, ds, dpa.Pred)
+				if err != nil {
+					return nil, err
+				}
+				rr.SensorPreds = preds
+				rr.SensorF1 = eval.SensorF1(preds, truths)
+			}
+			mr.Repeats = append(mr.Repeats, rr)
+		}
+		run.Methods[id] = mr
+	}
+	return run, nil
+}
+
+// WithVUS augments each repeat of the run with VUS-ROC/VUS-PR after PA and
+// DPA. Separate from RunBuiltDataset because the VUS sweep is the most
+// expensive metric and only Figure 5 needs it.
+func (run *DatasetRun) WithVUS(opts Options) error {
+	opts.fill()
+	cfgPA := eval.VUSConfig{MaxBuffer: opts.VUSBuffer, Thresholds: 50, Adjust: eval.PA}
+	cfgDPA := eval.VUSConfig{MaxBuffer: opts.VUSBuffer, Thresholds: 50, Adjust: eval.DPA}
+	for _, id := range run.Order {
+		mr := run.Methods[id]
+		for i := range mr.Repeats {
+			rr := &mr.Repeats[i]
+			vpa, err := eval.VUS(rr.Scores, run.Dataset.Labels, cfgPA)
+			if err != nil {
+				return err
+			}
+			vdpa, err := eval.VUS(rr.Scores, run.Dataset.Labels, cfgDPA)
+			if err != nil {
+				return err
+			}
+			rr.VUS.ROCPA, rr.VUS.PRPA = vpa.ROC, vpa.PR
+			rr.VUS.ROCDPA, rr.VUS.PRDPA = vdpa.ROC, vdpa.PR
+		}
+	}
+	return nil
+}
+
+// localizerPredictions converts a baseline's per-sensor score matrix into
+// localization predictions: for each predicted anomalous segment, the
+// sensors whose mean in-segment score exceeds twice the sensor-wise median
+// are blamed (at least the single top sensor).
+func localizerPredictions(loc baselines.SensorLocalizer, ds *simulator.Dataset, pred []bool) ([]eval.SensorPrediction, error) {
+	per, err := loc.SensorScores(ds.Test)
+	if err != nil {
+		return nil, err
+	}
+	n := len(per)
+	var out []eval.SensorPrediction
+	for _, seg := range eval.Segments(pred) {
+		means := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var s float64
+			for t := seg.Start; t < seg.End; t++ {
+				s += per[i][t]
+			}
+			means[i] = s / float64(seg.Len())
+		}
+		med := stats.Quantile(means, 0.5)
+		var sensors []int
+		for i, m := range means {
+			if m > 2*med {
+				sensors = append(sensors, i)
+			}
+		}
+		if len(sensors) == 0 {
+			sensors = eval.TopKSensors(means, 1)
+		}
+		out = append(out, eval.SensorPrediction{Segment: seg, Sensors: sensors})
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cad/internal/dataset"
+)
+
+// Suite lazily runs and caches the dataset evaluations shared by several
+// experiments: the four headline datasets (Table III/V/VI/VII/VIII,
+// Figure 5) and the SMD subsets (Table IV, Figure 4). A Suite is not safe
+// for concurrent use.
+type Suite struct {
+	Opts Options
+	// SMDCount limits how many of the 28 SMD subsets run (default 28; use
+	// fewer for quick runs).
+	SMDCount int
+
+	headline []*DatasetRun
+	smd      []*DatasetRun
+	vusDone  bool
+}
+
+// NewSuite builds a suite with the given options.
+func NewSuite(opts Options) *Suite {
+	opts.fill()
+	return &Suite{Opts: opts, SMDCount: dataset.SMDSubsets}
+}
+
+// Headline returns the evaluations of PSM, SWaT, IS-1, and IS-2 (cached).
+func (s *Suite) Headline() ([]*DatasetRun, error) {
+	if s.headline != nil {
+		return s.headline, nil
+	}
+	var runs []*DatasetRun
+	for _, r := range dataset.All() {
+		run, err := RunDataset(r, s.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("headline %s: %w", r.Name, err)
+		}
+		runs = append(runs, run)
+	}
+	s.headline = runs
+	return runs, nil
+}
+
+// HeadlineWithVUS returns the headline runs augmented with VUS metrics.
+func (s *Suite) HeadlineWithVUS() ([]*DatasetRun, error) {
+	runs, err := s.Headline()
+	if err != nil {
+		return nil, err
+	}
+	if !s.vusDone {
+		for _, run := range runs {
+			if err := run.WithVUS(s.Opts); err != nil {
+				return nil, err
+			}
+		}
+		s.vusDone = true
+	}
+	return runs, nil
+}
+
+// SMD returns the evaluations of the SMD subsets (cached). The paper runs
+// SMD without warm-up; the harness keeps the warm-up for uniformity — the
+// comparison across methods is unaffected since every method sees the same
+// data.
+func (s *Suite) SMD() ([]*DatasetRun, error) {
+	if s.smd != nil {
+		return s.smd, nil
+	}
+	count := s.SMDCount
+	if count <= 0 || count > dataset.SMDSubsets {
+		count = dataset.SMDSubsets
+	}
+	var runs []*DatasetRun
+	for i := 0; i < count; i++ {
+		run, err := RunDataset(dataset.SMD(i), s.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("SMD subset %d: %w", i, err)
+		}
+		runs = append(runs, run)
+	}
+	s.smd = runs
+	return runs, nil
+}

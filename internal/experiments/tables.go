@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cad/internal/eval"
+)
+
+// TableIIIResult reproduces Table III: abnormal time detection by PA and
+// DPA on the four headline datasets, plus the average rank.
+type TableIIIResult struct {
+	Datasets []string
+	// Cells[method][dataset] = (meanPA, stdPA, meanDPA, stdDPA), percent.
+	Cells map[MethodID][4][]float64
+	Rank  map[MethodID]float64
+	Order []MethodID
+}
+
+// TableIII runs the experiment.
+func (s *Suite) TableIII() (*TableIIIResult, error) {
+	runs, err := s.Headline()
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIIResult{
+		Cells: map[MethodID][4][]float64{},
+		Rank:  map[MethodID]float64{},
+		Order: s.Opts.Methods,
+	}
+	for _, run := range runs {
+		res.Datasets = append(res.Datasets, run.Name)
+	}
+	for _, id := range s.Opts.Methods {
+		var cell [4][]float64
+		for _, run := range runs {
+			mr := run.Methods[id]
+			cell[0] = append(cell[0], mr.MeanF1PA())
+			cell[1] = append(cell[1], mr.StdF1PA())
+			cell[2] = append(cell[2], mr.MeanF1DPA())
+			cell[3] = append(cell[3], mr.StdF1DPA())
+		}
+		res.Cells[id] = cell
+	}
+	// Average rank over the 2·|datasets| columns (PA and DPA per dataset).
+	type scored struct {
+		id MethodID
+		v  float64
+	}
+	counts := map[MethodID]float64{}
+	cols := 0
+	for d := range res.Datasets {
+		for _, metric := range []int{0, 2} {
+			var list []scored
+			for _, id := range s.Opts.Methods {
+				list = append(list, scored{id, res.Cells[id][metric][d]})
+			}
+			sort.Slice(list, func(i, j int) bool { return list[i].v > list[j].v })
+			for rank, sc := range list {
+				counts[sc.id] += float64(rank + 1)
+			}
+			cols++
+		}
+	}
+	for id, sum := range counts {
+		res.Rank[id] = sum / float64(cols)
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *TableIIIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: abnormal time detection by PA and DPA (F1, %%)\n")
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, " | %7s-PA %7s-DPA", d, d)
+	}
+	fmt.Fprintf(&b, " | Rank\n")
+	for _, id := range r.Order {
+		cell := r.Cells[id]
+		fmt.Fprintf(&b, "%-9s", id)
+		for d := range r.Datasets {
+			fmt.Fprintf(&b, " | %4.1f±%-4.1f  %4.1f±%-5.1f", cell[0][d], cell[1][d], cell[2][d], cell[3][d])
+		}
+		fmt.Fprintf(&b, " | %4.1f\n", r.Rank[id])
+	}
+	return b.String()
+}
+
+// TableIVResult reproduces Table IV: SMD subsets, counting how many subsets
+// CAD outperforms per baseline (OP), plus mean±std of the F1 metrics and the
+// sensor-localization OP against ECOD and RCoders.
+type TableIVResult struct {
+	Subsets int
+	// OPPA/OPDPA[method] = subsets where CAD's F1 exceeds the method's.
+	OPPA, OPDPA map[MethodID]int
+	// MeanPA/StdPA etc., percent, per method.
+	MeanPA, StdPA, MeanDPA, StdDPA map[MethodID]float64
+	// OPSensor[method] = subsets where CAD's F1_sensor exceeds the
+	// method's (only localizing methods appear).
+	OPSensor map[MethodID]int
+	// CADSensorF1 is CAD's mean F1_sensor over subsets (percent).
+	CADSensorF1 float64
+	Order       []MethodID
+}
+
+// TableIV runs the experiment.
+func (s *Suite) TableIV() (*TableIVResult, error) {
+	runs, err := s.SMD()
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIVResult{
+		Subsets: len(runs),
+		OPPA:    map[MethodID]int{}, OPDPA: map[MethodID]int{},
+		MeanPA: map[MethodID]float64{}, StdPA: map[MethodID]float64{},
+		MeanDPA: map[MethodID]float64{}, StdDPA: map[MethodID]float64{},
+		OPSensor: map[MethodID]int{},
+		Order:    s.Opts.Methods,
+	}
+	perMethodPA := map[MethodID][]float64{}
+	perMethodDPA := map[MethodID][]float64{}
+	var cadSensor float64
+	for _, run := range runs {
+		cad := run.Methods[MCAD]
+		cadSensor += cad.Best().SensorF1
+		for _, id := range s.Opts.Methods {
+			mr := run.Methods[id]
+			perMethodPA[id] = append(perMethodPA[id], mr.MeanF1PA())
+			perMethodDPA[id] = append(perMethodDPA[id], mr.MeanF1DPA())
+			if id == MCAD {
+				continue
+			}
+			if cad.MeanF1PA() > mr.MeanF1PA() {
+				res.OPPA[id]++
+			}
+			if cad.MeanF1DPA() > mr.MeanF1DPA() {
+				res.OPDPA[id]++
+			}
+			if id == MECOD || id == MRCoders {
+				if cad.Best().SensorF1 > mr.Best().SensorF1 {
+					res.OPSensor[id]++
+				}
+			}
+		}
+	}
+	res.CADSensorF1 = 100 * cadSensor / float64(len(runs))
+	for _, id := range s.Opts.Methods {
+		res.MeanPA[id] = meanFloat(perMethodPA[id])
+		res.StdPA[id] = stdFloat(perMethodPA[id])
+		res.MeanDPA[id] = meanFloat(perMethodDPA[id])
+		res.StdDPA[id] = stdFloat(perMethodDPA[id])
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *TableIVResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV: SMD (%d subsets; OP = #subsets CAD outperforms)\n", r.Subsets)
+	fmt.Fprintf(&b, "%-9s | %4s %11s | %4s %11s | %8s\n", "Method", "OP", "F1_PA", "OP", "F1_DPA", "OP_sensor")
+	for _, id := range r.Order {
+		opPA, opDPA, opS := "-", "-", "/"
+		if id != MCAD {
+			opPA = fmt.Sprintf("%d", r.OPPA[id])
+			opDPA = fmt.Sprintf("%d", r.OPDPA[id])
+			if id == MECOD || id == MRCoders {
+				opS = fmt.Sprintf("%d", r.OPSensor[id])
+			}
+		}
+		fmt.Fprintf(&b, "%-9s | %4s %4.1f±%-5.1f | %4s %4.1f±%-5.1f | %8s\n",
+			id, opPA, r.MeanPA[id], r.StdPA[id], opDPA, r.MeanDPA[id], r.StdDPA[id], opS)
+	}
+	fmt.Fprintf(&b, "CAD mean F1_sensor: %.1f%%\n", r.CADSensorF1)
+	return b.String()
+}
+
+// TableVResult reproduces Table V: the DaE relative measures Ahead and Miss
+// of CAD against each baseline on the headline datasets.
+type TableVResult struct {
+	Datasets []string
+	// Ahead/Miss[method][dataset], percent.
+	Ahead, Miss map[MethodID][]float64
+	Order       []MethodID
+}
+
+// TableV runs the experiment. Predictions are each method's best-repeat
+// DPA-adjusted labels.
+func (s *Suite) TableV() (*TableVResult, error) {
+	runs, err := s.Headline()
+	if err != nil {
+		return nil, err
+	}
+	res := &TableVResult{Ahead: map[MethodID][]float64{}, Miss: map[MethodID][]float64{}}
+	for _, run := range runs {
+		res.Datasets = append(res.Datasets, run.Name)
+	}
+	for _, id := range s.Opts.Methods {
+		if id == MCAD {
+			continue
+		}
+		res.Order = append(res.Order, id)
+		for _, run := range runs {
+			cadPred := run.Methods[MCAD].Best().PredDPA
+			otherPred := run.Methods[id].Best().PredDPA
+			rel, err := eval.AheadMiss(cadPred, otherPred, run.Dataset.Labels)
+			if err != nil {
+				return nil, err
+			}
+			res.Ahead[id] = append(res.Ahead[id], 100*rel.Ahead)
+			res.Miss[id] = append(res.Miss[id], 100*rel.Miss)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *TableVResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table V: Ahead (Ah) and Miss (Ms) of CAD vs each method (%%)\n")
+	fmt.Fprintf(&b, "%-9s", "CAD vs.")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, " | %5s Ah/Ms", d)
+	}
+	fmt.Fprintln(&b)
+	for _, id := range r.Order {
+		fmt.Fprintf(&b, "%-9s", id)
+		for i := range r.Datasets {
+			fmt.Fprintf(&b, " | %5.1f/%5.1f", r.Ahead[id][i], r.Miss[id][i])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// TableVIResult reproduces Table VI: training time of the MTS methods.
+type TableVIResult struct {
+	Datasets []string
+	// Seconds[method][dataset].
+	Seconds map[MethodID][]float64
+	Order   []MethodID
+}
+
+// TableVI runs the experiment (training wall-clock of the MTS methods; for
+// CAD the warm-up counts as training, matching the paper).
+func (s *Suite) TableVI() (*TableVIResult, error) {
+	runs, err := s.Headline()
+	if err != nil {
+		return nil, err
+	}
+	res := &TableVIResult{Seconds: map[MethodID][]float64{}}
+	for _, run := range runs {
+		res.Datasets = append(res.Datasets, run.Name)
+	}
+	for _, id := range MTSMethods {
+		if !contains(s.Opts.Methods, id) {
+			continue
+		}
+		res.Order = append(res.Order, id)
+		for _, run := range runs {
+			mr := run.Methods[id]
+			var sum float64
+			for _, rr := range mr.Repeats {
+				sum += rr.TrainTime.Seconds()
+			}
+			res.Seconds[id] = append(res.Seconds[id], sum/float64(len(mr.Repeats)))
+		}
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *TableVIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI: training time of MTS methods (seconds)\n")
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, " | %8s", d)
+	}
+	fmt.Fprintln(&b)
+	for _, id := range r.Order {
+		fmt.Fprintf(&b, "%-9s", id)
+		for i := range r.Datasets {
+			fmt.Fprintf(&b, " | %8.3f", r.Seconds[id][i])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// TableVIIResult reproduces Table VII: testing time of all methods plus
+// CAD's time per round (TPR).
+type TableVIIResult struct {
+	Datasets []string
+	Seconds  map[MethodID][]float64
+	// TPRMillis is CAD's time per round in milliseconds per dataset.
+	TPRMillis []float64
+	Order     []MethodID
+}
+
+// TableVII runs the experiment.
+func (s *Suite) TableVII() (*TableVIIResult, error) {
+	runs, err := s.Headline()
+	if err != nil {
+		return nil, err
+	}
+	res := &TableVIIResult{Seconds: map[MethodID][]float64{}, Order: s.Opts.Methods}
+	for _, run := range runs {
+		res.Datasets = append(res.Datasets, run.Name)
+		cad := run.Methods[MCAD]
+		res.TPRMillis = append(res.TPRMillis, float64(cad.Best().TPR.Microseconds())/1000)
+	}
+	for _, id := range s.Opts.Methods {
+		for _, run := range runs {
+			mr := run.Methods[id]
+			var sum float64
+			for _, rr := range mr.Repeats {
+				sum += rr.TestTime.Seconds()
+			}
+			res.Seconds[id] = append(res.Seconds[id], sum/float64(len(mr.Repeats)))
+		}
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *TableVIIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VII: testing time (seconds); TPR = CAD time per round\n")
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, " | %8s", d)
+	}
+	fmt.Fprintln(&b)
+	for _, id := range r.Order {
+		fmt.Fprintf(&b, "%-9s", id)
+		for i := range r.Datasets {
+			fmt.Fprintf(&b, " | %8.3f", r.Seconds[id][i])
+		}
+		fmt.Fprintln(&b)
+		if id == MCAD {
+			fmt.Fprintf(&b, "%-9s", "TPR(ms)")
+			for _, ms := range r.TPRMillis {
+				fmt.Fprintf(&b, " | %8.3f", ms)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// TableVIIIResult reproduces Table VIII: minimum F1 over repeats
+// (robustness; deterministic methods have min = mean).
+type TableVIIIResult struct {
+	Datasets []string
+	// MinPA/MinDPA[method][dataset], percent.
+	MinPA, MinDPA map[MethodID][]float64
+	Order         []MethodID
+}
+
+// TableVIII runs the experiment.
+func (s *Suite) TableVIII() (*TableVIIIResult, error) {
+	runs, err := s.Headline()
+	if err != nil {
+		return nil, err
+	}
+	res := &TableVIIIResult{MinPA: map[MethodID][]float64{}, MinDPA: map[MethodID][]float64{}, Order: s.Opts.Methods}
+	for _, run := range runs {
+		res.Datasets = append(res.Datasets, run.Name)
+	}
+	for _, id := range s.Opts.Methods {
+		for _, run := range runs {
+			mr := run.Methods[id]
+			res.MinPA[id] = append(res.MinPA[id], mr.MinF1PA())
+			res.MinDPA[id] = append(res.MinDPA[id], mr.MinF1DPA())
+		}
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *TableVIIIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VIII: minimum F1_PA and F1_DPA over repeats (%%)\n")
+	fmt.Fprintf(&b, "%-9s", "Method")
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, " | %6s PA/DPA", d)
+	}
+	fmt.Fprintln(&b)
+	for _, id := range r.Order {
+		fmt.Fprintf(&b, "%-9s", id)
+		for i := range r.Datasets {
+			fmt.Fprintf(&b, " | %5.1f / %5.1f", r.MinPA[id][i], r.MinDPA[id][i])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func meanFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stdFloat(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := meanFloat(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+func contains(ids []MethodID, id MethodID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+// Package fft provides a radix-2 Cooley–Tukey fast Fourier transform and
+// FFT-based cross-correlation, the substrate for the shape-based distance
+// (SBD) used by k-Shape clustering and the SAND baseline.
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo is returned by Transform for invalid lengths.
+var ErrNotPowerOfTwo = errors.New("fft: length must be a power of two")
+
+// NextPow2 returns the smallest power of two ≥ n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Transform computes the in-place FFT of x (inverse when inv is true; the
+// inverse includes the 1/N scaling). len(x) must be a power of two.
+func Transform(x []complex128, inv bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return ErrNotPowerOfTwo
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inv {
+			ang = -ang
+		}
+		wBase := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wBase
+			}
+		}
+	}
+	if inv {
+		invN := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= invN
+		}
+	}
+	return nil
+}
+
+// Convolve returns the linear convolution of a and b (length
+// len(a)+len(b)−1) via FFT.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPow2(outLen)
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	// Lengths are powers of two by construction; errors are impossible.
+	_ = Transform(fa, false)
+	_ = Transform(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	_ = Transform(fa, true)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// CrossCorrelation returns the full cross-correlation sequence CC_w(x, y)
+// for shifts w = −(len(y)−1) … +(len(x)−1), indexed from 0:
+// out[s] = Σ_t x[t+s−(len(y)−1)]·y[t] over valid t.
+func CrossCorrelation(x, y []float64) []float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	// CC(x, y)(shift) = conv(x, reverse(y)).
+	ry := make([]float64, len(y))
+	for i, v := range y {
+		ry[len(y)-1-i] = v
+	}
+	return Convolve(x, ry)
+}
+
+// NCCMax returns the maximum normalized cross-correlation between x and y
+// and the shift (relative, y delayed by `shift` against x) achieving it.
+// Normalization is by ‖x‖·‖y‖; constant (zero-norm) inputs yield 0.
+func NCCMax(x, y []float64) (ncc float64, shift int) {
+	cc := CrossCorrelation(x, y)
+	var nx, ny float64
+	for _, v := range x {
+		nx += v * v
+	}
+	for _, v := range y {
+		ny += v * v
+	}
+	denom := math.Sqrt(nx * ny)
+	if denom == 0 || len(cc) == 0 {
+		return 0, 0
+	}
+	best, bestIdx := math.Inf(-1), 0
+	for i, v := range cc {
+		if v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return best / denom, bestIdx - (len(y) - 1)
+}
+
+// SBD is the shape-based distance of k-Shape: 1 − max_w NCC_w(x, y),
+// in [0, 2].
+func SBD(x, y []float64) float64 {
+	ncc, _ := NCCMax(x, y)
+	return 1 - ncc
+}

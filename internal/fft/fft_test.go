@@ -1,0 +1,216 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTransformKnown(t *testing.T) {
+	// FFT of [1,1,1,1] = [4,0,0,0].
+	x := []complex128{1, 1, 1, 1}
+	if err := Transform(x, false); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-4) > 1e-12 {
+		t.Errorf("x[0] = %v, want 4", x[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want 0", i, x[i])
+		}
+	}
+	// Impulse → flat spectrum.
+	y := []complex128{1, 0, 0, 0}
+	_ = Transform(y, false)
+	for i := range y {
+		if cmplx.Abs(y[i]-1) > 1e-12 {
+			t.Errorf("impulse spectrum[%d] = %v", i, y[i])
+		}
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	if err := Transform(make([]complex128, 3), false); err != ErrNotPowerOfTwo {
+		t.Errorf("len 3: %v", err)
+	}
+	if err := Transform(nil, false); err != ErrNotPowerOfTwo {
+		t.Errorf("len 0: %v", err)
+	}
+}
+
+// Property: inverse(FFT(x)) == x.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(9))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := Transform(x, false); err != nil {
+			return false
+		}
+		if err := Transform(x, true); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func naiveConvolve(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 1+rng.Intn(40))
+		b := make([]float64, 1+rng.Intn(40))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got := Convolve(a, b)
+		want := naiveConvolve(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("length %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: conv[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestCrossCorrelationShiftRecovery(t *testing.T) {
+	// y is x delayed by 5: max correlation at shift −5... define via NCCMax.
+	n := 64
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	delay := 5
+	for i := delay; i < n; i++ {
+		y[i] = x[i-delay]
+	}
+	ncc, shift := NCCMax(x, y)
+	if ncc < 0.8 {
+		t.Errorf("NCC = %v, want high", ncc)
+	}
+	// Aligning y back onto x requires shifting by −delay (mod period
+	// ambiguity for pure sinusoids: accept −5 or 16−5=11).
+	if shift != -delay && shift != 16-delay {
+		t.Errorf("shift = %d, want %d (or %d)", shift, -delay, 16-delay)
+	}
+}
+
+func TestNCCMaxIdentical(t *testing.T) {
+	x := []float64{1, 2, 3, 2, 1, 0, -1}
+	ncc, shift := NCCMax(x, x)
+	if math.Abs(ncc-1) > 1e-9 || shift != 0 {
+		t.Errorf("self NCC = %v at shift %d, want 1 at 0", ncc, shift)
+	}
+}
+
+func TestNCCMaxZeroNorm(t *testing.T) {
+	ncc, _ := NCCMax([]float64{0, 0, 0}, []float64{1, 2, 3})
+	if ncc != 0 {
+		t.Errorf("zero-norm NCC = %v", ncc)
+	}
+}
+
+func TestSBD(t *testing.T) {
+	x := []float64{0, 1, 0, -1, 0, 1, 0, -1}
+	if d := SBD(x, x); math.Abs(d) > 1e-9 {
+		t.Errorf("SBD(x,x) = %v, want 0", d)
+	}
+	neg := make([]float64, len(x))
+	for i, v := range x {
+		neg[i] = -v
+	}
+	// Shift-invariance: a pure periodic inverse aligns at half period, so
+	// SBD stays small; an uncorrelated series does not.
+	rng := rand.New(rand.NewSource(3))
+	noise := make([]float64, len(x))
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	if SBD(x, neg) > 0.5 {
+		t.Errorf("SBD to shifted inverse = %v, want small", SBD(x, neg))
+	}
+	if d := SBD(x, noise); d < 0 || d > 2 {
+		t.Errorf("SBD out of [0,2]: %v", d)
+	}
+}
+
+// Property: SBD is within [0, 2] and symmetric up to the shift asymmetry of
+// cross-correlation (SBD(x,y) == SBD(y,x) because max NCC is symmetric).
+func TestSBDProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		a, b := SBD(x, y), SBD(y, x)
+		if a < -1e-9 || a > 2+1e-9 {
+			return false
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConvolve1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 1024)
+	y := make([]float64, 1024)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Convolve(x, y)
+	}
+}

@@ -1,0 +1,360 @@
+// Package hnsw implements a Hierarchical Navigable Small World index
+// (Malkov & Yashunin, TPAMI 2018) for approximate nearest-neighbor search
+// under a pluggable distance. The paper's complexity analysis (§IV-F)
+// relies on an O(n log n) TSG construction via such an index when the
+// window is small; internal/tsg uses this package as its approximate
+// builder for large sensor counts.
+package hnsw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrEmpty is returned when searching an index with no items.
+var ErrEmpty = errors.New("hnsw: empty index")
+
+// Distance computes the dissimilarity of two vectors. Smaller is closer.
+// It must be symmetric and non-negative.
+type Distance func(a, b []float64) float64
+
+// Euclidean is the squared Euclidean distance (monotone in the true
+// metric, cheaper to compute).
+func Euclidean(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// CorrelationDistance is 1 − |dot(a, b)| for unit-normalized vectors, i.e.
+// 1 − |Pearson correlation| when the inputs are standardized rows. Strong
+// positive and strong negative correlations are both "close", matching the
+// TSG's use of correlation magnitude.
+func CorrelationDistance(a, b []float64) float64 {
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	if dot < 0 {
+		dot = -dot
+	}
+	if dot > 1 {
+		dot = 1
+	}
+	return 1 - dot
+}
+
+// Config tunes the index.
+type Config struct {
+	// M is the maximum number of neighbors per node per layer (default
+	// 12). Layer 0 allows 2·M.
+	M int
+	// EfConstruction is the candidate-list width during insertion
+	// (default 100).
+	EfConstruction int
+	// Seed drives level assignment; equal seeds give identical graphs.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.M <= 0 {
+		c.M = 12
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 100
+	}
+}
+
+// Index is an HNSW graph over inserted vectors. It is not safe for
+// concurrent mutation; concurrent Search is safe after construction.
+type Index struct {
+	cfg  Config
+	dist Distance
+	rng  *rand.Rand
+	ml   float64
+
+	vecs   [][]float64
+	levels []int
+	// links[level][node] = neighbor ids; level-0 slice covers all nodes.
+	links [][][]int32
+	entry int
+	maxL  int
+}
+
+// New creates an empty index.
+func New(dist Distance, cfg Config) *Index {
+	cfg.fill()
+	return &Index{
+		cfg:   cfg,
+		dist:  dist,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		ml:    1 / math.Log(float64(cfg.M)),
+		entry: -1,
+	}
+}
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.vecs) }
+
+// randomLevel draws the insertion level.
+func (ix *Index) randomLevel() int {
+	return int(-math.Log(ix.rng.Float64()+1e-12) * ix.ml)
+}
+
+type cand struct {
+	id int
+	d  float64
+}
+
+// searchLayer is the greedy best-first search of one layer, returning up to
+// ef closest candidates to q.
+func (ix *Index) searchLayer(q []float64, entry int, ef, level int) []cand {
+	visited := map[int]bool{entry: true}
+	start := cand{entry, ix.dist(q, ix.vecs[entry])}
+	// Candidates: min-ordered slice; results: max-ordered (worst first).
+	cands := []cand{start}
+	results := []cand{start}
+	for len(cands) > 0 {
+		// Pop nearest candidate.
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].d < cands[best].d {
+				best = i
+			}
+		}
+		c := cands[best]
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+		// Worst result.
+		worst := results[0]
+		for _, r := range results {
+			if r.d > worst.d {
+				worst = r
+			}
+		}
+		if c.d > worst.d && len(results) >= ef {
+			break
+		}
+		for _, nb := range ix.neighbors(c.id, level) {
+			if visited[int(nb)] {
+				continue
+			}
+			visited[int(nb)] = true
+			d := ix.dist(q, ix.vecs[nb])
+			if len(results) < ef || d < worstOf(results).d {
+				cands = append(cands, cand{int(nb), d})
+				results = append(results, cand{int(nb), d})
+				if len(results) > ef {
+					// Drop the worst.
+					wi := 0
+					for i := 1; i < len(results); i++ {
+						if results[i].d > results[wi].d {
+							wi = i
+						}
+					}
+					results[wi] = results[len(results)-1]
+					results = results[:len(results)-1]
+				}
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].d != results[j].d {
+			return results[i].d < results[j].d
+		}
+		return results[i].id < results[j].id
+	})
+	return results
+}
+
+func worstOf(rs []cand) cand {
+	w := rs[0]
+	for _, r := range rs[1:] {
+		if r.d > w.d {
+			w = r
+		}
+	}
+	return w
+}
+
+func (ix *Index) neighbors(node, level int) []int32 {
+	if level >= len(ix.links) {
+		return nil
+	}
+	if node >= len(ix.links[level]) {
+		return nil
+	}
+	return ix.links[level][node]
+}
+
+func (ix *Index) setNeighbors(node, level int, nbs []int32) {
+	for level >= len(ix.links) {
+		ix.links = append(ix.links, make([][]int32, len(ix.vecs)))
+	}
+	for node >= len(ix.links[level]) {
+		ix.links[level] = append(ix.links[level], nil)
+	}
+	ix.links[level][node] = nbs
+}
+
+// selectNeighbors keeps the M closest candidates (simple heuristic; the
+// paper's diversity heuristic adds little for correlation graphs of this
+// size).
+func selectNeighbors(cs []cand, m int) []cand {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].d != cs[j].d {
+			return cs[i].d < cs[j].d
+		}
+		return cs[i].id < cs[j].id
+	})
+	if len(cs) > m {
+		cs = cs[:m]
+	}
+	return cs
+}
+
+// Add inserts a vector and returns its id.
+func (ix *Index) Add(vec []float64) int {
+	id := len(ix.vecs)
+	ix.vecs = append(ix.vecs, vec)
+	level := ix.randomLevel()
+	ix.levels = append(ix.levels, level)
+	for l := 0; l <= level; l++ {
+		ix.setNeighbors(id, l, nil)
+	}
+	if ix.entry < 0 {
+		ix.entry = id
+		ix.maxL = level
+		return id
+	}
+	cur := ix.entry
+	// Descend through upper layers greedily.
+	for l := ix.maxL; l > level; l-- {
+		cur = ix.greedyClosest(vec, cur, l)
+	}
+	// Insert into layers min(level, maxL)..0.
+	top := level
+	if top > ix.maxL {
+		top = ix.maxL
+	}
+	for l := top; l >= 0; l-- {
+		res := ix.searchLayer(vec, cur, ix.cfg.EfConstruction, l)
+		m := ix.cfg.M
+		if l == 0 {
+			m = 2 * ix.cfg.M
+		}
+		selected := selectNeighbors(append([]cand(nil), res...), m)
+		nbs := make([]int32, len(selected))
+		for i, c := range selected {
+			nbs[i] = int32(c.id)
+		}
+		ix.setNeighbors(id, l, nbs)
+		// Back-links with pruning.
+		for _, c := range selected {
+			back := append(ix.neighbors(c.id, l), int32(id))
+			if len(back) > m {
+				bc := make([]cand, len(back))
+				for i, b := range back {
+					bc[i] = cand{int(b), ix.dist(ix.vecs[c.id], ix.vecs[b])}
+				}
+				bc = selectNeighbors(bc, m)
+				back = back[:0]
+				for _, b := range bc {
+					back = append(back, int32(b.id))
+				}
+			}
+			ix.setNeighbors(c.id, l, back)
+		}
+		if len(res) > 0 {
+			cur = res[0].id
+		}
+	}
+	if level > ix.maxL {
+		ix.maxL = level
+		ix.entry = id
+	}
+	return id
+}
+
+func (ix *Index) greedyClosest(q []float64, entry, level int) int {
+	cur := entry
+	curD := ix.dist(q, ix.vecs[cur])
+	for {
+		improved := false
+		for _, nb := range ix.neighbors(cur, level) {
+			if d := ix.dist(q, ix.vecs[nb]); d < curD {
+				cur, curD = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// Result is one search hit.
+type Result struct {
+	ID       int
+	Distance float64
+}
+
+// Search returns the (approximately) k nearest items to q. ef ≥ k widens
+// the beam (0 means max(2k, 32)).
+func (ix *Index) Search(q []float64, k, ef int) ([]Result, error) {
+	if ix.entry < 0 {
+		return nil, ErrEmpty
+	}
+	if ef < k {
+		ef = 2 * k
+		if ef < 32 {
+			ef = 32
+		}
+	}
+	cur := ix.entry
+	for l := ix.maxL; l > 0; l-- {
+		cur = ix.greedyClosest(q, cur, l)
+	}
+	res := ix.searchLayer(q, cur, ef, 0)
+	if len(res) > k {
+		res = res[:k]
+	}
+	out := make([]Result, len(res))
+	for i, c := range res {
+		out[i] = Result{ID: c.id, Distance: c.d}
+	}
+	return out, nil
+}
+
+// KNNGraph builds the k-NN lists of all indexed items, excluding each item
+// itself. It is the bulk operation the TSG builder uses.
+func (ix *Index) KNNGraph(k, ef int) ([][]Result, error) {
+	if ix.entry < 0 {
+		return nil, ErrEmpty
+	}
+	out := make([][]Result, len(ix.vecs))
+	for id, vec := range ix.vecs {
+		res, err := ix.Search(vec, k+1, ef)
+		if err != nil {
+			return nil, fmt.Errorf("hnsw: node %d: %w", id, err)
+		}
+		trimmed := make([]Result, 0, k)
+		for _, r := range res {
+			if r.ID == id {
+				continue
+			}
+			trimmed = append(trimmed, r)
+			if len(trimmed) == k {
+				break
+			}
+		}
+		out[id] = trimmed
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package hnsw
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randVecs(seed int64, n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// exactKNN is the brute-force reference.
+func exactKNN(vecs [][]float64, q []float64, k int, dist Distance, skip int) []int {
+	type nd struct {
+		id int
+		d  float64
+	}
+	var all []nd
+	for i, v := range vecs {
+		if i == skip {
+			continue
+		}
+		all = append(all, nd{i, dist(q, v)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].id < all[j].id
+	})
+	ids := make([]int, 0, k)
+	for i := 0; i < k && i < len(all); i++ {
+		ids = append(ids, all[i].id)
+	}
+	return ids
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(Euclidean, Config{})
+	if ix.Len() != 0 {
+		t.Error("fresh index not empty")
+	}
+	if _, err := ix.Search([]float64{1}, 3, 0); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := ix.KNNGraph(3, 0); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	ix := New(Euclidean, Config{Seed: 1})
+	id := ix.Add([]float64{1, 2})
+	if id != 0 || ix.Len() != 1 {
+		t.Fatalf("id=%d len=%d", id, ix.Len())
+	}
+	res, err := ix.Search([]float64{1, 2}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 0 || res[0].Distance != 0 {
+		t.Errorf("res = %v", res)
+	}
+}
+
+func TestRecallAgainstExact(t *testing.T) {
+	vecs := randVecs(2, 300, 8)
+	ix := New(Euclidean, Config{M: 12, EfConstruction: 120, Seed: 3})
+	for _, v := range vecs {
+		ix.Add(v)
+	}
+	const k = 10
+	queries := randVecs(4, 30, 8)
+	hits, total := 0, 0
+	for _, q := range queries {
+		want := exactKNN(vecs, q, k, Euclidean, -1)
+		got, err := ix.Search(q, k, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inWant := map[int]bool{}
+		for _, id := range want {
+			inWant[id] = true
+		}
+		for _, r := range got {
+			if inWant[r.ID] {
+				hits++
+			}
+		}
+		total += k
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.9 {
+		t.Errorf("recall = %.3f, want ≥ 0.9", recall)
+	}
+}
+
+func TestKNNGraphRecall(t *testing.T) {
+	vecs := randVecs(5, 200, 6)
+	ix := New(Euclidean, Config{M: 10, EfConstruction: 100, Seed: 6})
+	for _, v := range vecs {
+		ix.Add(v)
+	}
+	const k = 8
+	graph, err := ix.KNNGraph(k, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graph) != 200 {
+		t.Fatalf("graph size %d", len(graph))
+	}
+	hits, total := 0, 0
+	for id, nbs := range graph {
+		if len(nbs) != k {
+			t.Fatalf("node %d has %d neighbors", id, len(nbs))
+		}
+		for _, r := range nbs {
+			if r.ID == id {
+				t.Fatalf("node %d lists itself", id)
+			}
+		}
+		want := exactKNN(vecs, vecs[id], k, Euclidean, id)
+		inWant := map[int]bool{}
+		for _, w := range want {
+			inWant[w] = true
+		}
+		for _, r := range nbs {
+			if inWant[r.ID] {
+				hits++
+			}
+		}
+		total += k
+	}
+	if recall := float64(hits) / float64(total); recall < 0.85 {
+		t.Errorf("graph recall = %.3f, want ≥ 0.85", recall)
+	}
+}
+
+func TestCorrelationDistance(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 1, 0}
+	if d := CorrelationDistance(a, b); d != 1 {
+		t.Errorf("orthogonal distance = %v, want 1", d)
+	}
+	if d := CorrelationDistance(a, a); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+	neg := []float64{-1, 0, 0}
+	if d := CorrelationDistance(a, neg); d != 0 {
+		t.Errorf("anti-parallel distance = %v, want 0 (|r| metric)", d)
+	}
+	// Guards against numeric overshoot.
+	long := []float64{1.0000001, 0, 0}
+	if d := CorrelationDistance(long, long); d < 0 {
+		t.Errorf("distance went negative: %v", d)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if d := Euclidean([]float64{0, 3}, []float64{4, 0}); d != 25 {
+		t.Errorf("squared distance = %v, want 25", d)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	vecs := randVecs(7, 100, 4)
+	build := func() *Index {
+		ix := New(Euclidean, Config{Seed: 9})
+		for _, v := range vecs {
+			ix.Add(v)
+		}
+		return ix
+	}
+	a, b := build(), build()
+	q := []float64{0.1, -0.2, 0.3, 0}
+	ra, _ := a.Search(q, 5, 50)
+	rb, _ := b.Search(q, 5, 50)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatal("same seed must reproduce searches")
+		}
+	}
+}
+
+// Property: search results are sorted by distance and contain no
+// duplicates.
+func TestSearchProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		vecs := randVecs(seed, n, 5)
+		ix := New(Euclidean, Config{M: 8, EfConstruction: 60, Seed: seed})
+		for _, v := range vecs {
+			ix.Add(v)
+		}
+		q := make([]float64, 5)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(10)
+		res, err := ix.Search(q, k, 0)
+		if err != nil || len(res) == 0 || len(res) > k {
+			return false
+		}
+		seen := map[int]bool{}
+		for i, r := range res {
+			if seen[r.ID] || math.IsNaN(r.Distance) {
+				return false
+			}
+			seen[r.ID] = true
+			if i > 0 && res[i-1].Distance > r.Distance+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd1000(b *testing.B) {
+	vecs := randVecs(8, 1000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := New(Euclidean, Config{Seed: int64(i)})
+		for _, v := range vecs {
+			ix.Add(v)
+		}
+	}
+}
+
+func BenchmarkSearch1000(b *testing.B) {
+	vecs := randVecs(9, 1000, 8)
+	ix := New(Euclidean, Config{Seed: 1})
+	for _, v := range vecs {
+		ix.Add(v)
+	}
+	q := vecs[500]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(q, 10, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

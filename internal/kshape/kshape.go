@@ -1,0 +1,226 @@
+// Package kshape implements k-Shape clustering (Paparrizos & Gravano,
+// SIGMOD 2015) for equal-length subsequences: assignment uses the
+// shape-based distance (SBD, 1 − max normalized cross-correlation) and
+// refinement extracts each cluster's shape as the dominant eigenvector of
+// the centered similarity matrix of its aligned members (computed by power
+// iteration). It is the clustering substrate of the SAND baseline.
+package kshape
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cad/internal/fft"
+	"cad/internal/stats"
+)
+
+// ErrBadInput reports invalid clustering input.
+var ErrBadInput = errors.New("kshape: bad input")
+
+// Result is the outcome of Cluster.
+type Result struct {
+	// Assign maps each input series to its cluster in [0, K).
+	Assign []int
+	// Centroids are the z-normalized cluster shapes.
+	Centroids [][]float64
+	// Sizes is the member count per cluster.
+	Sizes []int
+	// Iters is the number of refinement iterations executed.
+	Iters int
+}
+
+// AlignTo returns x circularly shifted so that its cross-correlation with
+// ref is maximal, padding with zeros (the k-Shape alignment step).
+func AlignTo(ref, x []float64) []float64 {
+	_, shift := fft.NCCMax(ref, x)
+	out := make([]float64, len(x))
+	for i := range x {
+		j := i + shift
+		if j >= 0 && j < len(out) {
+			out[j] = x[i]
+		}
+	}
+	return out
+}
+
+// shapeExtract computes the cluster shape from aligned, z-normalized
+// members: the dominant eigenvector of M = Q·Sᵀ·S·Q with Q the centering
+// matrix, via power iteration.
+func shapeExtract(members [][]float64, seed int64) []float64 {
+	m := len(members)
+	if m == 0 {
+		return nil
+	}
+	l := len(members[0])
+	// S = Σ x xᵀ (ℓ×ℓ).
+	s := make([][]float64, l)
+	for i := range s {
+		s[i] = make([]float64, l)
+	}
+	for _, x := range members {
+		for i := 0; i < l; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			for j := 0; j < l; j++ {
+				s[i][j] += x[i] * x[j]
+			}
+		}
+	}
+	// M = Q S Q with Q = I − (1/ℓ)·11ᵀ. Apply centering on both sides.
+	rowMean := make([]float64, l)
+	var total float64
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			rowMean[i] += s[i][j]
+		}
+		total += rowMean[i]
+		rowMean[i] /= float64(l)
+	}
+	total /= float64(l * l)
+	colMean := make([]float64, l)
+	for j := 0; j < l; j++ {
+		for i := 0; i < l; i++ {
+			colMean[j] += s[i][j]
+		}
+		colMean[j] /= float64(l)
+	}
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			s[i][j] += total - rowMean[i] - colMean[j]
+		}
+	}
+	// Power iteration for the dominant eigenvector.
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, l)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	tmp := make([]float64, l)
+	for iter := 0; iter < 64; iter++ {
+		for i := 0; i < l; i++ {
+			var sum float64
+			for j := 0; j < l; j++ {
+				sum += s[i][j] * v[j]
+			}
+			tmp[i] = sum
+		}
+		var norm float64
+		for _, x := range tmp {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			break
+		}
+		for i := range v {
+			v[i] = tmp[i] / norm
+		}
+	}
+	// Fix sign: the shape should correlate positively with the members.
+	var dot float64
+	for _, x := range members {
+		for i := 0; i < l; i++ {
+			dot += x[i] * v[i]
+		}
+	}
+	if dot < 0 {
+		for i := range v {
+			v[i] = -v[i]
+		}
+	}
+	return stats.ZNormalize(v)
+}
+
+// Cluster partitions the z-normalized series into k shape clusters. All
+// series must share one length. maxIter caps refinement passes (≤ 0 means
+// 20). The seed drives the initial random assignment, making runs
+// reproducible.
+func Cluster(series [][]float64, k, maxIter int, seed int64) (Result, error) {
+	n := len(series)
+	if n == 0 {
+		return Result{}, fmt.Errorf("%w: no series", ErrBadInput)
+	}
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("%w: k=%d for %d series", ErrBadInput, k, n)
+	}
+	l := len(series[0])
+	if l == 0 {
+		return Result{}, fmt.Errorf("%w: empty series", ErrBadInput)
+	}
+	for _, s := range series {
+		if len(s) != l {
+			return Result{}, fmt.Errorf("%w: ragged series", ErrBadInput)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	norm := make([][]float64, n)
+	for i, s := range series {
+		norm[i] = stats.ZNormalize(s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{
+		Assign:    make([]int, n),
+		Centroids: make([][]float64, k),
+		Sizes:     make([]int, k),
+	}
+	for i := range res.Assign {
+		res.Assign[i] = rng.Intn(k)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iters = iter + 1
+		// Refinement: extract each cluster's shape.
+		for c := 0; c < k; c++ {
+			var members [][]float64
+			var ref []float64
+			if res.Centroids[c] != nil {
+				ref = res.Centroids[c]
+			}
+			for i, a := range res.Assign {
+				if a != c {
+					continue
+				}
+				x := norm[i]
+				if ref != nil {
+					x = AlignTo(ref, x)
+				}
+				members = append(members, x)
+			}
+			if len(members) == 0 {
+				// Empty cluster: reseed with a random series.
+				res.Centroids[c] = append([]float64(nil), norm[rng.Intn(n)]...)
+				continue
+			}
+			res.Centroids[c] = shapeExtract(members, seed+int64(c))
+		}
+		// Assignment.
+		changed := false
+		for i := range norm {
+			best, bestD := res.Assign[i], math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := fft.SBD(res.Centroids[c], norm[i])
+				if d < bestD-1e-12 {
+					best, bestD = c, d
+				}
+			}
+			if best != res.Assign[i] {
+				res.Assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	for c := range res.Sizes {
+		res.Sizes[c] = 0
+	}
+	for _, a := range res.Assign {
+		res.Sizes[a]++
+	}
+	return res, nil
+}

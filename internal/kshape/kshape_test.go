@@ -1,0 +1,169 @@
+package kshape
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cad/internal/fft"
+)
+
+// twoShapeSeries builds n series: half sine-shaped, half square-shaped,
+// with random phase shifts and small noise.
+func twoShapeSeries(seed int64, n, l int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	series := make([][]float64, n)
+	truth := make([]int, n)
+	for i := range series {
+		series[i] = make([]float64, l)
+		shift := rng.Intn(l / 4)
+		if i%2 == 0 {
+			for t := 0; t < l; t++ {
+				series[i][t] = math.Sin(2*math.Pi*float64(t+shift)/float64(l)) + 0.05*rng.NormFloat64()
+			}
+			truth[i] = 0
+		} else {
+			for t := 0; t < l; t++ {
+				v := -1.0
+				if (t+shift)%l < l/2 {
+					v = 1.0
+				}
+				series[i][t] = v + 0.05*rng.NormFloat64()
+			}
+			truth[i] = 1
+		}
+	}
+	return series, truth
+}
+
+func TestClusterTwoShapes(t *testing.T) {
+	series, truth := twoShapeSeries(1, 20, 32)
+	res, err := Cluster(series, 2, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 20 || len(res.Centroids) != 2 {
+		t.Fatalf("result shapes: %d assigns, %d centroids", len(res.Assign), len(res.Centroids))
+	}
+	// Clustering must agree with the truth up to label permutation.
+	agree, disagree := 0, 0
+	for i := range truth {
+		if res.Assign[i] == truth[i] {
+			agree++
+		} else {
+			disagree++
+		}
+	}
+	best := agree
+	if disagree > best {
+		best = disagree
+	}
+	if best < 18 {
+		t.Errorf("only %d/20 consistent with ground truth (assign=%v)", best, res.Assign)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 20 {
+		t.Errorf("sizes sum to %d", total)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(nil, 2, 10, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty input: %v", err)
+	}
+	s := [][]float64{{1, 2}, {3, 4}}
+	if _, err := Cluster(s, 0, 10, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("k=0: %v", err)
+	}
+	if _, err := Cluster(s, 3, 10, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("k>n: %v", err)
+	}
+	if _, err := Cluster([][]float64{{1, 2}, {3}}, 1, 10, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("ragged: %v", err)
+	}
+	if _, err := Cluster([][]float64{{}}, 1, 10, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty series: %v", err)
+	}
+}
+
+func TestClusterSingle(t *testing.T) {
+	series, _ := twoShapeSeries(2, 6, 16)
+	res, err := Cluster(series, 1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Errorf("k=1 assignment %v", res.Assign)
+		}
+	}
+	if res.Sizes[0] != 6 {
+		t.Errorf("size %d", res.Sizes[0])
+	}
+}
+
+func TestClusterDeterministicSeed(t *testing.T) {
+	series, _ := twoShapeSeries(3, 16, 32)
+	a, err := Cluster(series, 2, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(series, 2, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestAlignTo(t *testing.T) {
+	ref := []float64{0, 0, 1, 2, 1, 0, 0, 0}
+	x := []float64{1, 2, 1, 0, 0, 0, 0, 0} // ref advanced by 2
+	aligned := AlignTo(ref, x)
+	if d := fft.SBD(ref, aligned); d > 0.05 {
+		t.Errorf("aligned SBD = %v, want ≈ 0", d)
+	}
+	if aligned[3] != 2 {
+		t.Errorf("aligned = %v, want peak at index 3", aligned)
+	}
+}
+
+func TestShapeExtractRecoverSine(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	members := make([][]float64, 10)
+	l := 32
+	for i := range members {
+		members[i] = make([]float64, l)
+		for t := 0; t < l; t++ {
+			members[i][t] = math.Sin(2*math.Pi*float64(t)/float64(l)) + 0.02*rng.NormFloat64()
+		}
+	}
+	shape := shapeExtract(members, 1)
+	if len(shape) != l {
+		t.Fatalf("shape length %d", len(shape))
+	}
+	// The extracted shape should strongly correlate with the sine.
+	if d := fft.SBD(members[0], shape); d > 0.1 {
+		t.Errorf("SBD(member, shape) = %v, want small", d)
+	}
+	if shapeExtract(nil, 1) != nil {
+		t.Error("empty members should return nil")
+	}
+}
+
+func BenchmarkCluster40x64(b *testing.B) {
+	series, _ := twoShapeSeries(6, 40, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(series, 3, 10, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package louvain implements the Louvain method for community detection
+// (Blondel et al. 2008), the partitioning step CAD runs on every TSG
+// (paper §IV-B). The implementation is deterministic: vertices are scanned
+// in ascending id order and ties in modularity gain break toward the
+// lowest community id, so repeated runs on the same graph yield the same
+// partition — a property the paper's robustness claims rely on.
+package louvain
+
+import (
+	"sort"
+
+	"cad/internal/tsg"
+)
+
+// Partition assigns each vertex a community id in [0, Count). Ids are
+// compacted (consecutive from 0) and canonicalized: community ids appear in
+// order of their lowest member vertex.
+type Partition struct {
+	// Of[v] is the community id of vertex v.
+	Of []int
+	// Count is the number of communities.
+	Count int
+}
+
+// Members returns the vertex sets of each community, indexed by community
+// id, each sorted ascending.
+func (p Partition) Members() [][]int {
+	out := make([][]int, p.Count)
+	for v, c := range p.Of {
+		out[c] = append(out[c], v)
+	}
+	return out
+}
+
+// Same reports whether vertices u and v share a community.
+func (p Partition) Same(u, v int) bool { return p.Of[u] == p.Of[v] }
+
+// weightedGraph is the flattened, aggregated representation the passes
+// operate on.
+type weightedGraph struct {
+	n        int
+	adjIdx   [][]int     // neighbor ids per vertex
+	adjW     [][]float64 // parallel weights (≥ 0)
+	selfLoop []float64   // aggregated self-loop weight per vertex
+	degree   []float64   // weighted degree incl. 2·selfLoop
+	total2m  float64     // 2m = Σ degree
+}
+
+func fromTSG(g *tsg.Graph) *weightedGraph {
+	n := g.N()
+	wg := &weightedGraph{
+		n:        n,
+		adjIdx:   make([][]int, n),
+		adjW:     make([][]float64, n),
+		selfLoop: make([]float64, n),
+		degree:   make([]float64, n),
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.NeighborsSorted(u) {
+			w, _ := g.Weight(u, v)
+			if w < 0 {
+				w = -w // correlation strength
+			}
+			if w == 0 {
+				continue
+			}
+			wg.adjIdx[u] = append(wg.adjIdx[u], v)
+			wg.adjW[u] = append(wg.adjW[u], w)
+			wg.degree[u] += w
+		}
+	}
+	for _, d := range wg.degree {
+		wg.total2m += d
+	}
+	return wg
+}
+
+// Communities partitions the TSG into communities by modularity
+// optimization. Edgeless graphs (or all-zero weights) yield singleton
+// communities.
+func Communities(g *tsg.Graph) Partition {
+	n := g.N()
+	if n == 0 {
+		return Partition{Of: nil, Count: 0}
+	}
+	wg := fromTSG(g)
+	if wg.total2m == 0 {
+		return singletons(n)
+	}
+
+	// node2final[v] tracks which aggregated node each original vertex
+	// currently maps to.
+	node2final := make([]int, n)
+	for i := range node2final {
+		node2final[i] = i
+	}
+
+	for {
+		comm, moved := onePass(wg)
+		if !moved {
+			// Map aggregated communities back to original vertices.
+			of := make([]int, n)
+			for v := range of {
+				of[v] = comm[node2final[v]]
+			}
+			return canonicalize(of)
+		}
+		// Aggregate graph by communities and recurse.
+		wg = aggregate(wg, comm)
+		for v := range node2final {
+			node2final[v] = comm[node2final[v]]
+		}
+		if wg.n == 1 {
+			of := make([]int, n)
+			return canonicalize(of)
+		}
+	}
+}
+
+func singletons(n int) Partition {
+	of := make([]int, n)
+	for i := range of {
+		of[i] = i
+	}
+	return Partition{Of: of, Count: n}
+}
+
+// onePass runs local moving until no vertex improves modularity, returning
+// the compacted community assignment of the aggregated graph and whether any
+// move happened at all.
+func onePass(wg *weightedGraph) (comm []int, movedAny bool) {
+	n := wg.n
+	comm = make([]int, n)
+	commDegree := make([]float64, n) // Σ degree of members
+	for i := 0; i < n; i++ {
+		comm[i] = i
+		commDegree[i] = wg.degree[i]
+	}
+	twoM := wg.total2m
+	neighW := make(map[int]float64, 16)
+
+	improved := true
+	for improved {
+		improved = false
+		for v := 0; v < n; v++ {
+			cv := comm[v]
+			// Weight from v to each neighboring community.
+			for k := range neighW {
+				delete(neighW, k)
+			}
+			for idx, u := range wg.adjIdx[v] {
+				if u == v {
+					continue
+				}
+				neighW[comm[u]] += wg.adjW[v][idx]
+			}
+			// Remove v from its community.
+			commDegree[cv] -= wg.degree[v]
+			// Gain of joining community c:
+			//   ΔQ ∝ w(v→c) − degree(v)·Σdeg(c)/2m
+			best, bestGain := cv, neighW[cv]-wg.degree[v]*commDegree[cv]/twoM
+			// Deterministic order over candidate communities.
+			cands := make([]int, 0, len(neighW))
+			for c := range neighW {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
+			for _, c := range cands {
+				gain := neighW[c] - wg.degree[v]*commDegree[c]/twoM
+				if gain > bestGain+1e-12 {
+					best, bestGain = c, gain
+				} else if gain > bestGain-1e-12 && c < best {
+					// Tie: break toward the lower community id.
+					best, bestGain = c, gain
+				}
+			}
+			commDegree[best] += wg.degree[v]
+			if best != cv {
+				comm[v] = best
+				improved = true
+				movedAny = true
+			}
+		}
+	}
+	// Compact ids.
+	remap := make(map[int]int, n)
+	next := 0
+	for v := 0; v < n; v++ {
+		if _, ok := remap[comm[v]]; !ok {
+			remap[comm[v]] = next
+			next++
+		}
+		comm[v] = remap[comm[v]]
+	}
+	return comm, movedAny
+}
+
+// aggregate collapses each community into a single node.
+func aggregate(wg *weightedGraph, comm []int) *weightedGraph {
+	nc := 0
+	for _, c := range comm {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	out := &weightedGraph{
+		n:        nc,
+		adjIdx:   make([][]int, nc),
+		adjW:     make([][]float64, nc),
+		selfLoop: make([]float64, nc),
+		degree:   make([]float64, nc),
+	}
+	edges := make([]map[int]float64, nc)
+	for i := range edges {
+		edges[i] = make(map[int]float64)
+	}
+	for v := 0; v < wg.n; v++ {
+		cv := comm[v]
+		out.selfLoop[cv] += wg.selfLoop[v]
+		for idx, u := range wg.adjIdx[v] {
+			cu := comm[u]
+			w := wg.adjW[v][idx]
+			if cu == cv {
+				// Each intra-community edge is visited from both
+				// endpoints; halve to count once.
+				out.selfLoop[cv] += w / 2
+			} else {
+				edges[cv][cu] += w
+			}
+		}
+	}
+	for c := 0; c < nc; c++ {
+		ids := make([]int, 0, len(edges[c]))
+		for u := range edges[c] {
+			ids = append(ids, u)
+		}
+		sort.Ints(ids)
+		for _, u := range ids {
+			out.adjIdx[c] = append(out.adjIdx[c], u)
+			out.adjW[c] = append(out.adjW[c], edges[c][u])
+			out.degree[c] += edges[c][u]
+		}
+		out.degree[c] += 2 * out.selfLoop[c]
+	}
+	for _, d := range out.degree {
+		out.total2m += d
+	}
+	return out
+}
+
+// canonicalize renumbers communities so ids increase with the lowest member
+// vertex, making partitions comparable across runs.
+func canonicalize(of []int) Partition {
+	remap := make(map[int]int)
+	next := 0
+	out := make([]int, len(of))
+	for v, c := range of {
+		id, ok := remap[c]
+		if !ok {
+			id = next
+			remap[c] = id
+			next++
+		}
+		out[v] = id
+	}
+	return Partition{Of: out, Count: next}
+}
+
+// Modularity computes Newman's modularity Q of the partition on g, using
+// absolute edge weights. Useful for testing and ablation.
+func Modularity(g *tsg.Graph, p Partition) float64 {
+	wg := fromTSG(g)
+	if wg.total2m == 0 {
+		return 0
+	}
+	var q float64
+	commDeg := make([]float64, p.Count)
+	for v := 0; v < wg.n; v++ {
+		commDeg[p.Of[v]] += wg.degree[v]
+	}
+	var intra float64
+	for v := 0; v < wg.n; v++ {
+		for idx, u := range wg.adjIdx[v] {
+			if p.Of[u] == p.Of[v] {
+				intra += wg.adjW[v][idx]
+			}
+		}
+	}
+	q = intra / wg.total2m
+	for _, d := range commDeg {
+		q -= (d / wg.total2m) * (d / wg.total2m)
+	}
+	return q
+}

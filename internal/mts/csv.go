@@ -1,0 +1,100 @@
+package mts
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the series in sensors-as-columns layout: a header row of
+// sensor names followed by one row per time point. This is the layout most
+// MTS anomaly benchmarks (PSM, SMD, SWaT exports) use.
+func (m *MTS) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(m.names); err != nil {
+		return fmt.Errorf("mts: write header: %w", err)
+	}
+	rec := make([]string, m.Sensors())
+	for t := 0; t < m.Len(); t++ {
+		for i := range rec {
+			rec[i] = strconv.FormatFloat(m.data[i][t], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("mts: write row %d: %w", t, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a sensors-as-columns CSV (header row of sensor names, one
+// data row per time point) into an MTS.
+func ReadCSV(r io.Reader) (*MTS, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("mts: read header: %w", err)
+	}
+	names := make([]string, len(header))
+	copy(names, header)
+	for i, name := range names {
+		if name == "" {
+			// An empty name would serialize as a blank CSV line, which
+			// readers skip — substitute the default so series round-trip.
+			names[i] = fmt.Sprintf("s%d", i+1)
+		}
+	}
+	n := len(names)
+	rows := make([][]float64, n)
+	t := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mts: read row %d: %w", t, err)
+		}
+		if len(rec) != n {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrRagged, t, len(rec), n)
+		}
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mts: row %d col %d: %w", t, i, err)
+			}
+			rows[i] = append(rows[i], v)
+		}
+		t++
+	}
+	if t == 0 {
+		return nil, ErrEmpty
+	}
+	return New(rows, names)
+}
+
+// SaveCSV writes the series to the named file.
+func (m *MTS) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads an MTS from the named file.
+func LoadCSV(path string) (*MTS, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,72 @@
+package mts
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV must never panic and, on success, must return a rectangular
+// series that round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n")
+	f.Add("s1\n1\n")
+	f.Add("a,b\n1,notanumber\n")
+	f.Add("x,y,z\n1,2,3\n4,5\n")
+	f.Add("")
+	f.Add("a,b\n1e308,-1e308\n")
+	f.Add("h\n\"quoted\"\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if m.Sensors() == 0 || m.Len() == 0 {
+			t.Fatalf("successful parse with empty shape (%d,%d)", m.Sensors(), m.Len())
+		}
+		var buf bytes.Buffer
+		if err := m.WriteCSV(&buf); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			// Sensor names containing newlines/quotes survive encoding/csv,
+			// so a failed re-read indicates a real asymmetry.
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if back.Sensors() != m.Sensors() || back.Len() != m.Len() {
+			t.Fatalf("round-trip shape (%d,%d) vs (%d,%d)", back.Sensors(), back.Len(), m.Sensors(), m.Len())
+		}
+	})
+}
+
+// FuzzWindowing checks Rounds/Bounds/RoundOf consistency for arbitrary
+// configurations.
+func FuzzWindowing(f *testing.F) {
+	f.Add(10, 2, 100)
+	f.Add(1, 1, 5)
+	f.Add(0, 0, 0)
+	f.Add(50, 49, 1000)
+	f.Fuzz(func(t *testing.T, w, s, length int) {
+		if length < 0 || length > 1<<16 || w > 1<<16 || s > 1<<16 {
+			return
+		}
+		wd := Windowing{W: w, S: s}
+		R := wd.Rounds(length)
+		if R < 0 {
+			t.Fatalf("negative rounds %d", R)
+		}
+		if R == 0 {
+			return
+		}
+		for _, r := range []int{0, R / 2, R - 1} {
+			from, to := wd.Bounds(r)
+			if from < 0 || to > length || to-from != w {
+				t.Fatalf("bounds [%d,%d) invalid for w=%d s=%d len=%d", from, to, w, s, length)
+			}
+			if got := wd.RoundOf(to - 1); got < r {
+				t.Fatalf("RoundOf(%d) = %d < round %d", to-1, got, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package mts defines the multivariate time series container used across
+// the repository: a dense sensors×time matrix with named sensors, sliding
+// window partitioning (the paper's §III-B), normalization helpers, and CSV
+// import/export.
+//
+// Following the paper's notation, an MTS T with n sensors is the matrix
+// T = (s_1, …, s_n)^T where each row s_i is one sensor's series and each
+// column is one time point.
+package mts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cad/internal/stats"
+)
+
+// Common errors returned by this package.
+var (
+	ErrEmpty          = errors.New("mts: empty series")
+	ErrRagged         = errors.New("mts: rows have differing lengths")
+	ErrBadWindow      = errors.New("mts: invalid window/step configuration")
+	ErrOutOfRange     = errors.New("mts: index out of range")
+	ErrSensorMismatch = errors.New("mts: sensor count mismatch")
+)
+
+// MTS is a multivariate time series: one row per sensor, one column per time
+// point. Rows share a common length. The zero value is an empty series.
+type MTS struct {
+	names []string
+	data  [][]float64 // data[i][t] = reading of sensor i at time t
+}
+
+// New builds an MTS from the given rows. The rows are used directly (not
+// copied); callers that need isolation should pass fresh slices. names may
+// be nil, in which case sensors are named "s1", "s2", ….
+func New(rows [][]float64, names []string) (*MTS, error) {
+	if len(rows) == 0 {
+		return nil, ErrEmpty
+	}
+	w := len(rows[0])
+	for _, r := range rows {
+		if len(r) != w {
+			return nil, ErrRagged
+		}
+	}
+	if names == nil {
+		names = DefaultNames(len(rows))
+	}
+	if len(names) != len(rows) {
+		return nil, ErrSensorMismatch
+	}
+	return &MTS{names: names, data: rows}, nil
+}
+
+// DefaultNames returns the canonical sensor names "s1".."sn".
+func DefaultNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i+1)
+	}
+	return names
+}
+
+// Zeros allocates an n×length MTS of zeros with default names.
+func Zeros(n, length int) *MTS {
+	rows := make([][]float64, n)
+	backing := make([]float64, n*length)
+	for i := range rows {
+		rows[i] = backing[i*length : (i+1)*length]
+	}
+	return &MTS{names: DefaultNames(n), data: rows}
+}
+
+// Sensors returns the number of sensors (rows).
+func (m *MTS) Sensors() int { return len(m.data) }
+
+// Len returns the number of time points (columns). An MTS with no sensors
+// has length 0.
+func (m *MTS) Len() int {
+	if len(m.data) == 0 {
+		return 0
+	}
+	return len(m.data[0])
+}
+
+// Names returns the sensor names. The slice must not be modified.
+func (m *MTS) Names() []string { return m.names }
+
+// Row returns sensor i's series. The slice must not be modified unless the
+// caller owns the MTS.
+func (m *MTS) Row(i int) []float64 { return m.data[i] }
+
+// Rows returns all rows. The outer and inner slices must not be modified
+// unless the caller owns the MTS.
+func (m *MTS) Rows() [][]float64 { return m.data }
+
+// At returns the reading of sensor i at time t.
+func (m *MTS) At(i, t int) float64 { return m.data[i][t] }
+
+// Set writes the reading of sensor i at time t.
+func (m *MTS) Set(i, t int, v float64) { m.data[i][t] = v }
+
+// Slice returns a view of columns [from, to) sharing storage with m.
+func (m *MTS) Slice(from, to int) (*MTS, error) {
+	if from < 0 || to > m.Len() || from > to {
+		return nil, ErrOutOfRange
+	}
+	rows := make([][]float64, m.Sensors())
+	for i := range rows {
+		rows[i] = m.data[i][from:to]
+	}
+	return &MTS{names: m.names, data: rows}, nil
+}
+
+// Clone returns a deep copy of m.
+func (m *MTS) Clone() *MTS {
+	out := Zeros(m.Sensors(), m.Len())
+	copy(out.names, m.names)
+	for i, r := range m.data {
+		copy(out.data[i], r)
+	}
+	return out
+}
+
+// Column copies the readings of all sensors at time t into dst (allocated
+// when nil) and returns it.
+func (m *MTS) Column(t int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Sensors())
+	}
+	for i := range m.data {
+		dst[i] = m.data[i][t]
+	}
+	return dst
+}
+
+// AppendColumn appends one time point of readings (one per sensor) to the
+// series. It reallocates rows as needed, so it must only be used on MTS
+// values that own their storage.
+func (m *MTS) AppendColumn(col []float64) error {
+	if len(col) != m.Sensors() {
+		return ErrSensorMismatch
+	}
+	for i := range m.data {
+		m.data[i] = append(m.data[i], col[i])
+	}
+	return nil
+}
+
+// ZNormalized returns a copy with every row z-normalized across time.
+func (m *MTS) ZNormalized() *MTS {
+	rows := make([][]float64, m.Sensors())
+	for i, r := range m.data {
+		rows[i] = stats.ZNormalize(r)
+	}
+	names := make([]string, len(m.names))
+	copy(names, m.names)
+	return &MTS{names: names, data: rows}
+}
+
+// HasNaN reports whether any reading is NaN or ±Inf.
+func (m *MTS) HasNaN() bool {
+	for _, r := range m.data {
+		for _, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Windowing implements the paper's MTS partitioning: given sliding window w
+// and step s (s < w), the MTS is cut into R = (|T|-w)/s + 1 overlapping
+// sub-matrices T_r = T[1+(r-1)s : w+(r-1)s]. Trailing columns that do not
+// fill a full window are dropped, as §III-B specifies.
+type Windowing struct {
+	W int // window length
+	S int // step
+}
+
+// Validate reports whether the windowing is usable for a series of the given
+// length.
+func (wd Windowing) Validate(length int) error {
+	if wd.W <= 0 || wd.S <= 0 {
+		return fmt.Errorf("%w: w=%d s=%d must be positive", ErrBadWindow, wd.W, wd.S)
+	}
+	if wd.S >= wd.W {
+		return fmt.Errorf("%w: step s=%d must be smaller than window w=%d", ErrBadWindow, wd.S, wd.W)
+	}
+	if wd.W > length {
+		return fmt.Errorf("%w: window w=%d exceeds series length %d", ErrBadWindow, wd.W, length)
+	}
+	return nil
+}
+
+// Rounds returns R, the number of complete windows over a series of the
+// given length, or 0 when the configuration is invalid.
+func (wd Windowing) Rounds(length int) int {
+	if wd.Validate(length) != nil {
+		return 0
+	}
+	return (length-wd.W)/wd.S + 1
+}
+
+// Bounds returns the half-open column range [from, to) of round r
+// (0-indexed).
+func (wd Windowing) Bounds(r int) (from, to int) {
+	from = r * wd.S
+	return from, from + wd.W
+}
+
+// RoundOf returns the last round whose window ends at or before time point t
+// (0-indexed, inclusive), i.e. the first round at which an event at time t
+// is fully visible. It returns -1 when no complete window covers t yet.
+func (wd Windowing) RoundOf(t int) int {
+	if t < wd.W-1 {
+		return -1
+	}
+	return (t - wd.W + 1) / wd.S
+}
+
+// TimeSpan returns the time range [from, to) covered by rounds [r0, r1]
+// inclusive.
+func (wd Windowing) TimeSpan(r0, r1 int) (from, to int) {
+	from, _ = wd.Bounds(r0)
+	_, to = wd.Bounds(r1)
+	return from, to
+}
+
+// Window returns round r of m as a view (no copy).
+func (wd Windowing) Window(m *MTS, r int) (*MTS, error) {
+	R := wd.Rounds(m.Len())
+	if r < 0 || r >= R {
+		return nil, ErrOutOfRange
+	}
+	from, to := wd.Bounds(r)
+	return m.Slice(from, to)
+}
+
+// SuggestWindowing returns the paper's recommended defaults (§VI-H):
+// w ≈ 0.02·|T| clamped to [8, length/2], s ≈ max(1, 0.015·w).
+func SuggestWindowing(length int) Windowing {
+	w := int(0.02 * float64(length))
+	if w < 8 {
+		w = 8
+	}
+	if w > length/2 {
+		w = length / 2
+	}
+	if w < 2 {
+		w = 2
+	}
+	s := int(0.015 * float64(w))
+	if s < 1 {
+		s = 1
+	}
+	if s >= w {
+		s = w - 1
+	}
+	return Windowing{W: w, S: s}
+}

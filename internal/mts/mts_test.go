@@ -1,0 +1,295 @@
+package mts
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, rows [][]float64) *MTS {
+	t.Helper()
+	m, err := New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := New([][]float64{{1, 2}, {1}}, nil); !errors.Is(err, ErrRagged) {
+		t.Errorf("want ErrRagged, got %v", err)
+	}
+	if _, err := New([][]float64{{1}}, []string{"a", "b"}); !errors.Is(err, ErrSensorMismatch) {
+		t.Errorf("want ErrSensorMismatch, got %v", err)
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	m := mustNew(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Sensors() != 2 || m.Len() != 3 {
+		t.Fatalf("shape = (%d, %d), want (2, 3)", m.Sensors(), m.Len())
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Errorf("Set failed")
+	}
+	if m.Names()[0] != "s1" || m.Names()[1] != "s2" {
+		t.Errorf("default names = %v", m.Names())
+	}
+	col := m.Column(1, nil)
+	if col[0] != 2 || col[1] != 5 {
+		t.Errorf("Column = %v", col)
+	}
+}
+
+func TestSliceAndClone(t *testing.T) {
+	m := mustNew(t, [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	sub, err := m.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.At(0, 0) != 2 || sub.At(1, 1) != 7 {
+		t.Errorf("Slice wrong: %v", sub.Rows())
+	}
+	// Slice is a view: writing through it is visible in m.
+	sub.Set(0, 0, 99)
+	if m.At(0, 1) != 99 {
+		t.Error("Slice should share storage")
+	}
+	// Clone is independent.
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Error("Clone should not share storage")
+	}
+	if _, err := m.Slice(3, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("want ErrOutOfRange, got %v", err)
+	}
+	if _, err := m.Slice(0, 5); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("want ErrOutOfRange, got %v", err)
+	}
+}
+
+func TestAppendColumn(t *testing.T) {
+	m := Zeros(2, 0)
+	if err := m.AppendColumn([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendColumn([]float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 || m.At(1, 1) != 4 {
+		t.Errorf("AppendColumn result: %v", m.Rows())
+	}
+	if err := m.AppendColumn([]float64{1}); !errors.Is(err, ErrSensorMismatch) {
+		t.Errorf("want ErrSensorMismatch, got %v", err)
+	}
+}
+
+func TestZNormalized(t *testing.T) {
+	m := mustNew(t, [][]float64{{1, 2, 3, 4, 5}, {10, 10, 10, 10, 10}})
+	z := m.ZNormalized()
+	var sum float64
+	for _, v := range z.Row(0) {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("normalized row mean != 0: %v", z.Row(0))
+	}
+	for _, v := range z.Row(1) {
+		if v != 0 {
+			t.Errorf("constant row should normalize to zeros: %v", z.Row(1))
+		}
+	}
+	// Original untouched.
+	if m.At(0, 0) != 1 {
+		t.Error("ZNormalized modified the original")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := mustNew(t, [][]float64{{1, 2}, {3, 4}})
+	if m.HasNaN() {
+		t.Error("clean MTS reported NaN")
+	}
+	m.Set(1, 0, math.NaN())
+	if !m.HasNaN() {
+		t.Error("NaN not detected")
+	}
+	m.Set(1, 0, math.Inf(1))
+	if !m.HasNaN() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestWindowingRounds(t *testing.T) {
+	wd := Windowing{W: 4, S: 2}
+	// |T|=10 → R = (10-4)/2 + 1 = 4
+	if got := wd.Rounds(10); got != 4 {
+		t.Errorf("Rounds(10) = %d, want 4", got)
+	}
+	// |T|=11: trailing column dropped, still 4 full windows.
+	if got := wd.Rounds(11); got != 4 {
+		t.Errorf("Rounds(11) = %d, want 4", got)
+	}
+	if got := wd.Rounds(3); got != 0 {
+		t.Errorf("Rounds(3) = %d, want 0 (window too large)", got)
+	}
+	if (Windowing{W: 4, S: 4}).Rounds(10) != 0 {
+		t.Error("s >= w must be invalid")
+	}
+	if (Windowing{W: 0, S: 1}).Rounds(10) != 0 {
+		t.Error("w=0 must be invalid")
+	}
+}
+
+func TestWindowingBoundsAndWindow(t *testing.T) {
+	m := mustNew(t, [][]float64{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}})
+	wd := Windowing{W: 4, S: 2}
+	for r := 0; r < wd.Rounds(m.Len()); r++ {
+		from, to := wd.Bounds(r)
+		win, err := wd.Window(m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win.Len() != 4 {
+			t.Fatalf("round %d window length %d", r, win.Len())
+		}
+		if win.At(0, 0) != float64(from) || win.At(0, 3) != float64(to-1) {
+			t.Errorf("round %d covers [%v..%v], want [%d..%d)", r, win.At(0, 0), win.At(0, 3), from, to)
+		}
+	}
+	if _, err := wd.Window(m, 99); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("want ErrOutOfRange, got %v", err)
+	}
+}
+
+func TestRoundOf(t *testing.T) {
+	wd := Windowing{W: 4, S: 2}
+	cases := []struct{ t, want int }{
+		{0, -1}, {2, -1}, {3, 0}, {4, 0}, {5, 1}, {7, 2}, {9, 3},
+	}
+	for _, c := range cases {
+		if got := wd.RoundOf(c.t); got != c.want {
+			t.Errorf("RoundOf(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTimeSpan(t *testing.T) {
+	wd := Windowing{W: 4, S: 2}
+	from, to := wd.TimeSpan(1, 2)
+	if from != 2 || to != 8 {
+		t.Errorf("TimeSpan(1,2) = [%d,%d), want [2,8)", from, to)
+	}
+}
+
+// Property: every full window has length W, consecutive windows start S
+// apart, and RoundOf(t) is consistent with Bounds.
+func TestWindowingProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		length := 20 + rng.Intn(200)
+		w := 2 + rng.Intn(length/2)
+		s := 1 + rng.Intn(w-1)
+		wd := Windowing{W: w, S: s}
+		R := wd.Rounds(length)
+		if R < 1 {
+			return true
+		}
+		for r := 0; r < R; r++ {
+			from, to := wd.Bounds(r)
+			if to-from != w || from != r*s || to > length {
+				return false
+			}
+			// The window's last point maps back to a round ≥ r.
+			if wd.RoundOf(to-1) < r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuggestWindowing(t *testing.T) {
+	for _, length := range []int{100, 1000, 10000, 100000} {
+		wd := SuggestWindowing(length)
+		if err := wd.Validate(length); err != nil {
+			t.Errorf("SuggestWindowing(%d) invalid: %v", length, err)
+		}
+	}
+	// Tiny series still produce something valid.
+	wd := SuggestWindowing(10)
+	if err := wd.Validate(10); err != nil {
+		t.Errorf("SuggestWindowing(10) invalid: %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := mustNew(t, [][]float64{{1.5, -2, 3e10}, {0, 0.125, -7}})
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sensors() != 2 || got.Len() != 3 {
+		t.Fatalf("round-trip shape (%d,%d)", got.Sensors(), got.Len())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, got.At(i, j), m.At(i, j))
+			}
+		}
+	}
+	if got.Names()[1] != "s2" {
+		t.Errorf("names = %v", got.Names())
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.csv")
+	m := mustNew(t, [][]float64{{1, 2}, {3, 4}})
+	if err := m.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 1) != 4 {
+		t.Errorf("loaded %v", got.Rows())
+	}
+	if _, err := LoadCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n")); !errors.Is(err, ErrEmpty) {
+		t.Errorf("header-only input: want ErrEmpty, got %v", err)
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,notanumber\n")); err == nil {
+		t.Error("non-numeric field should error")
+	}
+}

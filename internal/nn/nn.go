@@ -1,0 +1,256 @@
+// Package nn is a minimal feed-forward neural network substrate (dense
+// layers, ReLU/sigmoid/tanh activations, Adam optimizer, MSE loss) used to
+// reproduce the deep learning baselines USAD and RCoders in pure Go. It is
+// deliberately small: float64 everywhere, explicit backpropagation, seeded
+// initialization for reproducible training.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrShape reports a dimension mismatch.
+var ErrShape = errors.New("nn: shape mismatch")
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+const (
+	// Identity applies no nonlinearity.
+	Identity Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+	// Sigmoid is 1/(1+e^−x).
+	Sigmoid
+	// Tanh is the hyperbolic tangent.
+	Tanh
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivative in terms of the activated output y.
+func (a Activation) derivative(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Dense is one fully connected layer with Out×In weights.
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // row-major Out×In
+	B       []float64
+
+	// gradients accumulated by Backward
+	gw []float64
+	gb []float64
+	// Adam state
+	mw, vw, mb, vb []float64
+	// cached forward values
+	in  []float64
+	out []float64
+}
+
+// NewDense allocates a layer with Glorot-uniform initialization from rng.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+		mw: make([]float64, in*out),
+		vw: make([]float64, in*out),
+		mb: make([]float64, out),
+		vb: make([]float64, out),
+	}
+	limit := math.Sqrt(6 / float64(in+out))
+	for i := range d.W {
+		d.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return d
+}
+
+// Forward computes the layer output, caching values for Backward. A fresh
+// output slice is allocated per call so earlier results stay valid when the
+// layer is re-run (required by the composed forward passes of USAD).
+func (d *Dense) Forward(x []float64) []float64 {
+	d.in = x
+	d.out = make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		d.out[o] = d.Act.apply(sum)
+	}
+	return d.out
+}
+
+// Backward takes ∂L/∂out, accumulates parameter gradients, and returns
+// ∂L/∂in.
+func (d *Dense) Backward(gradOut []float64) []float64 {
+	gradIn := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := gradOut[o] * d.Act.derivative(d.out[o])
+		d.gb[o] += g
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.gw[o*d.In : (o+1)*d.In]
+		for i, xi := range d.in {
+			grow[i] += g * xi
+			gradIn[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+// Network is a sequential stack of dense layers.
+type Network struct {
+	Layers []*Dense
+}
+
+// NewNetwork builds a stack from the given layer sizes, with hidden layers
+// using hiddenAct and the final layer outAct.
+func NewNetwork(sizes []int, hiddenAct, outAct Activation, rng *rand.Rand) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("%w: need at least input and output sizes", ErrShape)
+	}
+	n := &Network{}
+	for i := 0; i < len(sizes)-1; i++ {
+		act := hiddenAct
+		if i == len(sizes)-2 {
+			act = outAct
+		}
+		n.Layers = append(n.Layers, NewDense(sizes[i], sizes[i+1], act, rng))
+	}
+	return n, nil
+}
+
+// Forward runs the stack.
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates ∂L/∂out through the stack, accumulating gradients,
+// and returns ∂L/∂in.
+func (n *Network) Backward(gradOut []float64) []float64 {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		gradOut = n.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// ZeroGrad clears accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, l := range n.Layers {
+		for i := range l.gw {
+			l.gw[i] = 0
+		}
+		for i := range l.gb {
+			l.gb[i] = 0
+		}
+	}
+}
+
+// Params returns the total parameter count.
+func (n *Network) Params() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += len(l.W) + len(l.B)
+	}
+	return total
+}
+
+// Adam is the optimizer state shared across the networks it steps.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	t       int
+}
+
+// NewAdam returns Adam with the usual defaults (β1 = 0.9, β2 = 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one update to every network from its accumulated gradients
+// (scaled by 1/batchSize) and clears them.
+func (a *Adam) Step(batchSize int, nets ...*Network) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	scale := 1.0
+	if batchSize > 1 {
+		scale = 1 / float64(batchSize)
+	}
+	for _, n := range nets {
+		for _, l := range n.Layers {
+			stepParams(a, l.W, l.gw, l.mw, l.vw, scale, bc1, bc2)
+			stepParams(a, l.B, l.gb, l.mb, l.vb, scale, bc1, bc2)
+		}
+	}
+}
+
+func stepParams(a *Adam, w, g, m, v []float64, scale, bc1, bc2 float64) {
+	for i := range w {
+		gi := g[i] * scale
+		m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+		v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+		mh := m[i] / bc1
+		vh := v[i] / bc2
+		w[i] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+		g[i] = 0
+	}
+}
+
+// MSE returns the mean squared error and writes ∂L/∂pred into grad (sized
+// like pred) when non-nil.
+func MSE(pred, target, grad []float64) (float64, error) {
+	if len(pred) != len(target) {
+		return 0, ErrShape
+	}
+	var loss float64
+	n := float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d
+		if grad != nil {
+			grad[i] = 2 * d / n
+		}
+	}
+	return loss / n, nil
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestActivations(t *testing.T) {
+	if ReLU.apply(-2) != 0 || ReLU.apply(3) != 3 {
+		t.Error("ReLU")
+	}
+	if math.Abs(Sigmoid.apply(0)-0.5) > 1e-12 {
+		t.Error("Sigmoid(0)")
+	}
+	if math.Abs(Tanh.apply(0)) > 1e-12 {
+		t.Error("Tanh(0)")
+	}
+	if Identity.apply(7) != 7 {
+		t.Error("Identity")
+	}
+	// Derivatives in terms of output.
+	if ReLU.derivative(2) != 1 || ReLU.derivative(0) != 0 {
+		t.Error("ReLU'")
+	}
+	if math.Abs(Sigmoid.derivative(0.5)-0.25) > 1e-12 {
+		t.Error("Sigmoid'")
+	}
+	if math.Abs(Tanh.derivative(0)-1) > 1e-12 {
+		t.Error("Tanh'")
+	}
+	if Identity.derivative(9) != 1 {
+		t.Error("Identity'")
+	}
+}
+
+func TestNewNetworkErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewNetwork([]int{4}, ReLU, Identity, rng); err == nil {
+		t.Error("single size should error")
+	}
+	n, err := NewNetwork([]int{4, 8, 2}, ReLU, Identity, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 2 || n.Layers[0].Act != ReLU || n.Layers[1].Act != Identity {
+		t.Error("layer construction wrong")
+	}
+	if n.Params() != 4*8+8+8*2+2 {
+		t.Errorf("Params = %d", n.Params())
+	}
+}
+
+// Finite-difference gradient check on a tiny network.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, _ := NewNetwork([]int{3, 4, 2}, Tanh, Identity, rng)
+	x := []float64{0.5, -1, 0.3}
+	target := []float64{1, -0.5}
+
+	loss := func() float64 {
+		out := net.Forward(x)
+		l, _ := MSE(out, target, nil)
+		return l
+	}
+	// Analytic gradients.
+	net.ZeroGrad()
+	out := net.Forward(x)
+	grad := make([]float64, len(out))
+	if _, err := MSE(out, target, grad); err != nil {
+		t.Fatal(err)
+	}
+	net.Backward(grad)
+
+	const eps = 1e-6
+	for li, layer := range net.Layers {
+		for wi := range layer.W {
+			orig := layer.W[wi]
+			layer.W[wi] = orig + eps
+			lp := loss()
+			layer.W[wi] = orig - eps
+			lm := loss()
+			layer.W[wi] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-layer.gw[wi]) > 1e-5 {
+				t.Fatalf("layer %d W[%d]: numeric %v analytic %v", li, wi, numeric, layer.gw[wi])
+			}
+		}
+		for bi := range layer.B {
+			orig := layer.B[bi]
+			layer.B[bi] = orig + eps
+			lp := loss()
+			layer.B[bi] = orig - eps
+			lm := loss()
+			layer.B[bi] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-layer.gb[bi]) > 1e-5 {
+				t.Fatalf("layer %d B[%d]: numeric %v analytic %v", li, bi, numeric, layer.gb[bi])
+			}
+		}
+	}
+}
+
+// An autoencoder must learn to reconstruct points from a 1-D manifold.
+func TestAutoencoderLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, _ := NewNetwork([]int{4, 2, 4}, Tanh, Identity, rng)
+	opt := NewAdam(0.01)
+	sample := func() []float64 {
+		s := rng.Float64()*2 - 1
+		return []float64{s, 2 * s, -s, 0.5 * s}
+	}
+	grad := make([]float64, 4)
+	var last float64
+	for epoch := 0; epoch < 400; epoch++ {
+		x := sample()
+		out := net.Forward(x)
+		l, _ := MSE(out, x, grad)
+		last = l
+		net.Backward(grad)
+		opt.Step(1, net)
+	}
+	if last > 0.01 {
+		t.Errorf("autoencoder failed to converge: final loss %v", last)
+	}
+	// Off-manifold points reconstruct worse.
+	onOut := net.Forward([]float64{0.5, 1, -0.5, 0.25})
+	onLoss, _ := MSE(onOut, []float64{0.5, 1, -0.5, 0.25}, nil)
+	off := []float64{1, -1, 1, -1}
+	offOut := net.Forward(off)
+	offLoss, _ := MSE(offOut, off, nil)
+	if offLoss < 5*onLoss {
+		t.Errorf("off-manifold loss %v should exceed on-manifold %v", offLoss, onLoss)
+	}
+}
+
+func TestBackwardThroughComposition(t *testing.T) {
+	// Gradient check across two chained networks (the USAD pattern
+	// D2(E(x))): backprop through net2 then net1.
+	rng := rand.New(rand.NewSource(4))
+	enc, _ := NewNetwork([]int{3, 2}, Tanh, Tanh, rng)
+	dec, _ := NewNetwork([]int{2, 3}, Tanh, Identity, rng)
+	x := []float64{0.2, -0.4, 0.9}
+	target := []float64{0, 0, 0}
+	loss := func() float64 {
+		out := dec.Forward(enc.Forward(x))
+		l, _ := MSE(out, target, nil)
+		return l
+	}
+	enc.ZeroGrad()
+	dec.ZeroGrad()
+	out := dec.Forward(enc.Forward(x))
+	grad := make([]float64, 3)
+	if _, err := MSE(out, target, grad); err != nil {
+		t.Fatal(err)
+	}
+	enc.Backward(dec.Backward(grad))
+	const eps = 1e-6
+	l0 := enc.Layers[0]
+	for wi := range l0.W {
+		orig := l0.W[wi]
+		l0.W[wi] = orig + eps
+		lp := loss()
+		l0.W[wi] = orig - eps
+		lm := loss()
+		l0.W[wi] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-l0.gw[wi]) > 1e-5 {
+			t.Fatalf("encoder W[%d]: numeric %v analytic %v", wi, numeric, l0.gw[wi])
+		}
+	}
+}
+
+func TestMSEErrors(t *testing.T) {
+	if _, err := MSE([]float64{1}, []float64{1, 2}, nil); err != ErrShape {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	l, err := MSE([]float64{1, 2}, []float64{1, 2}, nil)
+	if err != nil || l != 0 {
+		t.Errorf("perfect MSE = %v, %v", l, err)
+	}
+}
+
+func TestSeededReproducibility(t *testing.T) {
+	build := func() *Network {
+		rng := rand.New(rand.NewSource(9))
+		n, _ := NewNetwork([]int{5, 3, 5}, ReLU, Identity, rng)
+		return n
+	}
+	a, b := build(), build()
+	for i := range a.Layers[0].W {
+		if a.Layers[0].W[i] != b.Layers[0].W[i] {
+			t.Fatal("same seed must initialize identically")
+		}
+	}
+}

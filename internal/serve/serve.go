@@ -1,0 +1,310 @@
+// Package serve exposes a streaming CAD detector over HTTP: data
+// collectors POST one column of sensor readings at a time, the service runs
+// CAD incrementally, and operators poll the detected anomalies and detector
+// health. It is the ingestion front-end cmd/cadserve wires up.
+//
+// Endpoints:
+//
+//	POST /ingest     {"readings": [..n floats..]}       → ingest result
+//	GET  /status                                        → detector health
+//	GET  /alarms?limit=N                                → recent abnormal rounds
+//	POST /detect     CSV body (sensors as columns)      → batch detection
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cad/internal/core"
+	"cad/internal/mts"
+)
+
+// Alarm is one abnormal round kept in the service's ring buffer.
+type Alarm struct {
+	// Round is the detector's global round counter at alarm time.
+	Round int `json:"round"`
+	// Tick is the ingest counter (columns received) when the alarm fired.
+	Tick int `json:"tick"`
+	// Variations is n_r, Score the normalized deviation.
+	Variations int     `json:"variations"`
+	Score      float64 `json:"score"`
+	// Sensors are the outlier sensors O_r at the alarm round.
+	Sensors []int `json:"sensors"`
+	// Time is the wall-clock arrival of the alarming column.
+	Time time.Time `json:"time"`
+}
+
+// Service wraps a streaming detector behind HTTP handlers. Safe for
+// concurrent use.
+type Service struct {
+	mu        sync.Mutex
+	det       *core.Detector
+	streamer  *core.Streamer
+	tracker   *core.Tracker
+	tick      int
+	rounds    int
+	alarms    []Alarm
+	anomalies []core.Anomaly
+	maxAlarm  int
+	now       func() time.Time
+}
+
+// New wraps det (already warmed up, if desired) in a service that keeps up
+// to maxAlarms recent alarms (≤ 0 means 256).
+func New(det *core.Detector, maxAlarms int) *Service {
+	if maxAlarms <= 0 {
+		maxAlarms = 256
+	}
+	return &Service{
+		det:      det,
+		streamer: core.NewStreamer(det),
+		tracker:  core.NewTracker(det.Config()),
+		maxAlarm: maxAlarms,
+		now:      time.Now,
+	}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/alarms", s.handleAlarms)
+	mux.HandleFunc("/anomalies", s.handleAnomalies)
+	mux.HandleFunc("/detect", s.handleDetect)
+	return mux
+}
+
+// finiteOrZero maps NaN/Inf (e.g. μ before any round) to 0 so the status
+// payload stays valid JSON.
+func finiteOrZero(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// IngestRequest is the POST /ingest body.
+type IngestRequest struct {
+	Readings []float64 `json:"readings"`
+}
+
+// IngestResponse reports what one column did.
+type IngestResponse struct {
+	Tick           int   `json:"tick"`
+	RoundCompleted bool  `json:"roundCompleted"`
+	Abnormal       bool  `json:"abnormal"`
+	Variations     int   `json:"variations,omitempty"`
+	Sensors        []int `json:"sensors,omitempty"`
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, done, err := s.streamer.Push(req.Readings)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	s.tick++
+	resp := IngestResponse{Tick: s.tick, RoundCompleted: done}
+	if done {
+		s.rounds++
+		s.tracker.Push(rep)
+		if finished := s.tracker.Drain(); len(finished) > 0 {
+			s.anomalies = append(s.anomalies, finished...)
+			if len(s.anomalies) > s.maxAlarm {
+				s.anomalies = s.anomalies[len(s.anomalies)-s.maxAlarm:]
+			}
+		}
+		if rep.Abnormal {
+			resp.Abnormal = true
+			resp.Variations = rep.Variations
+			resp.Sensors = rep.Outliers
+			s.alarms = append(s.alarms, Alarm{
+				Round:      rep.Round,
+				Tick:       s.tick,
+				Variations: rep.Variations,
+				Score:      rep.Score,
+				Sensors:    rep.Outliers,
+				Time:       s.now(),
+			})
+			if len(s.alarms) > s.maxAlarm {
+				s.alarms = s.alarms[len(s.alarms)-s.maxAlarm:]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Status is the GET /status payload.
+type Status struct {
+	Sensors     int     `json:"sensors"`
+	Ticks       int     `json:"ticks"`
+	Rounds      int     `json:"rounds"`
+	TotalRounds int     `json:"totalRounds"` // including warm-up
+	Mu          float64 `json:"mu"`
+	Sigma       float64 `json:"sigma"`
+	Alarms      int     `json:"alarms"`
+	Window      int     `json:"window"`
+	Step        int     `json:"step"`
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cfg := s.det.Config()
+	writeJSON(w, http.StatusOK, Status{
+		Sensors:     s.det.Sensors(),
+		Ticks:       s.tick,
+		Rounds:      s.rounds,
+		TotalRounds: s.det.Rounds(),
+		Mu:          finiteOrZero(s.det.HistoryMean()),
+		Sigma:       finiteOrZero(s.det.HistoryStdDev()),
+		Alarms:      len(s.alarms),
+		Window:      cfg.Window.W,
+		Step:        cfg.Window.S,
+	})
+}
+
+func (s *Service) handleAlarms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+		limit = v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.alarms
+	if len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	// Copy under lock so the encoder works on a stable snapshot.
+	snapshot := make([]Alarm, len(out))
+	copy(snapshot, out)
+	writeJSON(w, http.StatusOK, snapshot)
+}
+
+// AnomalyRecord is one completed streaming anomaly of GET /anomalies.
+type AnomalyRecord struct {
+	Start      int     `json:"start"`
+	End        int     `json:"end"`
+	FirstRound int     `json:"firstRound"`
+	LastRound  int     `json:"lastRound"`
+	Score      float64 `json:"score"`
+	// Sensors in root-cause order (earliest decorrelation first).
+	Sensors []int `json:"sensors"`
+}
+
+// AnomaliesResponse is the GET /anomalies payload.
+type AnomaliesResponse struct {
+	// Anomalies completed so far (bounded ring buffer).
+	Anomalies []AnomalyRecord `json:"anomalies"`
+	// Open reports whether an anomaly is in progress right now.
+	Open bool `json:"open"`
+}
+
+// handleAnomalies serves the completed streaming anomalies assembled by the
+// tracker, newest last.
+func (s *Service) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := AnomaliesResponse{Anomalies: []AnomalyRecord{}, Open: s.tracker.Open()}
+	for _, a := range s.anomalies {
+		resp.Anomalies = append(resp.Anomalies, AnomalyRecord{
+			Start: a.Start, End: a.End,
+			FirstRound: a.FirstRound, LastRound: a.LastRound,
+			Score: a.Score, Sensors: a.RootCauses(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DetectResponse is the POST /detect payload.
+type DetectResponse struct {
+	Rounds    int           `json:"rounds"`
+	Anomalies []BatchResult `json:"anomalies"`
+}
+
+// BatchResult is one anomaly of a batch detection.
+type BatchResult struct {
+	Start   int     `json:"start"`
+	End     int     `json:"end"`
+	Score   float64 `json:"score"`
+	Sensors []int   `json:"sensors"`
+}
+
+// handleDetect runs a one-shot batch detection on an uploaded CSV with a
+// fresh detector sharing this service's configuration. The streaming state
+// is not touched.
+func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	series, err := mts.ReadCSV(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad CSV: %v", err)
+		return
+	}
+	s.mu.Lock()
+	cfg := s.det.Config()
+	s.mu.Unlock()
+	det, err := core.NewDetector(series.Sensors(), cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "detector: %v", err)
+		return
+	}
+	res, err := det.Detect(series)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "detect: %v", err)
+		return
+	}
+	resp := DetectResponse{Rounds: len(res.Rounds), Anomalies: []BatchResult{}}
+	for _, a := range res.Anomalies {
+		resp.Anomalies = append(resp.Anomalies, BatchResult{
+			Start: a.Start, End: a.End, Score: a.Score, Sensors: a.Sensors,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cad/internal/core"
+	"cad/internal/mts"
+)
+
+func testDetector(t *testing.T) *core.Detector {
+	t.Helper()
+	cfg := core.Config{
+		Window: mts.Windowing{W: 30, S: 3}, K: 3, Tau: 0.4, Theta: 0.2,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8, RCMode: core.RCSliding, RCHorizon: 5,
+	}
+	det, err := core.NewDetector(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// column simulates one reading: two sensor banks; sensors 0,1 decouple when
+// broken.
+func column(rng *rand.Rand, tick int, broken bool) []float64 {
+	col := make([]float64, 8)
+	a := math.Sin(2 * math.Pi * float64(tick) / 20)
+	b := math.Cos(2 * math.Pi * float64(tick) / 33)
+	for i := range col {
+		latent := a
+		if i >= 4 {
+			latent = b
+		}
+		col[i] = latent*(1+0.2*float64(i%4)) + 0.04*rng.NormFloat64()
+	}
+	if broken {
+		col[0] = rng.NormFloat64()
+		col[1] = rng.NormFloat64()
+	}
+	return col
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIngestStatusAlarms(t *testing.T) {
+	det := testDetector(t)
+	svc := New(det, 10)
+	h := svc.Handler()
+	rng := rand.New(rand.NewSource(1))
+
+	rounds := 0
+	for tick := 0; tick < 600; tick++ {
+		rec := postJSON(t, h, "/ingest", IngestRequest{Readings: column(rng, tick, tick >= 300 && tick < 450)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tick %d: status %d: %s", tick, rec.Code, rec.Body)
+		}
+		var resp IngestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Tick != tick+1 {
+			t.Fatalf("tick mismatch: %d vs %d", resp.Tick, tick+1)
+		}
+		if resp.RoundCompleted {
+			rounds++
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no rounds completed")
+	}
+
+	// Status reflects the ingestion.
+	req := httptest.NewRequest(http.MethodGet, "/status", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ticks != 600 || st.Rounds != rounds || st.Sensors != 8 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Alarms == 0 {
+		t.Error("expected at least one alarm from the injected fault")
+	}
+
+	// Alarms endpoint returns them, bounded by limit.
+	req = httptest.NewRequest(http.MethodGet, "/alarms?limit=2", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var alarms []Alarm
+	if err := json.Unmarshal(rec.Body.Bytes(), &alarms); err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) == 0 || len(alarms) > 2 {
+		t.Errorf("alarms = %v", alarms)
+	}
+	for _, a := range alarms {
+		if a.Tick < 300 {
+			t.Errorf("alarm before the fault at tick %d", a.Tick)
+		}
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	svc := New(testDetector(t), 0)
+	h := svc.Handler()
+	// Wrong method.
+	req := httptest.NewRequest(http.MethodGet, "/ingest", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest = %d", rec.Code)
+	}
+	// Bad JSON.
+	req = httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader("{"))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d", rec.Code)
+	}
+	// Wrong column width.
+	rec = postJSON(t, h, "/ingest", IngestRequest{Readings: []float64{1, 2}})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("short column = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestStatusAndAlarmsMethodErrors(t *testing.T) {
+	svc := New(testDetector(t), 0)
+	h := svc.Handler()
+	for _, path := range []string{"/status", "/alarms"} {
+		req := httptest.NewRequest(http.MethodPost, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d", path, rec.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/alarms?limit=zero", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit = %d", rec.Code)
+	}
+}
+
+func TestBatchDetect(t *testing.T) {
+	svc := New(testDetector(t), 0)
+	h := svc.Handler()
+
+	// Build a CSV with a correlation break.
+	rng := rand.New(rand.NewSource(3))
+	series := mts.Zeros(8, 500)
+	for tick := 0; tick < 500; tick++ {
+		col := column(rng, tick, tick >= 250 && tick < 350)
+		for i, v := range col {
+			series.Set(i, tick, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := series.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/detect", &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detect = %d: %s", rec.Code, rec.Body)
+	}
+	var resp DetectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rounds == 0 {
+		t.Error("no rounds processed")
+	}
+	// Batch detection must not disturb streaming state.
+	reqSt := httptest.NewRequest(http.MethodGet, "/status", nil)
+	recSt := httptest.NewRecorder()
+	h.ServeHTTP(recSt, reqSt)
+	var st Status
+	if err := json.Unmarshal(recSt.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ticks != 0 {
+		t.Errorf("batch detect advanced streaming ticks: %d", st.Ticks)
+	}
+}
+
+func TestBatchDetectErrors(t *testing.T) {
+	svc := New(testDetector(t), 0)
+	h := svc.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/detect", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /detect = %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/detect", strings.NewReader("not,a\nvalid,csv,extra\n"))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad CSV = %d", rec.Code)
+	}
+	// Valid CSV but too few sensors for the configured K.
+	req = httptest.NewRequest(http.MethodPost, "/detect", strings.NewReader("a,b\n1,2\n3,4\n"))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("tiny CSV = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestAlarmRingBuffer(t *testing.T) {
+	det := testDetector(t)
+	svc := New(det, 3)
+	// Inject alarms directly through the lock-protected path by pushing
+	// synthetic ticks is slow; instead exercise the trim logic.
+	svc.mu.Lock()
+	for i := 0; i < 10; i++ {
+		svc.alarms = append(svc.alarms, Alarm{Round: i})
+		if len(svc.alarms) > svc.maxAlarm {
+			svc.alarms = svc.alarms[len(svc.alarms)-svc.maxAlarm:]
+		}
+	}
+	svc.mu.Unlock()
+	if len(svc.alarms) != 3 || svc.alarms[0].Round != 7 {
+		t.Errorf("ring buffer = %v", svc.alarms)
+	}
+}
+
+func TestDefaultMaxAlarms(t *testing.T) {
+	svc := New(testDetector(t), 0)
+	if svc.maxAlarm != 256 {
+		t.Errorf("default maxAlarm = %d", svc.maxAlarm)
+	}
+}
+
+// Ensure the JSON shapes stay stable (a downstream contract).
+func TestJSONShapes(t *testing.T) {
+	a := Alarm{Round: 1, Tick: 2, Variations: 3, Score: 4.5, Sensors: []int{0}}
+	buf, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"round", "tick", "variations", "score", "sensors", "time"} {
+		if !bytes.Contains(buf, []byte(fmt.Sprintf("%q", key))) {
+			t.Errorf("alarm JSON missing %q: %s", key, buf)
+		}
+	}
+}
+
+func TestAnomaliesEndpoint(t *testing.T) {
+	det := testDetector(t)
+	svc := New(det, 10)
+	h := svc.Handler()
+	rng := rand.New(rand.NewSource(5))
+	// Fault in the middle, recovery after — the tracker should close at
+	// least one anomaly by the end.
+	for tick := 0; tick < 700; tick++ {
+		rec := postJSON(t, h, "/ingest", IngestRequest{Readings: column(rng, tick, tick >= 300 && tick < 450)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tick %d: %d", tick, rec.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/anomalies", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("anomalies = %d: %s", rec.Code, rec.Body)
+	}
+	var resp AnomaliesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Anomalies) == 0 {
+		t.Fatal("no completed anomalies reported")
+	}
+	found := false
+	for _, a := range resp.Anomalies {
+		if a.Start < 460 && a.End > 290 {
+			found = true
+			if len(a.Sensors) == 0 {
+				t.Error("anomaly without sensors")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no anomaly overlapping the fault window: %+v", resp.Anomalies)
+	}
+	// Wrong method.
+	req = httptest.NewRequest(http.MethodPost, "/anomalies", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /anomalies = %d", rec.Code)
+	}
+}

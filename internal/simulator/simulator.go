@@ -1,0 +1,463 @@
+// Package simulator generates labeled sensor-network multivariate time
+// series with planted community structure and injected anomalies. It stands
+// in for the paper's datasets (PSM, SMD, SWaT, IS-1..IS-5), which are either
+// private or unavailable offline; DESIGN.md documents the substitution.
+//
+// The generative model follows the paper's motivation (§I): sensors mounted
+// on the same machine are driven by shared latent processes, so sensors form
+// correlated communities; anomalies decouple a few sensors from their latent
+// driver (correlation break), shift their level, spike them, drift them, or
+// freeze them. Every anomaly is labeled with its time span and the affected
+// sensors, enabling PA/DPA/Ahead/Miss and sensor-localization evaluation.
+package simulator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cad/internal/eval"
+	"cad/internal/mts"
+)
+
+// ErrBadConfig reports an invalid simulator configuration.
+var ErrBadConfig = errors.New("simulator: invalid config")
+
+// Kind enumerates the injected anomaly types.
+type Kind int
+
+const (
+	// CorrelationBreak detaches the sensors from their community's latent
+	// driver, replacing it with an independent process of similar marginal
+	// scale. The early-detection signature CAD targets.
+	CorrelationBreak Kind = iota
+	// LevelShift adds a constant offset.
+	LevelShift
+	// Spike injects short high-magnitude impulses.
+	Spike
+	// Drift adds a ramp growing over the anomaly.
+	Drift
+	// Stuck freezes the sensor at its value from the anomaly's first point.
+	Stuck
+	numKinds
+)
+
+// String names the anomaly kind.
+func (k Kind) String() string {
+	switch k {
+	case CorrelationBreak:
+		return "correlation-break"
+	case LevelShift:
+		return "level-shift"
+	case Spike:
+		return "spike"
+	case Drift:
+		return "drift"
+	case Stuck:
+		return "stuck"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injection records one planted anomaly.
+type Injection struct {
+	Kind    Kind
+	Start   int // first anomalous time point (inclusive)
+	End     int // past-the-end time point
+	Sensors []int
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical datasets.
+	Seed int64
+	// Sensors is the total sensor count n.
+	Sensors int
+	// Communities is the number of latent groups sensors are split into.
+	Communities int
+	// Length is the number of time points generated per series.
+	Length int
+	// NoiseStd is the per-sensor observation noise σ relative to the unit
+	// latent amplitude. Zero means 0.05.
+	NoiseStd float64
+	// WalkStd is the σ of the slow random-walk component in each latent
+	// (keeps series from being perfectly periodic). Zero means 0.02.
+	WalkStd float64
+	// CrossCoupling in [0,1) mixes a global factor into every community,
+	// making communities correlated with each other. Zero disables.
+	CrossCoupling float64
+	// WearDrift adds a deterministic slow drift of the given total
+	// amplitude across the series to every sensor (models wear and tear).
+	WearDrift float64
+}
+
+func (c *Config) fill() error {
+	if c.Sensors < 2 {
+		return fmt.Errorf("%w: sensors=%d", ErrBadConfig, c.Sensors)
+	}
+	if c.Length < 10 {
+		return fmt.Errorf("%w: length=%d", ErrBadConfig, c.Length)
+	}
+	if c.Communities < 1 {
+		c.Communities = int(math.Max(2, math.Sqrt(float64(c.Sensors))/1.5))
+	}
+	if c.Communities > c.Sensors {
+		c.Communities = c.Sensors
+	}
+	if c.NoiseStd == 0 {
+		c.NoiseStd = 0.05
+	}
+	if c.WalkStd == 0 {
+		c.WalkStd = 0.02
+	}
+	if c.CrossCoupling < 0 || c.CrossCoupling >= 1 {
+		return fmt.Errorf("%w: crossCoupling=%v", ErrBadConfig, c.CrossCoupling)
+	}
+	return nil
+}
+
+// AnomalySpec controls the injection pass.
+type AnomalySpec struct {
+	// Count is the number of anomalies to plant.
+	Count int
+	// MinLen/MaxLen bound each anomaly's duration in time points.
+	MinLen, MaxLen int
+	// MinSensors/MaxSensors bound how many sensors each anomaly affects.
+	MinSensors, MaxSensors int
+	// Kinds is the pool drawn from uniformly; empty means
+	// {CorrelationBreak, LevelShift, Drift, Stuck}.
+	Kinds []Kind
+	// Margin keeps anomalies at least this many points from the series
+	// edges and from each other. Zero means MaxLen.
+	Margin int
+}
+
+func (s *AnomalySpec) fill(length, sensors int) error {
+	if s.Count < 0 {
+		return fmt.Errorf("%w: anomaly count=%d", ErrBadConfig, s.Count)
+	}
+	if s.MinLen <= 0 {
+		s.MinLen = length / 50
+		if s.MinLen < 5 {
+			s.MinLen = 5
+		}
+	}
+	if s.MaxLen < s.MinLen {
+		s.MaxLen = s.MinLen * 3
+	}
+	if s.MinSensors <= 0 {
+		s.MinSensors = 1
+	}
+	if s.MaxSensors < s.MinSensors {
+		s.MaxSensors = s.MinSensors + sensors/10
+	}
+	if s.MaxSensors > sensors {
+		s.MaxSensors = sensors
+	}
+	if len(s.Kinds) == 0 {
+		s.Kinds = []Kind{CorrelationBreak, LevelShift, Drift, Stuck}
+	}
+	if s.Margin <= 0 {
+		s.Margin = s.MaxLen
+	}
+	return nil
+}
+
+// Dataset is a fully labeled generated benchmark instance.
+type Dataset struct {
+	// Name identifies the recipe that produced the dataset.
+	Name string
+	// Train is the clean historical series (the paper's T_his).
+	Train *mts.MTS
+	// Test is the evaluation series with injected anomalies.
+	Test *mts.MTS
+	// Labels marks anomalous time points of Test.
+	Labels []bool
+	// Injections lists the planted anomalies in chronological order.
+	Injections []Injection
+	// Community of each sensor in the generative model.
+	Community []int
+	// SuggestedK is a reasonable TSG neighbor count for this dataset.
+	SuggestedK int
+}
+
+// SensorTruths converts the injections to the eval package's localization
+// ground truth.
+func (d *Dataset) SensorTruths() []eval.SensorTruth {
+	out := make([]eval.SensorTruth, len(d.Injections))
+	for i, inj := range d.Injections {
+		out[i] = eval.SensorTruth{
+			Segment: eval.Segment{Start: inj.Start, End: inj.End},
+			Sensors: append([]int(nil), inj.Sensors...),
+		}
+	}
+	return out
+}
+
+// Generator produces datasets from a Config.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+
+	community []int
+	gain      []float64
+	bias      []float64
+	// latent parameters per community: two sinusoids
+	p1, p2, a1, a2, ph1, ph2 []float64
+}
+
+// New validates cfg and builds a generator. The sensor→community map and
+// per-sensor gains are fixed at construction so Train and Test share them.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	n, c := cfg.Sensors, cfg.Communities
+	g.community = make([]int, n)
+	g.gain = make([]float64, n)
+	g.bias = make([]float64, n)
+	for i := 0; i < n; i++ {
+		g.community[i] = i % c
+		g.gain[i] = 0.5 + g.rng.Float64()*1.5
+		if g.rng.Float64() < 0.25 {
+			g.gain[i] = -g.gain[i] // some sensors anti-correlate
+		}
+		g.bias[i] = g.rng.NormFloat64() * 2
+	}
+	g.p1 = make([]float64, c)
+	g.p2 = make([]float64, c)
+	g.a1 = make([]float64, c)
+	g.a2 = make([]float64, c)
+	g.ph1 = make([]float64, c)
+	g.ph2 = make([]float64, c)
+	for j := 0; j < c; j++ {
+		g.p1[j] = 20 + g.rng.Float64()*60
+		g.p2[j] = 5 + g.rng.Float64()*15
+		g.a1[j] = 0.7 + g.rng.Float64()*0.6
+		g.a2[j] = 0.2 + g.rng.Float64()*0.3
+		g.ph1[j] = g.rng.Float64() * 2 * math.Pi
+		g.ph2[j] = g.rng.Float64() * 2 * math.Pi
+	}
+	return g, nil
+}
+
+// Community returns the generative community of each sensor.
+func (g *Generator) Community() []int { return g.community }
+
+// latents simulates the community latent processes for `length` steps.
+func (g *Generator) latents(length int) [][]float64 {
+	c := g.cfg.Communities
+	out := make([][]float64, c)
+	walk := make([]float64, c)
+	var global float64
+	for j := 0; j < c; j++ {
+		out[j] = make([]float64, length)
+	}
+	for t := 0; t < length; t++ {
+		global = math.Sin(2 * math.Pi * float64(t) / 97.3)
+		for j := 0; j < c; j++ {
+			walk[j] += g.rng.NormFloat64() * g.cfg.WalkStd
+			v := g.a1[j]*math.Sin(2*math.Pi*float64(t)/g.p1[j]+g.ph1[j]) +
+				g.a2[j]*math.Sin(2*math.Pi*float64(t)/g.p2[j]+g.ph2[j]) +
+				walk[j]
+			if g.cfg.CrossCoupling > 0 {
+				v = (1-g.cfg.CrossCoupling)*v + g.cfg.CrossCoupling*global
+			}
+			out[j][t] = v
+		}
+	}
+	return out
+}
+
+// render converts latents to sensor observations.
+func (g *Generator) render(lat [][]float64, length int) *mts.MTS {
+	n := g.cfg.Sensors
+	m := mts.Zeros(n, length)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		cj := g.community[i]
+		for t := 0; t < length; t++ {
+			drift := g.cfg.WearDrift * float64(t) / float64(length)
+			row[t] = g.gain[i]*lat[cj][t] + g.bias[i] + drift + g.rng.NormFloat64()*g.cfg.NoiseStd
+		}
+	}
+	return m
+}
+
+// Clean generates an anomaly-free series of the configured length.
+func (g *Generator) Clean() *mts.MTS {
+	return g.render(g.latents(g.cfg.Length), g.cfg.Length)
+}
+
+// WithAnomalies generates a series with the given injections planted,
+// returning the observations, the point labels, and the injection records.
+func (g *Generator) WithAnomalies(spec AnomalySpec) (*mts.MTS, []bool, []Injection, error) {
+	if err := spec.fill(g.cfg.Length, g.cfg.Sensors); err != nil {
+		return nil, nil, nil, err
+	}
+	length := g.cfg.Length
+	lat := g.latents(length)
+	m := g.render(lat, length)
+	labels := make([]bool, length)
+
+	injections, err := g.placeAnomalies(spec, length)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, inj := range injections {
+		g.apply(m, lat, inj)
+		for t := inj.Start; t < inj.End; t++ {
+			labels[t] = true
+		}
+	}
+	return m, labels, injections, nil
+}
+
+// placeAnomalies picks non-overlapping intervals and sensor subsets.
+func (g *Generator) placeAnomalies(spec AnomalySpec, length int) ([]Injection, error) {
+	var out []Injection
+	occupied := make([]bool, length)
+	maxTries := spec.Count * 400
+	for len(out) < spec.Count && maxTries > 0 {
+		maxTries--
+		dur := spec.MinLen
+		if spec.MaxLen > spec.MinLen {
+			dur += g.rng.Intn(spec.MaxLen - spec.MinLen + 1)
+		}
+		if dur+2*spec.Margin >= length {
+			return nil, fmt.Errorf("%w: anomaly duration %d with margin %d exceeds series length %d", ErrBadConfig, dur, spec.Margin, length)
+		}
+		start := spec.Margin + g.rng.Intn(length-dur-2*spec.Margin)
+		clash := false
+		for t := start - spec.Margin; t < start+dur+spec.Margin; t++ {
+			if t >= 0 && t < length && occupied[t] {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			continue
+		}
+		for t := start; t < start+dur; t++ {
+			occupied[t] = true
+		}
+		ns := spec.MinSensors
+		if spec.MaxSensors > spec.MinSensors {
+			ns += g.rng.Intn(spec.MaxSensors - spec.MinSensors + 1)
+		}
+		// Prefer sensors from one community (failures propagate locally,
+		// §I), spilling into neighbors when the community is small.
+		comm := g.rng.Intn(g.cfg.Communities)
+		var pool []int
+		for i, cj := range g.community {
+			if cj == comm {
+				pool = append(pool, i)
+			}
+		}
+		for i := range g.community {
+			if len(pool) >= ns*2 {
+				break
+			}
+			if g.community[i] != comm {
+				pool = append(pool, i)
+			}
+		}
+		g.rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+		if ns > len(pool) {
+			ns = len(pool)
+		}
+		sensors := append([]int(nil), pool[:ns]...)
+		kind := spec.Kinds[g.rng.Intn(len(spec.Kinds))]
+		out = append(out, Injection{Kind: kind, Start: start, End: start + dur, Sensors: sensors})
+	}
+	if len(out) < spec.Count {
+		return nil, fmt.Errorf("%w: could not place %d anomalies in length %d", ErrBadConfig, spec.Count, length)
+	}
+	// Sort chronologically (insertion order is random).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// apply mutates m in place with one injection.
+func (g *Generator) apply(m *mts.MTS, lat [][]float64, inj Injection) {
+	for _, i := range inj.Sensors {
+		row := m.Row(i)
+		switch inj.Kind {
+		case CorrelationBreak:
+			// Independent replacement latent of similar scale.
+			p := 10 + g.rng.Float64()*40
+			ph := g.rng.Float64() * 2 * math.Pi
+			walk := 0.0
+			for t := inj.Start; t < inj.End; t++ {
+				walk += g.rng.NormFloat64() * g.cfg.WalkStd * 3
+				v := math.Sin(2*math.Pi*float64(t)/p+ph) + walk
+				row[t] = g.gain[i]*v + g.bias[i] + g.rng.NormFloat64()*g.cfg.NoiseStd
+			}
+		case LevelShift:
+			delta := (1.5 + g.rng.Float64()) * math.Abs(g.gain[i])
+			if g.rng.Float64() < 0.5 {
+				delta = -delta
+			}
+			for t := inj.Start; t < inj.End; t++ {
+				row[t] += delta
+			}
+		case Spike:
+			for t := inj.Start; t < inj.End; t++ {
+				if g.rng.Float64() < 0.3 {
+					mag := (3 + 2*g.rng.Float64()) * math.Abs(g.gain[i])
+					if g.rng.Float64() < 0.5 {
+						mag = -mag
+					}
+					row[t] += mag
+				}
+			}
+		case Drift:
+			total := (2 + g.rng.Float64()*2) * math.Abs(g.gain[i])
+			dur := float64(inj.End - inj.Start)
+			for t := inj.Start; t < inj.End; t++ {
+				row[t] += total * float64(t-inj.Start) / dur
+			}
+		case Stuck:
+			frozen := row[inj.Start]
+			for t := inj.Start; t < inj.End; t++ {
+				row[t] = frozen
+			}
+		}
+	}
+}
+
+// Generate produces a complete dataset: a clean Train series of trainLen
+// points and a Test series of the configured length with spec anomalies.
+func (g *Generator) Generate(name string, trainLen int, spec AnomalySpec) (*Dataset, error) {
+	if trainLen < 10 {
+		return nil, fmt.Errorf("%w: trainLen=%d", ErrBadConfig, trainLen)
+	}
+	train := g.render(g.latents(trainLen), trainLen)
+	test, labels, injections, err := g.WithAnomalies(spec)
+	if err != nil {
+		return nil, err
+	}
+	k := g.cfg.Sensors / 10
+	if k < 5 {
+		k = 5
+	}
+	if k >= g.cfg.Sensors {
+		k = g.cfg.Sensors - 1
+	}
+	return &Dataset{
+		Name:       name,
+		Train:      train,
+		Test:       test,
+		Labels:     labels,
+		Injections: injections,
+		Community:  append([]int(nil), g.community...),
+		SuggestedK: k,
+	}, nil
+}

@@ -1,0 +1,287 @@
+package simulator
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cad/internal/stats"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Sensors: 1, Length: 100}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("sensors=1: %v", err)
+	}
+	if _, err := New(Config{Sensors: 10, Length: 5}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("length=5: %v", err)
+	}
+	if _, err := New(Config{Sensors: 10, Length: 100, CrossCoupling: 1.5}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("coupling=1.5: %v", err)
+	}
+	g, err := New(Config{Seed: 1, Sensors: 10, Length: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Community()) != 10 {
+		t.Errorf("community map length %d", len(g.Community()))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		CorrelationBreak: "correlation-break",
+		LevelShift:       "level-shift",
+		Spike:            "spike",
+		Drift:            "drift",
+		Stuck:            "stuck",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestCleanShapeAndDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Sensors: 12, Communities: 3, Length: 300}
+	g1, _ := New(cfg)
+	g2, _ := New(cfg)
+	a, b := g1.Clean(), g2.Clean()
+	if a.Sensors() != 12 || a.Len() != 300 {
+		t.Fatalf("shape (%d,%d)", a.Sensors(), a.Len())
+	}
+	for i := 0; i < 12; i++ {
+		for tt := 0; tt < 300; tt++ {
+			if a.At(i, tt) != b.At(i, tt) {
+				t.Fatalf("non-deterministic at (%d,%d)", i, tt)
+			}
+		}
+	}
+	if a.HasNaN() {
+		t.Error("generated NaN")
+	}
+}
+
+func TestCommunityCorrelationStructure(t *testing.T) {
+	g, err := New(Config{Seed: 3, Sensors: 12, Communities: 3, Length: 600, NoiseStd: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Clean()
+	comm := g.Community()
+	var inSum, outSum float64
+	var inN, outN int
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			r, err := stats.Pearson(m.Row(i), m.Row(j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comm[i] == comm[j] {
+				inSum += math.Abs(r)
+				inN++
+			} else {
+				outSum += math.Abs(r)
+				outN++
+			}
+		}
+	}
+	in, out := inSum/float64(inN), outSum/float64(outN)
+	if in < 0.8 {
+		t.Errorf("within-community |r| = %v, want strong", in)
+	}
+	if in < out+0.3 {
+		t.Errorf("within %v should clearly exceed across %v", in, out)
+	}
+}
+
+func TestWithAnomaliesLabels(t *testing.T) {
+	g, err := New(Config{Seed: 5, Sensors: 12, Communities: 3, Length: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AnomalySpec{Count: 3, MinLen: 30, MaxLen: 60, MinSensors: 2, MaxSensors: 4}
+	m, labels, injections, err := g.WithAnomalies(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1000 || len(labels) != 1000 {
+		t.Fatalf("shape mismatch")
+	}
+	if len(injections) != 3 {
+		t.Fatalf("injections = %d, want 3", len(injections))
+	}
+	// Labels must exactly cover injection intervals.
+	want := make([]bool, 1000)
+	for k, inj := range injections {
+		if inj.End <= inj.Start || inj.Start < 0 || inj.End > 1000 {
+			t.Errorf("injection %d bounds [%d,%d)", k, inj.Start, inj.End)
+		}
+		if len(inj.Sensors) < 2 || len(inj.Sensors) > 4 {
+			t.Errorf("injection %d sensors %v", k, inj.Sensors)
+		}
+		for t2 := inj.Start; t2 < inj.End; t2++ {
+			want[t2] = true
+		}
+		if k > 0 && inj.Start < injections[k-1].End {
+			t.Errorf("injections overlap or out of order: %v", injections)
+		}
+	}
+	for i := range labels {
+		if labels[i] != want[i] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+}
+
+func TestCorrelationBreakBreaksCorrelation(t *testing.T) {
+	g, err := New(Config{Seed: 11, Sensors: 8, Communities: 2, Length: 1200, NoiseStd: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := AnomalySpec{
+		Count: 1, MinLen: 300, MaxLen: 300, MinSensors: 1, MaxSensors: 1,
+		Kinds: []Kind{CorrelationBreak}, Margin: 350,
+	}
+	m, _, injections, err := g.WithAnomalies(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := injections[0]
+	victim := inj.Sensors[0]
+	// Find a community peer.
+	peer := -1
+	for i, c := range g.Community() {
+		if i != victim && c == g.Community()[victim] {
+			peer = i
+			break
+		}
+	}
+	if peer < 0 {
+		t.Skip("no community peer")
+	}
+	before, _ := stats.Pearson(m.Row(victim)[:inj.Start], m.Row(peer)[:inj.Start])
+	during, _ := stats.Pearson(m.Row(victim)[inj.Start:inj.End], m.Row(peer)[inj.Start:inj.End])
+	if math.Abs(before) < 0.7 {
+		t.Errorf("pre-anomaly |r| = %v, want strong", before)
+	}
+	if math.Abs(during) > math.Abs(before)-0.2 {
+		t.Errorf("correlation did not break: before %v, during %v", before, during)
+	}
+}
+
+func TestStuckFreezesSensor(t *testing.T) {
+	g, _ := New(Config{Seed: 13, Sensors: 6, Communities: 2, Length: 500})
+	spec := AnomalySpec{Count: 1, MinLen: 50, MaxLen: 50, MinSensors: 1, MaxSensors: 1, Kinds: []Kind{Stuck}, Margin: 60}
+	m, _, injections, err := g.WithAnomalies(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := injections[0]
+	v := inj.Sensors[0]
+	first := m.At(v, inj.Start)
+	for t2 := inj.Start; t2 < inj.End; t2++ {
+		if m.At(v, t2) != first {
+			t.Fatalf("stuck sensor moved at t=%d", t2)
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	g, err := New(Config{Seed: 17, Sensors: 10, Communities: 2, Length: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.Generate("unit", 400, AnomalySpec{Count: 2, MinLen: 40, MaxLen: 60, MinSensors: 1, MaxSensors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "unit" || ds.Train.Len() != 400 || ds.Test.Len() != 800 {
+		t.Errorf("dataset shapes: train %d test %d", ds.Train.Len(), ds.Test.Len())
+	}
+	if ds.SuggestedK < 1 || ds.SuggestedK >= 10 {
+		t.Errorf("SuggestedK = %d", ds.SuggestedK)
+	}
+	truths := ds.SensorTruths()
+	if len(truths) != 2 {
+		t.Fatalf("truths = %d", len(truths))
+	}
+	for i, tr := range truths {
+		if tr.Segment.Start != ds.Injections[i].Start || len(tr.Sensors) != len(ds.Injections[i].Sensors) {
+			t.Errorf("truth %d mismatch: %+v vs %+v", i, tr, ds.Injections[i])
+		}
+	}
+	if _, err := g.Generate("bad", 5, AnomalySpec{Count: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("trainLen=5: %v", err)
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	g, _ := New(Config{Seed: 19, Sensors: 6, Communities: 2, Length: 100})
+	// Impossible: anomalies longer than the series.
+	_, _, _, err := g.WithAnomalies(AnomalySpec{Count: 1, MinLen: 90, MaxLen: 90, Margin: 20})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("oversized anomaly: %v", err)
+	}
+	// Too many anomalies to fit.
+	g2, _ := New(Config{Seed: 19, Sensors: 6, Communities: 2, Length: 200})
+	_, _, _, err = g2.WithAnomalies(AnomalySpec{Count: 50, MinLen: 20, MaxLen: 20, Margin: 10})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unplaceable anomalies: %v", err)
+	}
+}
+
+// Property: labels always match injections exactly; injected sensors are
+// valid indices; anomalies respect margins.
+func TestInjectionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{Seed: seed, Sensors: 8, Communities: 2, Length: 600}
+		g, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		spec := AnomalySpec{Count: 2, MinLen: 20, MaxLen: 40, MinSensors: 1, MaxSensors: 3, Margin: 45}
+		_, labels, injections, err := g.WithAnomalies(spec)
+		if err != nil {
+			return false
+		}
+		covered := 0
+		for _, inj := range injections {
+			for _, s := range inj.Sensors {
+				if s < 0 || s >= 8 {
+					return false
+				}
+			}
+			if inj.Start < spec.Margin || inj.End > 600-spec.Margin {
+				return false
+			}
+			covered += inj.End - inj.Start
+		}
+		lcount := 0
+		for _, b := range labels {
+			if b {
+				lcount++
+			}
+		}
+		return lcount == covered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerate100Sensors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := New(Config{Seed: int64(i), Sensors: 100, Communities: 8, Length: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := g.WithAnomalies(AnomalySpec{Count: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package stats provides the descriptive statistics and correlation
+// primitives used throughout the CAD pipeline: means, variances, Pearson
+// correlation, autocorrelation, covariance, quantiles, and running
+// (streaming) moment estimators.
+//
+// All functions operate on float64 slices and are deterministic. NaN inputs
+// propagate NaN outputs unless documented otherwise.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrLengthMismatch is returned when paired-series functions receive slices
+// of different lengths.
+var ErrLengthMismatch = errors.New("stats: series length mismatch")
+
+// ErrEmpty is returned when an operation requires at least one observation.
+var ErrEmpty = errors.New("stats: empty series")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs. It returns NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1).
+// It returns NaN for empty input.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1).
+// It returns NaN when len(xs) < 2.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Covariance returns the population covariance of xs and ys.
+func Covariance(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys in
+// [-1, 1]. If either series is constant (zero variance) the correlation is
+// undefined and 0 is returned, which is the convention the CAD TSG builder
+// relies on: a constant sensor correlates with nothing.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Guard against floating point drift outside [-1, 1].
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r, nil
+}
+
+// PearsonMatrix computes the full pairwise Pearson correlation matrix of the
+// given rows (each row is one series). Entry [i][j] is Pearson(rows[i],
+// rows[j]); the diagonal is 1 except for constant rows, which get 0 against
+// everything including themselves.
+//
+// The computation standardizes each row once and then uses dot products,
+// costing O(n²·w) for n rows of length w.
+func PearsonMatrix(rows [][]float64) ([][]float64, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	w := len(rows[0])
+	for _, r := range rows {
+		if len(r) != w {
+			return nil, ErrLengthMismatch
+		}
+	}
+	// Standardize: z[i] = (x - mean) / ||x - mean||.
+	z := make([][]float64, n)
+	constant := make([]bool, n)
+	buf := make([]float64, n*w)
+	for i, r := range rows {
+		zi := buf[i*w : (i+1)*w]
+		m := Mean(r)
+		var ss float64
+		for j, x := range r {
+			d := x - m
+			zi[j] = d
+			ss += d * d
+		}
+		if ss == 0 {
+			constant[i] = true
+		} else {
+			inv := 1 / math.Sqrt(ss)
+			for j := range zi {
+				zi[j] *= inv
+			}
+		}
+		z[i] = zi
+	}
+	out := make([][]float64, n)
+	cells := make([]float64, n*n)
+	for i := range out {
+		out[i] = cells[i*n : (i+1)*n]
+	}
+	for i := 0; i < n; i++ {
+		if constant[i] {
+			continue // row stays all zero
+		}
+		out[i][i] = 1
+		zi := z[i]
+		for j := i + 1; j < n; j++ {
+			if constant[j] {
+				continue
+			}
+			var dot float64
+			zj := z[j]
+			for t := 0; t < w; t++ {
+				dot += zi[t] * zj[t]
+			}
+			if dot > 1 {
+				dot = 1
+			} else if dot < -1 {
+				dot = -1
+			}
+			out[i][j] = dot
+			out[j][i] = dot
+		}
+	}
+	return out, nil
+}
+
+// Autocorrelation returns the autocorrelation function of xs for lags
+// 0..maxLag inclusive. Lag 0 is always 1 (or 0 for constant series).
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	m := Mean(xs)
+	var denom float64
+	d := make([]float64, n)
+	for i, x := range xs {
+		d[i] = x - m
+		denom += d[i] * d[i]
+	}
+	acf := make([]float64, maxLag+1)
+	if denom == 0 {
+		return acf
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		var num float64
+		for i := 0; i+lag < n; i++ {
+			num += d[i] * d[i+lag]
+		}
+		acf[lag] = num / denom
+	}
+	return acf
+}
+
+// DominantPeriod estimates the dominant period of xs from the first local
+// maximum of the autocorrelation function above the given threshold,
+// searching lags in [minLag, maxLag]. It returns fallback when no peak is
+// found. This mirrors the ACF-based pattern length estimation the paper uses
+// to configure SAND and NormA.
+func DominantPeriod(xs []float64, minLag, maxLag int, threshold float64, fallback int) int {
+	if minLag < 1 {
+		minLag = 1
+	}
+	acf := Autocorrelation(xs, maxLag)
+	if len(acf) == 0 {
+		return fallback
+	}
+	best, bestLag := threshold, 0
+	for lag := minLag; lag < len(acf)-1; lag++ {
+		if acf[lag] > best && acf[lag] >= acf[lag-1] && acf[lag] >= acf[lag+1] {
+			best, bestLag = acf[lag], lag
+		}
+	}
+	if bestLag == 0 {
+		return fallback
+	}
+	return bestLag
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (NaN, NaN) for
+// empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// ZNormalize returns a z-normalized copy of xs ((x-mean)/std). Constant
+// series normalize to all zeros.
+func ZNormalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if sd == 0 || math.IsNaN(sd) {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / sd
+	}
+	return out
+}
+
+// Running maintains streaming mean and variance via Welford's algorithm.
+// The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations added.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (NaN when empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the running population variance (NaN when empty).
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Reset clears the estimator back to its zero state.
+func (r *Running) Reset() { *r = Running{} }
+
+// State exposes the estimator's internals (count, mean, M2 sum of squared
+// deviations) for persistence.
+func (r *Running) State() (n int, mean, m2 float64) { return r.n, r.mean, r.m2 }
+
+// SetState restores the estimator from persisted internals.
+func (r *Running) SetState(n int, mean, m2 float64) { r.n, r.mean, r.m2 = n, mean, m2 }

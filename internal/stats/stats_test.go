@@ -1,0 +1,344 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{nil, math.NaN()},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := SampleVariance(xs); !almostEq(got, 32.0/7.0, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, 32.0/7.0)
+	}
+	if !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Error("SampleVariance of single value should be NaN")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	got, err := Covariance(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("Covariance = %v, want 2.5", got)
+	}
+	if _, err := Covariance(xs, ys[:2]); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+	if _, err := Covariance(nil, nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	xs := []float64{3, 3, 3, 3}
+	ys := []float64{1, 2, 3, 4}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("constant series correlation = %v, want 0", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+	if _, err := Pearson(nil, nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+// Property: Pearson is symmetric, bounded in [-1,1], and invariant under
+// positive affine transforms.
+func TestPearsonProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(64)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		a, _ := Pearson(xs, ys)
+		b, _ := Pearson(ys, xs)
+		if !almostEq(a, b, 1e-9) {
+			return false
+		}
+		if a < -1 || a > 1 {
+			return false
+		}
+		// Positive affine transform of xs must not change r.
+		scaled := make([]float64, n)
+		for i, x := range xs {
+			scaled[i] = 3.7*x + 11
+		}
+		c, _ := Pearson(scaled, ys)
+		return almostEq(a, c, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonMatrix(t *testing.T) {
+	rows := [][]float64{
+		{1, 2, 3, 4, 5},
+		{2, 4, 6, 8, 10},  // perfectly correlated with row 0
+		{5, 4, 3, 2, 1},   // perfectly anti-correlated
+		{7, 7, 7, 7, 7},   // constant
+		{1, -1, 1, -1, 1}, // oscillating
+	}
+	m, err := PearsonMatrix(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m[0][1], 1, 1e-9) || !almostEq(m[0][2], -1, 1e-9) {
+		t.Errorf("unexpected correlations: %v", m[0])
+	}
+	for j := range rows {
+		if m[3][j] != 0 || m[j][3] != 0 {
+			t.Errorf("constant row must have zero correlation, got m[3][%d]=%v", j, m[3][j])
+		}
+	}
+	// Cross-check every entry against the scalar Pearson.
+	for i := range rows {
+		for j := range rows {
+			want, _ := Pearson(rows[i], rows[j])
+			if i == j && i != 3 {
+				want = 1
+			}
+			if !almostEq(m[i][j], want, 1e-9) {
+				t.Errorf("m[%d][%d] = %v, want %v", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+func TestPearsonMatrixErrors(t *testing.T) {
+	if _, err := PearsonMatrix(nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := PearsonMatrix([][]float64{{1, 2}, {1}}); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+// Property: PearsonMatrix is symmetric with unit (or zero) diagonal.
+func TestPearsonMatrixProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		w := 4 + rng.Intn(16)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, w)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+			}
+		}
+		m, err := PearsonMatrix(rows)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !almostEq(m[i][i], 1, 1e-9) {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if !almostEq(m[i][j], m[j][i], 1e-9) || m[i][j] < -1 || m[i][j] > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Period-4 square-ish wave: ACF should peak at lag 4.
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 4)
+	}
+	acf := Autocorrelation(xs, 10)
+	if !almostEq(acf[0], 1, 1e-9) {
+		t.Errorf("acf[0] = %v, want 1", acf[0])
+	}
+	if acf[4] < 0.8 {
+		t.Errorf("acf[4] = %v, want strong peak", acf[4])
+	}
+	if acf[2] > -0.5 {
+		t.Errorf("acf[2] = %v, want strong trough", acf[2])
+	}
+}
+
+func TestAutocorrelationConstant(t *testing.T) {
+	acf := Autocorrelation([]float64{5, 5, 5, 5}, 2)
+	for i, v := range acf {
+		if v != 0 {
+			t.Errorf("constant ACF lag %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	if got := DominantPeriod(xs, 2, 64, 0.2, 10); got != 16 {
+		t.Errorf("DominantPeriod = %d, want 16", got)
+	}
+	flat := make([]float64, 64)
+	if got := DominantPeriod(flat, 2, 32, 0.2, 7); got != 7 {
+		t.Errorf("DominantPeriod fallback = %d, want 7", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+	// Quantile must not modify input.
+	if xs[0] != 3 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("MinMax of empty should be (NaN, NaN)")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	z := ZNormalize(xs)
+	if !almostEq(Mean(z), 0, 1e-12) {
+		t.Errorf("normalized mean = %v, want 0", Mean(z))
+	}
+	if !almostEq(StdDev(z), 1, 1e-12) {
+		t.Errorf("normalized std = %v, want 1", StdDev(z))
+	}
+	flat := ZNormalize([]float64{2, 2, 2})
+	for _, v := range flat {
+		if v != 0 {
+			t.Errorf("constant normalizes to zeros, got %v", flat)
+		}
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		r.Add(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Errorf("N = %d, want %d", r.N(), len(xs))
+	}
+	if !almostEq(r.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("running mean %v != batch %v", r.Mean(), Mean(xs))
+	}
+	if !almostEq(r.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("running variance %v != batch %v", r.Variance(), Variance(xs))
+	}
+	r.Reset()
+	if r.N() != 0 || !math.IsNaN(r.Mean()) {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func BenchmarkPearsonMatrix100x200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = make([]float64, 200)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PearsonMatrix(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package tsg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cad/internal/mts"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	if g.N() != 4 || g.Edges() != 0 {
+		t.Fatalf("fresh graph: n=%d edges=%d", g.N(), g.Edges())
+	}
+	g.SetEdge(0, 1, 0.9)
+	g.SetEdge(1, 2, -0.8)
+	g.SetEdge(0, 0, 1) // self-loop ignored
+	if g.Edges() != 2 {
+		t.Errorf("edges = %d, want 2", g.Edges())
+	}
+	if w, ok := g.Weight(1, 0); !ok || w != 0.9 {
+		t.Errorf("Weight(1,0) = %v,%v", w, ok)
+	}
+	if !g.HasEdge(2, 1) || g.HasEdge(0, 3) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Errorf("degrees: %d %d", g.Degree(1), g.Degree(3))
+	}
+	if math.Abs(g.TotalWeight()-1.7) > 1e-12 {
+		t.Errorf("TotalWeight = %v, want 1.7 (abs weights)", g.TotalWeight())
+	}
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) || g.Edges() != 1 {
+		t.Error("RemoveEdge failed")
+	}
+	got := g.NeighborsSorted(1)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("NeighborsSorted = %v", got)
+	}
+	count := 0
+	g.Neighbors(2, func(v int, w float64) {
+		count++
+		if v != 1 || w != -0.8 {
+			t.Errorf("neighbor (%d,%v)", v, w)
+		}
+	})
+	if count != 1 {
+		t.Errorf("visited %d neighbors", count)
+	}
+}
+
+func TestBuilderValidate(t *testing.T) {
+	cases := []struct {
+		b  Builder
+		n  int
+		ok bool
+	}{
+		{Builder{K: 1, Tau: 0.5}, 3, true},
+		{Builder{K: 0, Tau: 0.5}, 3, false},
+		{Builder{K: 3, Tau: 0.5}, 3, false},
+		{Builder{K: 1, Tau: -0.1}, 3, false},
+		{Builder{K: 1, Tau: 1.1}, 3, false},
+	}
+	for _, c := range cases {
+		err := c.b.Validate(c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v, n=%d) = %v", c.b, c.n, err)
+		}
+		if err != nil && !errors.Is(err, ErrBadParams) {
+			t.Errorf("error should wrap ErrBadParams: %v", err)
+		}
+	}
+}
+
+// correlatedMTS returns 6 sensors in two perfectly separated groups:
+// sensors 0-2 follow signal A, sensors 3-5 follow signal B, A ⟂ B.
+func correlatedMTS(t *testing.T) *mts.MTS {
+	t.Helper()
+	const w = 64
+	rows := make([][]float64, 6)
+	for i := range rows {
+		rows[i] = make([]float64, w)
+	}
+	for j := 0; j < w; j++ {
+		a := math.Sin(2 * math.Pi * float64(j) / 16)
+		b := math.Cos(2 * math.Pi * float64(j) / 5)
+		rows[0][j], rows[1][j], rows[2][j] = a, 2*a+1, -a
+		rows[3][j], rows[4][j], rows[5][j] = b, 3*b-2, b*0.5
+	}
+	m, err := mts.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildGroups(t *testing.T) {
+	m := correlatedMTS(t)
+	g, err := Builder{K: 2, Tau: 0.5}.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-group edges must exist; cross-group must not.
+	inGroup := func(u, v int) bool { return (u < 3) == (v < 3) }
+	for u := 0; u < 6; u++ {
+		g.Neighbors(u, func(v int, w float64) {
+			if !inGroup(u, v) {
+				t.Errorf("cross-group edge (%d,%d) w=%v", u, v, w)
+			}
+			if math.Abs(w) < 0.5 {
+				t.Errorf("edge below τ survived: (%d,%d) w=%v", u, v, w)
+			}
+		})
+		if g.Degree(u) != 2 {
+			t.Errorf("degree(%d) = %d, want 2 (both same-group partners)", u, g.Degree(u))
+		}
+	}
+	// Negative correlation should be preserved as a negative weight.
+	if w, ok := g.Weight(0, 2); !ok || w > -0.99 {
+		t.Errorf("Weight(0,2) = %v,%v; want ≈ -1", w, ok)
+	}
+}
+
+func TestBuildTauPrunesAll(t *testing.T) {
+	// Independent noise: with τ=0.99 almost surely no edges survive.
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, 5)
+	for i := range rows {
+		rows[i] = make([]float64, 128)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	m, _ := mts.New(rows, nil)
+	g, err := Builder{K: 2, Tau: 0.99}.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 0 {
+		t.Errorf("expected full pruning, got %d edges", g.Edges())
+	}
+}
+
+func TestFromCorrelation(t *testing.T) {
+	corr := [][]float64{
+		{1, 0.9, 0.1},
+		{0.9, 1, 0.2},
+		{0.1, 0.2, 1},
+	}
+	g, err := Builder{K: 1, Tau: 0.5}.FromCorrelation(corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("missing (0,1)")
+	}
+	// Vertex 2's best neighbor is 1 at 0.2 < τ → pruned.
+	if g.Degree(2) != 0 {
+		t.Errorf("degree(2) = %d, want 0", g.Degree(2))
+	}
+	if _, err := (Builder{K: 1, Tau: 0.5}).FromCorrelation([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square matrix should error")
+	}
+}
+
+// Property: every vertex has degree in [0, n-1]; its own-selected neighbors
+// are ≤ K but incoming selections may add more; all |weights| ≥ τ; graph is
+// symmetric.
+func TestBuildProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		w := 16 + rng.Intn(32)
+		k := 1 + rng.Intn(n-1)
+		tau := rng.Float64() * 0.9
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, w)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+			}
+		}
+		m, err := mts.New(rows, nil)
+		if err != nil {
+			return false
+		}
+		g, err := Builder{K: k, Tau: tau}.Build(m)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			ok := true
+			g.Neighbors(u, func(v int, wt float64) {
+				if math.Abs(wt) < tau || math.Abs(wt) > 1 {
+					ok = false
+				}
+				w2, exists := g.Weight(v, u)
+				if !exists || w2 != wt {
+					ok = false
+				}
+			})
+			if !ok || g.Degree(u) > n-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildSequence(t *testing.T) {
+	m := correlatedMTS(t)
+	wd := mts.Windowing{W: 16, S: 8}
+	graphs, err := Builder{K: 2, Tau: 0.3}.BuildSequence(m, wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != wd.Rounds(m.Len()) {
+		t.Fatalf("got %d graphs, want %d", len(graphs), wd.Rounds(m.Len()))
+	}
+	for r, g := range graphs {
+		if g.N() != 6 {
+			t.Errorf("round %d: n = %d", r, g.N())
+		}
+	}
+	// Invalid windowing propagates an error.
+	if _, err := (Builder{K: 2, Tau: 0.3}).BuildSequence(m, mts.Windowing{W: 1000, S: 1}); err == nil {
+		t.Error("expected windowing error")
+	}
+}
+
+func TestPaperExample2(t *testing.T) {
+	// §III Example 1/2: four sensors, s4 drops in the final window. In the
+	// final window's TSG, s4's correlation structure must differ from the
+	// earlier windows.
+	rows := [][]float64{
+		{1, 2, 1, 2, 1, 2, 1, 2},
+		{10, 20, 10, 20, 10, 20, 10, 20},
+		{5, 5.5, 5, 5.5, 5, 5.5, 5, 5.5},
+		{100, 200, 100, 200, 100, 200, 20, 20},
+	}
+	m, _ := mts.New(rows, nil)
+	wd := mts.Windowing{W: 4, S: 2}
+	graphs, err := Builder{K: 2, Tau: 0.5}.BuildSequence(m, wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := graphs[0], graphs[len(graphs)-1]
+	// Early: s4 (index 3) strongly correlated with s1/s2.
+	if w, ok := first.Weight(3, 0); !ok || w < 0.9 {
+		t.Errorf("early round: s4~s1 weight %v,%v; want strong", w, ok)
+	}
+	// Last window [4:8): s4 = {1,2,20,20}-pattern breaks; its correlation
+	// with the periodic sensors must have weakened or flipped.
+	if w, ok := last.Weight(3, 0); ok && w > 0.9 {
+		t.Errorf("late round: s4~s1 still %v; anomaly should disturb it", w)
+	}
+}
+
+func BenchmarkBuild100Sensors(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = make([]float64, 100)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	m, _ := mts.New(rows, nil)
+	bu := Builder{K: 10, Tau: 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bu.Build(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

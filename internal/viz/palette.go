@@ -1,0 +1,47 @@
+// Package viz renders detection artifacts for human review: Graphviz DOT
+// exports of Time-Series Graphs with their communities, SVG score
+// timelines with anomaly shading, per-sensor sparkline small-multiples,
+// and a self-contained HTML report combining them.
+//
+// Colors follow a validated brand-neutral palette: categorical hues are
+// assigned to communities in a fixed order (never cycled — communities
+// beyond the eighth fold into a muted "other" gray), detected anomaly
+// bands use the reserved critical status color, ground-truth bands the
+// warning color, and all chrome (axes, grid, labels) stays in ink tones
+// so color carries identity only.
+package viz
+
+// Categorical palette, light mode, in the fixed assignment order. The
+// ordering maximizes adjacent-pair colorblind separation; do not reorder.
+var categorical = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+// Chrome and status roles (light surface).
+const (
+	colorSurface   = "#fcfcfb"
+	colorPrimary   = "#0b0b0b"
+	colorSecondary = "#52514e"
+	colorMuted     = "#898781"
+	colorGrid      = "#e1e0d9"
+	colorBaseline  = "#c3c2b7"
+	colorCritical  = "#d03b3b" // detected anomaly bands
+	colorWarning   = "#fab219" // ground-truth bands
+	colorOther     = "#898781" // communities beyond the categorical slots
+)
+
+// CommunityColor returns the fill for community c: one of the eight fixed
+// categorical slots, or the muted "other" gray beyond them.
+func CommunityColor(c int) string {
+	if c >= 0 && c < len(categorical) {
+		return categorical[c]
+	}
+	return colorOther
+}

@@ -1,0 +1,208 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"cad/internal/eval"
+)
+
+// ChartConfig sizes an SVG chart.
+type ChartConfig struct {
+	// Width and Height in pixels (defaults 960×240).
+	Width, Height int
+	// Title drawn above the plot; for a single series the title names it,
+	// so no legend box is needed.
+	Title string
+}
+
+func (c *ChartConfig) fill() {
+	if c.Width <= 0 {
+		c.Width = 960
+	}
+	if c.Height <= 0 {
+		c.Height = 240
+	}
+}
+
+const (
+	padLeft   = 48
+	padRight  = 12
+	padTop    = 28
+	padBottom = 24
+)
+
+// ScoreTimeline renders the per-point anomaly score as a 2px line with
+// shaded spans: detected anomalies in the critical status color, ground
+// truth (when given) in the warning color, and an optional dashed
+// threshold rule. Each shaded band carries a native SVG <title> tooltip.
+func ScoreTimeline(w io.Writer, scores []float64, detected, truth []eval.Segment, threshold float64, cfg ChartConfig) error {
+	cfg.fill()
+	if len(scores) == 0 {
+		return fmt.Errorf("viz: no scores")
+	}
+	plotW := float64(cfg.Width - padLeft - padRight)
+	plotH := float64(cfg.Height - padTop - padBottom)
+	maxY := threshold
+	for _, s := range scores {
+		if !math.IsNaN(s) && !math.IsInf(s, 0) && s > maxY {
+			maxY = s
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.08 // headroom
+	x := func(t int) float64 { return float64(padLeft) + plotW*float64(t)/float64(len(scores)-1) }
+	y := func(v float64) float64 { return float64(padTop) + plotH*(1-v/maxY) }
+	if len(scores) == 1 {
+		x = func(int) float64 { return float64(padLeft) }
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label=%q>`,
+		cfg.Width, cfg.Height, cfg.Width, cfg.Height, cfg.Title)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, cfg.Width, cfg.Height, colorSurface)
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" font-family="system-ui,sans-serif" font-size="13" fill="%s">%s</text>`,
+			padLeft, colorPrimary, escape(cfg.Title))
+	}
+	// Shaded bands first (under the line). Ground truth below detected.
+	for _, seg := range truth {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.18"><title>ground truth [%d,%d)</title></rect>`,
+			x(seg.Start), padTop, x(clampIdx(seg.End, len(scores)))-x(seg.Start), plotH, colorWarning, seg.Start, seg.End)
+	}
+	for _, seg := range detected {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.22"><title>detected [%d,%d)</title></rect>`,
+			x(seg.Start), padTop, x(clampIdx(seg.End, len(scores)))-x(seg.Start), plotH, colorCritical, seg.Start, seg.End)
+	}
+	// Recessive grid: 4 hairlines + labels in muted ink.
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			padLeft, y(v), cfg.Width-padRight, y(v), colorGrid)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="system-ui,sans-serif" font-size="10" fill="%s" text-anchor="end" style="font-variant-numeric:tabular-nums">%.1f</text>`,
+			padLeft-6, y(v)+3, colorMuted, v)
+	}
+	// Threshold rule.
+	if threshold > 0 {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="4 3"/>`,
+			padLeft, y(threshold), cfg.Width-padRight, y(threshold), colorSecondary)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="system-ui,sans-serif" font-size="10" fill="%s">η</text>`,
+			cfg.Width-padRight-12, y(threshold)-4, colorSecondary)
+	}
+	// Baseline.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		padLeft, y(0), cfg.Width-padRight, y(0), colorBaseline)
+	// The score line, 2px, series slot 1.
+	fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`,
+		linePath(scores, x, y), categorical[0])
+	b.WriteString(`</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Sparklines renders one small-multiple row per sensor: a 2px line on a
+// shared time axis, highlighted sensors in the first categorical hue and
+// the rest in muted ink, with the sensor name as a direct label. Detected
+// spans shade every row so the anomaly context lines up across sensors.
+func Sparklines(w io.Writer, rows [][]float64, names []string, highlight map[int]bool, detected []eval.Segment, cfg ChartConfig) error {
+	cfg.fill()
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return fmt.Errorf("viz: no rows")
+	}
+	const rowH = 34
+	const labelW = 96
+	height := padTop + rowH*len(rows) + 8
+	plotW := float64(cfg.Width - labelW - padRight)
+	length := len(rows[0])
+	x := func(t int) float64 { return float64(labelW) + plotW*float64(t)/float64(length-1) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label=%q>`,
+		cfg.Width, height, cfg.Width, height, cfg.Title)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, cfg.Width, height, colorSurface)
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" font-family="system-ui,sans-serif" font-size="13" fill="%s">%s</text>`,
+			labelW, colorPrimary, escape(cfg.Title))
+	}
+	for _, seg := range detected {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" fill-opacity="0.14"><title>detected [%d,%d)</title></rect>`,
+			x(seg.Start), padTop, x(clampIdx(seg.End, length))-x(seg.Start), rowH*len(rows), colorCritical, seg.Start, seg.End)
+	}
+	for i, row := range rows {
+		top := float64(padTop + i*rowH)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if !(hi > lo) { // constant or all-NaN rows flatten to mid-row
+			lo, hi = lo-0.5, lo+0.5
+			if math.IsInf(lo, 0) {
+				lo, hi = 0, 1
+			}
+		}
+		y := func(v float64) float64 { return top + 4 + float64(rowH-10)*(1-(v-lo)/(hi-lo)) }
+		color := colorMuted
+		ink := colorSecondary
+		if highlight[i] {
+			color = categorical[0]
+			ink = colorPrimary
+		}
+		name := fmt.Sprintf("s%d", i+1)
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="system-ui,sans-serif" font-size="11" fill="%s" text-anchor="end">%s</text>`,
+			labelW-8, top+float64(rowH)/2+4, ink, escape(name))
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"><title>%s</title></path>`,
+			linePath(row, x, y), color, escape(name))
+	}
+	b.WriteString(`</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// linePath builds the SVG path of a series, skipping NaNs.
+func linePath(vals []float64, x func(int) float64, y func(float64) float64) string {
+	var b strings.Builder
+	pen := false
+	for t, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			pen = false
+			continue
+		}
+		if pen {
+			fmt.Fprintf(&b, "L%.1f %.1f", x(t), y(v))
+		} else {
+			fmt.Fprintf(&b, "M%.1f %.1f", x(t), y(v))
+			pen = true
+		}
+	}
+	return b.String()
+}
+
+func clampIdx(i, n int) int {
+	if i >= n {
+		return n - 1
+	}
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
