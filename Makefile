@@ -1,0 +1,32 @@
+GO ?= go
+
+# ci is the tier-1 gate: formatting, vet, build, and the full test suite
+# under the race detector (the serve concurrency tests only mean something
+# with -race).
+.PHONY: ci
+ci: fmt vet build race
+
+.PHONY: fmt
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+.PHONY: bench
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./internal/core/

@@ -4,18 +4,30 @@
 //
 //	cadserve -sensors 26 -addr :8080 [-warmup history.csv]
 //	         [-w 200 -s 4] [-k 10] [-tau 0.5] [-theta 0.3]
+//	         [-pprof] [-logjson]
 //
-// Collectors POST readings to /ingest; operators read /status and /alarms;
-// /detect accepts a CSV for one-shot batch analysis. See internal/serve for
-// the payloads.
+// Collectors POST readings to /ingest; operators read /status, /alarms,
+// /anomalies, and scrape Prometheus metrics from /metrics; /detect accepts
+// a CSV for one-shot batch analysis. See internal/serve for the payloads
+// and the exported metric names. -pprof additionally mounts the
+// net/http/pprof profiling handlers under /debug/pprof/.
+//
+// The server logs one structured line per request (text to stderr, or JSON
+// with -logjson), enforces read/write timeouts, and shuts down gracefully
+// on SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cad"
@@ -34,12 +46,22 @@ func main() {
 		tau     = flag.Float64("tau", 0.5, "correlation threshold τ")
 		theta   = flag.Float64("theta", 0.3, "outlier threshold θ")
 		approx  = flag.Bool("approx", false, "build TSGs with the HNSW index (for very wide sensor arrays)")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		logJSON = flag.Bool("logjson", false, "emit JSON logs instead of text")
 	)
 	flag.Parse()
-	if err := run(*sensors, *addr, *warmup, *w, *s, *k, *tau, *theta, *approx); err != nil {
+	logger := newLogger(*logJSON)
+	if err := run(*sensors, *addr, *warmup, *w, *s, *k, *tau, *theta, *approx, *pprofOn, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "cadserve: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func newLogger(logJSON bool) *slog.Logger {
+	if logJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 // setup loads the optional warm-up series, derives the configuration, and
@@ -86,26 +108,68 @@ func setup(sensors int, warmup string, w, s, k int, tau, theta float64, approx b
 		if err := det.WarmUp(history); err != nil {
 			return nil, fmt.Errorf("warm-up: %w", err)
 		}
-		log.Printf("warm-up: %d rounds in %v (μ=%.2f σ=%.2f)",
-			det.Rounds(), time.Since(start), det.HistoryMean(), det.HistoryStdDev())
+		slog.Info("warm-up done", "rounds", det.Rounds(), "elapsed", time.Since(start),
+			"mu", det.HistoryMean(), "sigma", det.HistoryStdDev())
 	}
 	return det, nil
 }
 
-func run(sensors int, addr, warmup string, w, s, k int, tau, theta float64, approx bool) error {
+// newServer assembles the HTTP server around svc: service routes, optional
+// pprof handlers, and conservative timeouts. Split from run so tests can
+// exercise the routing without binding a socket. The write timeout is
+// generous because /detect runs a full batch detection inline.
+func newServer(svc *serve.Service, addr string, pprofOn bool) *http.Server {
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+func run(sensors int, addr, warmup string, w, s, k int, tau, theta float64, approx, pprofOn bool, logger *slog.Logger) error {
 	det, err := setup(sensors, warmup, w, s, k, tau, theta, approx)
 	if err != nil {
 		return err
 	}
 	cfg := det.Config()
-	svc := serve.New(det, 1024)
-	srv := &http.Server{
-		Addr:         addr,
-		Handler:      svc.Handler(),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second,
+	svc := serve.NewWithOptions(det, serve.Options{MaxAlarms: 1024, Logger: logger})
+	srv := newServer(svc, addr, pprofOn)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger.Info("cadserve listening", "addr", addr, "sensors", det.Sensors(),
+		"w", cfg.Window.W, "s", cfg.Window.S, "k", cfg.K,
+		"tau", cfg.Tau, "theta", cfg.Theta, "approx", approx, "pprof", pprofOn)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down", "reason", "signal")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
 	}
-	log.Printf("cadserve listening on %s (%d sensors, w=%d s=%d k=%d τ=%.2f θ=%.2f approx=%v)",
-		addr, det.Sensors(), cfg.Window.W, cfg.Window.S, cfg.K, cfg.Tau, cfg.Theta, approx)
-	return srv.ListenAndServe()
 }

@@ -3,10 +3,14 @@ package main
 import (
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cad"
+	"cad/internal/serve"
 )
 
 func writeWarmup(t *testing.T, path string, sensors, length int) {
@@ -75,5 +79,49 @@ func TestSetupErrors(t *testing.T) {
 	// Invalid windowing flows through as a config error.
 	if _, err := setup(8, "", 4, 4, 0, 0.5, 0.3, false); err == nil {
 		t.Error("w == s should error")
+	}
+}
+
+func TestNewServerRouting(t *testing.T) {
+	det, err := setup(8, "", 0, 0, 0, 0.5, 0.3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.NewWithOptions(det, serve.Options{})
+	srv := newServer(svc, ":0", false)
+
+	rec := httptest.NewRecorder()
+	srv.Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/status", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/status: status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `http_requests_total{code="200",method="GET",path="/status"} 1`) {
+		t.Error("/metrics missing request metrics")
+	}
+
+	// pprof must be opt-in.
+	rec = httptest.NewRecorder()
+	srv.Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Error("/debug/pprof/ should not be mounted without -pprof")
+	}
+
+	det2, err := setup(8, "", 0, 0, 0, 0.5, 0.3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = newServer(serve.NewWithOptions(det2, serve.Options{}), ":0", true)
+	rec = httptest.NewRecorder()
+	srv.Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/ with -pprof: status %d", rec.Code)
+	}
+	if srv.ReadTimeout == 0 || srv.WriteTimeout == 0 || srv.ReadHeaderTimeout == 0 {
+		t.Error("server timeouts must be set")
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"cad/internal/louvain"
 	"cad/internal/mts"
@@ -101,6 +102,8 @@ type Detector struct {
 	outlier  []bool // O_{r-1}
 
 	hist history // μ, σ estimator over n_r (unbounded or trailing horizon)
+
+	obs RoundObserver // optional per-round telemetry sink
 }
 
 // history estimates μ and σ of the n_r series, either over the entire past
@@ -348,39 +351,59 @@ func (d *Detector) pointSpan(r int) (from, to int) {
 }
 
 // partition runs the stateless half of Algorithm 1 — TSG construction and
-// community detection — for one window. It is safe to call concurrently for
-// different windows.
-func (d *Detector) partition(win *mts.MTS) (louvain.Partition, error) {
+// community detection — for one window, timing each stage. It is safe to
+// call concurrently for different windows.
+func (d *Detector) partition(win *mts.MTS) (louvain.Partition, StageTimings, error) {
 	var (
 		g   *tsg.Graph
+		st  StageTimings
 		err error
 	)
+	start := time.Now()
 	if d.cfg.ApproxTSG {
 		g, err = d.builder.BuildApprox(win, tsg.ApproxConfig{Seed: d.cfg.ApproxSeed})
 	} else {
 		g, err = d.builder.Build(win)
 	}
+	st.TSGBuild = time.Since(start)
 	if err != nil {
-		return louvain.Partition{}, err
+		return louvain.Partition{}, st, err
 	}
-	return louvain.Communities(g), nil
+	start = time.Now()
+	part := louvain.Communities(g)
+	st.Louvain = time.Since(start)
+	return part, st, nil
 }
 
 // step runs Algorithm 1 (OutlierDetection) for one window and applies the
 // abnormal-round rule.
 func (d *Detector) step(win *mts.MTS) (RoundReport, error) {
-	part, err := d.partition(win)
+	part, st, err := d.partition(win)
 	if err != nil {
 		return RoundReport{}, err
 	}
-	return d.advance(part), nil
+	return d.observedAdvance(part, st), nil
+}
+
+// observedAdvance runs advance and reports the round to the attached
+// observer, completing the stage timings with the advance duration.
+func (d *Detector) observedAdvance(part louvain.Partition, st StageTimings) RoundReport {
+	start := time.Now()
+	rep := d.advance(part)
+	if d.obs != nil {
+		st.Advance = time.Since(start)
+		d.obs.ObserveRound(rep, st, d.hist.Mean(), d.hist.StdDev())
+	}
+	return rep
 }
 
 // advance runs the stateful half of Algorithm 1 — co-appearance mining,
 // outlier-set maintenance, and the abnormal-round rule — on an
 // already-computed partition.
 func (d *Detector) advance(part louvain.Partition) RoundReport {
-	rep := RoundReport{Communities: part.Count}
+	// Round carries the global counter (warm-up included); Detect-style
+	// drivers overwrite it with the series-relative index in assemble.
+	rep := RoundReport{Round: d.round, Communities: part.Count}
 
 	// Phase 2: co-appearance mining (Defs. 4–6). S_r(v) counts the other
 	// vertices sharing v's community in both round r−1 and round r. With

@@ -32,6 +32,7 @@ func (d *Detector) DetectParallel(t *mts.MTS, workers int) (*Result, error) {
 	}
 
 	parts := make([]louvain.Partition, R)
+	times := make([]StageTimings, R)
 	errs := make([]error, R)
 	var wg sync.WaitGroup
 	next := make(chan int, R)
@@ -49,7 +50,7 @@ func (d *Detector) DetectParallel(t *mts.MTS, workers int) (*Result, error) {
 					errs[r] = err
 					continue
 				}
-				parts[r], errs[r] = d.partition(win)
+				parts[r], times[r], errs[r] = d.partition(win)
 			}
 		}()
 	}
@@ -62,6 +63,6 @@ func (d *Detector) DetectParallel(t *mts.MTS, workers int) (*Result, error) {
 
 	// Sequential stateful pass, identical to Detect's loop.
 	return d.assemble(t, R, func(r int) (RoundReport, error) {
-		return d.advance(parts[r]), nil
+		return d.observedAdvance(parts[r], times[r]), nil
 	})
 }

@@ -9,22 +9,40 @@ import (
 // Streamer feeds a Detector one time point at a time, emitting a RoundReport
 // whenever a full step of new columns has arrived (§IV-F "Generalization":
 // when a new round of data arrives, repeat Lines 6–11 of Algorithm 2). It
-// maintains the trailing window internally, so callers only push columns.
+// maintains the trailing window internally in a ring buffer, so callers only
+// push columns and each push costs O(n); the window is materialized once per
+// completed round, not per column.
 //
 // A Streamer is not safe for concurrent use.
 type Streamer struct {
 	det *Detector
-	buf *mts.MTS // trailing window buffer, at most w columns
-	// pending counts columns received since the last emitted round (or
+	// ring holds the trailing w columns: ring[i][p] is sensor i's reading
+	// at ring slot p. pos is the next write slot, which is also the oldest
+	// column once the ring has filled.
+	ring   [][]float64
+	pos    int
+	filled int
+	// win is the scratch window the ring is unrolled into for each round.
+	// It is reused across rounds; ProcessWindow does not retain it.
+	win *mts.MTS
+	// pending counts columns received since the last *successful* round (or
 	// since start, for the first round).
 	pending int
 	started bool
+	// process runs one round; tests replace it to inject round failures.
+	process func(*mts.MTS) (RoundReport, error)
 }
 
 // NewStreamer wraps det for streaming ingestion. The detector may already be
 // warmed up.
 func NewStreamer(det *Detector) *Streamer {
-	return &Streamer{det: det, buf: mts.Zeros(det.Sensors(), 0)}
+	n, w := det.Sensors(), det.cfg.Window.W
+	ring := make([][]float64, n)
+	backing := make([]float64, n*w)
+	for i := range ring {
+		ring[i] = backing[i*w : (i+1)*w]
+	}
+	return &Streamer{det: det, ring: ring, win: mts.Zeros(n, w), process: det.ProcessWindow}
 }
 
 // Detector returns the wrapped detector.
@@ -34,37 +52,53 @@ func (s *Streamer) Detector() *Detector { return s.det }
 // accumulated to complete a round (w columns for the first round, s more for
 // each later one) the round is processed and its report returned with
 // ok=true; otherwise ok=false.
+//
+// If processing the round fails, the pushed column is kept but the round is
+// NOT considered complete: the detector state did not advance, and the next
+// Push retries with the window slid one column forward. The streamer
+// therefore recovers from transient round errors without silently dropping
+// rounds or shortening the next round's cadence.
 func (s *Streamer) Push(col []float64) (rep RoundReport, ok bool, err error) {
 	if len(col) != s.det.Sensors() {
 		return RoundReport{}, false, fmt.Errorf("%w: column has %d readings, want %d", ErrBadConfig, len(col), s.det.Sensors())
 	}
-	if err := s.buf.AppendColumn(col); err != nil {
-		return RoundReport{}, false, err
-	}
 	w, step := s.det.cfg.Window.W, s.det.cfg.Window.S
-	// Trim the buffer to the window length.
-	if s.buf.Len() > w {
-		trimmed, err := s.buf.Slice(s.buf.Len()-w, s.buf.Len())
-		if err != nil {
-			return RoundReport{}, false, err
-		}
-		s.buf = trimmed.Clone()
+	for i, v := range col {
+		s.ring[i][s.pos] = v
+	}
+	s.pos = (s.pos + 1) % w
+	if s.filled < w {
+		s.filled++
 	}
 	s.pending++
 	need := w
 	if s.started {
 		need = step
 	}
-	if s.buf.Len() < w || s.pending < need {
+	if s.filled < w || s.pending < need {
 		return RoundReport{}, false, nil
+	}
+	rep, err = s.process(s.window())
+	if err != nil {
+		// Leave pending/started untouched so the round is retried on the
+		// next push instead of being silently dropped.
+		return RoundReport{}, false, err
 	}
 	s.pending = 0
 	s.started = true
-	rep, err = s.det.ProcessWindow(s.buf)
-	if err != nil {
-		return RoundReport{}, false, err
-	}
 	return rep, true, nil
+}
+
+// window unrolls the ring into s.win in chronological order and returns it.
+// Only valid once the ring is full, when pos is the oldest slot.
+func (s *Streamer) window() *mts.MTS {
+	w := s.det.cfg.Window.W
+	for i, r := range s.ring {
+		dst := s.win.Row(i)
+		copy(dst, r[s.pos:])
+		copy(dst[w-s.pos:], r[:s.pos])
+	}
+	return s.win
 }
 
 // PushSeries pushes every column of t in order and returns the reports of

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+// TestStreamerPushRecoversFromFailedRound is the regression test for the
+// streaming-state corruption bug: Push used to commit pending=0/started=true
+// *before* ProcessWindow ran, so a failed round was silently dropped and the
+// next round fired after only s columns. With the fix the failed round is
+// retried on the very next push and the cadence stays intact.
+func TestStreamerPushRecoversFromFailedRound(t *testing.T) {
+	series := synth(11, 3, 4, 400, nil, -1, -1)
+	det, err := NewDetector(12, testConfig()) // w=40, s=4
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamer(det)
+
+	errBoom := errors.New("boom")
+	calls := 0
+	real := sr.process
+	sr.process = func(win *mts.MTS) (RoundReport, error) {
+		calls++
+		if calls == 3 { // fail the third round attempt (tick 48) once
+			return RoundReport{}, errBoom
+		}
+		return real(win)
+	}
+
+	var completed []int // 1-based tick of each completed round
+	var failedAt []int
+	col := make([]float64, 12)
+	for p := 0; p < 80; p++ {
+		series.Column(p, col)
+		_, ok, err := sr.Push(col)
+		if err != nil {
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("tick %d: unexpected error %v", p+1, err)
+			}
+			failedAt = append(failedAt, p+1)
+			continue
+		}
+		if ok {
+			completed = append(completed, p+1)
+		}
+	}
+
+	if want := []int{48}; !reflect.DeepEqual(failedAt, want) {
+		t.Fatalf("failed ticks = %v, want %v", failedAt, want)
+	}
+	// First round at tick 40, then every 4 ticks; the failed tick-48 round
+	// is retried (and succeeds) at tick 49, re-anchoring the cadence there.
+	want := []int{40, 44, 49, 53, 57, 61, 65, 69, 73, 77}
+	if !reflect.DeepEqual(completed, want) {
+		t.Fatalf("completed ticks = %v, want %v", completed, want)
+	}
+	// The failed attempt must not have advanced the detector.
+	if det.Rounds() != len(completed) {
+		t.Fatalf("detector advanced %d rounds, %d completed", det.Rounds(), len(completed))
+	}
+}
+
+// TestStreamerFailedFirstRoundKeepsWarming checks the started flag is not
+// committed when the very first round fails: the streamer must keep
+// retrying full-window rounds, not switch to the s-column cadence.
+func TestStreamerFailedFirstRoundKeepsWarming(t *testing.T) {
+	series := synth(12, 3, 4, 100, nil, -1, -1)
+	det, err := NewDetector(12, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamer(det)
+	errBoom := errors.New("boom")
+	calls := 0
+	real := sr.process
+	sr.process = func(win *mts.MTS) (RoundReport, error) {
+		calls++
+		if calls <= 2 { // first round fails twice (ticks 40 and 41)
+			return RoundReport{}, errBoom
+		}
+		return real(win)
+	}
+	var completed []int
+	col := make([]float64, 12)
+	for p := 0; p < 50; p++ {
+		series.Column(p, col)
+		_, ok, err := sr.Push(col)
+		if ok {
+			completed = append(completed, p+1)
+		}
+		if err != nil && !errors.Is(err, errBoom) {
+			t.Fatalf("tick %d: %v", p+1, err)
+		}
+	}
+	want := []int{42, 46, 50}
+	if !reflect.DeepEqual(completed, want) {
+		t.Fatalf("completed ticks = %v, want %v", completed, want)
+	}
+}
+
+// TestStreamerRingMatchesBatchExactly pins the ring-buffer window to the
+// batch path bit for bit: every field of every report must match Detect on
+// the same series.
+func TestStreamerRingMatchesBatchExactly(t *testing.T) {
+	series := synth(13, 3, 4, 500, []int{1, 6}, 200, 320)
+
+	batch, err := NewDetector(12, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRes, err := batch.Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := NewDetector(12, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := NewStreamer(stream).PushSeries(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(batchRes.Rounds) {
+		t.Fatalf("streamer emitted %d rounds, batch %d", len(reps), len(batchRes.Rounds))
+	}
+	for i := range reps {
+		if !reflect.DeepEqual(reps[i], batchRes.Rounds[i]) {
+			t.Errorf("round %d differs:\nstream %+v\nbatch  %+v", i, reps[i], batchRes.Rounds[i])
+		}
+	}
+}
+
+// TestStreamerInvalidPushLeavesStateIntact feeds interleaved invalid
+// columns (wrong arity) and checks the stream still matches the batch path
+// on the clean series — rejected pushes must not consume buffer space or
+// cadence.
+func TestStreamerInvalidPushLeavesStateIntact(t *testing.T) {
+	series := synth(14, 3, 4, 300, nil, -1, -1)
+
+	batch, err := NewDetector(12, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRes, err := batch.Detect(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := NewDetector(12, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamer(stream)
+	var reps []RoundReport
+	col := make([]float64, 12)
+	for p := 0; p < series.Len(); p++ {
+		if p%7 == 3 {
+			if _, _, err := sr.Push([]float64{1, 2, 3}); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("tick %d: short column: want ErrBadConfig, got %v", p, err)
+			}
+		}
+		series.Column(p, col)
+		rep, ok, err := sr.Push(col)
+		if err != nil {
+			t.Fatalf("tick %d: %v", p, err)
+		}
+		if ok {
+			reps = append(reps, rep)
+		}
+	}
+	if len(reps) != len(batchRes.Rounds) {
+		t.Fatalf("streamer emitted %d rounds, batch %d", len(reps), len(batchRes.Rounds))
+	}
+	for i := range reps {
+		if !reflect.DeepEqual(reps[i], batchRes.Rounds[i]) {
+			t.Errorf("round %d differs:\nstream %+v\nbatch  %+v", i, reps[i], batchRes.Rounds[i])
+		}
+	}
+}
+
+// BenchmarkStreamerPush measures the full streaming hot path: ring write,
+// occasional window materialization, and round processing.
+func BenchmarkStreamerPush(b *testing.B) {
+	for _, n := range []int{12, 48} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := testConfig()
+			cfg.Window = mts.Windowing{W: 200, S: 4}
+			cfg.K = 3
+			det, err := NewDetector(n, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sr := NewStreamer(det)
+			series := synth(15, n/4, 4, 1200, nil, -1, -1)
+			cols := make([][]float64, series.Len())
+			for p := range cols {
+				cols[p] = series.Column(p, nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sr.Push(cols[i%len(cols)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamerPushBuffer isolates the per-push buffer management (the
+// part the ring buffer turned from O(n·w) into O(n)) by stubbing out round
+// processing.
+func BenchmarkStreamerPushBuffer(b *testing.B) {
+	cfg := testConfig()
+	cfg.Window = mts.Windowing{W: 400, S: 8}
+	det, err := NewDetector(48, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr := NewStreamer(det)
+	sr.process = func(*mts.MTS) (RoundReport, error) { return RoundReport{}, nil }
+	col := make([]float64, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sr.Push(col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter records the status code and body size the handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// Middleware wraps next with per-endpoint instrumentation:
+//
+//	http_requests_total{path,method,code}     counter
+//	http_request_duration_seconds{path}       histogram
+//	http_requests_in_flight                   gauge
+//
+// and, when logger is non-nil, one structured log line per request. route
+// maps a request to a bounded path label (cardinality guard); nil uses
+// r.URL.Path verbatim, which is only safe behind a fixed mux.
+func Middleware(next http.Handler, reg *Registry, logger *slog.Logger, route func(*http.Request) string) http.Handler {
+	inFlight := reg.Gauge("http_requests_in_flight",
+		"Requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if route != nil {
+			path = route(r)
+		}
+		inFlight.Add(1)
+		defer inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		reg.Counter("http_requests_total", "Requests served, by endpoint, method, and status code.",
+			Label{"path", path}, Label{"method", r.Method}, Label{"code", strconv.Itoa(sw.status)}).Inc()
+		reg.Histogram("http_request_duration_seconds", "Request latency, by endpoint.", DefBuckets,
+			Label{"path", path}).Observe(elapsed.Seconds())
+		if logger != nil {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", elapsed),
+				slog.Int("bytes", sw.bytes),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareMetricsAndLogs(t *testing.T) {
+	reg := NewRegistry()
+	var logBuf strings.Builder
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			http.Error(w, "boom", http.StatusTeapot)
+			return
+		}
+		w.Write([]byte("hello")) //nolint:errcheck
+	})
+	h := Middleware(inner, reg, logger, func(r *http.Request) string {
+		if r.URL.Path == "/boom" || r.URL.Path == "/ok" {
+			return r.URL.Path
+		}
+		return "other"
+	})
+
+	for _, path := range []string{"/ok", "/ok", "/boom", "/nope"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+
+	out := render(t, reg)
+	for _, want := range []string{
+		`http_requests_total{code="200",method="GET",path="/ok"} 2`,
+		`http_requests_total{code="418",method="GET",path="/boom"} 1`,
+		`http_requests_total{code="200",method="GET",path="other"} 1`,
+		`http_request_duration_seconds_count{path="/ok"} 2`,
+		"http_requests_in_flight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{"http request", "path=/boom", "status=418", "method=GET"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+func TestMiddlewareImplicitStatus(t *testing.T) {
+	reg := NewRegistry()
+	// Handler that never calls Write or WriteHeader: net/http implies 200.
+	h := Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}), reg, nil, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	out := render(t, reg)
+	want := `http_requests_total{code="200",method="GET",path="/x"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("metrics missing %q:\n%s", want, out)
+	}
+}

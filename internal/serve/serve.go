@@ -8,12 +8,27 @@
 //	POST /ingest     {"readings": [..n floats..]}       → ingest result
 //	GET  /status                                        → detector health
 //	GET  /alarms?limit=N                                → recent abnormal rounds
+//	GET  /anomalies                                     → assembled anomalies
 //	POST /detect     CSV body (sensors as columns)      → batch detection
+//	GET  /metrics                                       → Prometheus text format
+//
+// Ingested readings must be finite; a column containing NaN or ±Inf is
+// rejected with 400 before it can poison the Pearson correlations of the
+// following rounds.
+//
+// Every handler is wrapped in obs.Middleware, so the /metrics endpoint
+// exports per-endpoint request counts (http_requests_total), latencies
+// (http_request_duration_seconds), and an in-flight gauge alongside the
+// detector pipeline metrics: cad_tsg_build_seconds, cad_louvain_seconds,
+// cad_advance_seconds, cad_rounds_total, cad_alarms_total,
+// cad_round_variations, cad_history_mu, cad_history_sigma, and
+// cad_ingest_rejected_total{reason}.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -22,6 +37,7 @@ import (
 
 	"cad/internal/core"
 	"cad/internal/mts"
+	"cad/internal/obs"
 )
 
 // Alarm is one abnormal round kept in the service's ring buffer.
@@ -52,24 +68,67 @@ type Service struct {
 	anomalies []core.Anomaly
 	maxAlarm  int
 	now       func() time.Time
+
+	reg    *obs.Registry
+	logger *slog.Logger
+}
+
+// Options configures optional service dependencies.
+type Options struct {
+	// MaxAlarms bounds the alarm/anomaly ring buffers (≤ 0 means 256).
+	MaxAlarms int
+	// Registry receives the service and detector metrics; nil creates a
+	// private one (exposed via Registry / the /metrics endpoint).
+	Registry *obs.Registry
+	// Logger, when non-nil, gets one structured line per HTTP request.
+	Logger *slog.Logger
 }
 
 // New wraps det (already warmed up, if desired) in a service that keeps up
 // to maxAlarms recent alarms (≤ 0 means 256).
 func New(det *core.Detector, maxAlarms int) *Service {
-	if maxAlarms <= 0 {
-		maxAlarms = 256
+	return NewWithOptions(det, Options{MaxAlarms: maxAlarms})
+}
+
+// NewWithOptions is New with explicit observability dependencies. It
+// attaches a metrics observer to det, so the detector should not be shared
+// with another service.
+func NewWithOptions(det *core.Detector, o Options) *Service {
+	if o.MaxAlarms <= 0 {
+		o.MaxAlarms = 256
 	}
-	return &Service{
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	s := &Service{
 		det:      det,
 		streamer: core.NewStreamer(det),
 		tracker:  core.NewTracker(det.Config()),
-		maxAlarm: maxAlarms,
+		maxAlarm: o.MaxAlarms,
 		now:      time.Now,
+		reg:      o.Registry,
+		logger:   o.Logger,
+	}
+	det.SetObserver(newDetectorMetrics(s.reg))
+	return s
+}
+
+// Registry returns the metrics registry the service reports into.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// routeLabel maps a request to a bounded path label for metrics; unknown
+// paths collapse into "other" so label cardinality stays fixed.
+func routeLabel(r *http.Request) string {
+	switch r.URL.Path {
+	case "/ingest", "/status", "/alarms", "/anomalies", "/detect", "/metrics":
+		return r.URL.Path
+	default:
+		return "other"
 	}
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler, wrapped with request metrics and
+// (when a logger was configured) structured request logging.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", s.handleIngest)
@@ -77,7 +136,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/alarms", s.handleAlarms)
 	mux.HandleFunc("/anomalies", s.handleAnomalies)
 	mux.HandleFunc("/detect", s.handleDetect)
-	return mux
+	mux.Handle("/metrics", s.reg.Handler())
+	return obs.Middleware(mux, s.reg, s.logger, routeLabel)
 }
 
 // finiteOrZero maps NaN/Inf (e.g. μ before any round) to 0 so the status
@@ -87,6 +147,16 @@ func finiteOrZero(x float64) float64 {
 		return 0
 	}
 	return x
+}
+
+// firstNonFinite returns the index of the first NaN/±Inf reading, or -1.
+func firstNonFinite(xs []float64) int {
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i
+		}
+	}
+	return -1
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -120,13 +190,24 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.ingestRejected("badjson").Inc()
 		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	// Validate at the boundary: one NaN/Inf reading would silently poison
+	// the Pearson correlations of every round whose window covers it. The
+	// stdlib JSON decoder already refuses non-finite number literals, so
+	// this also guards programmatic callers and future encodings.
+	if i := firstNonFinite(req.Readings); i >= 0 {
+		s.ingestRejected("nonfinite").Inc()
+		writeError(w, http.StatusBadRequest, "non-finite reading for sensor %d", i)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rep, done, err := s.streamer.Push(req.Readings)
 	if err != nil {
+		s.ingestRejected("stream").Inc()
 		writeError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
 	}
@@ -285,6 +366,13 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 	series, err := mts.ReadCSV(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad CSV: %v", err)
+		return
+	}
+	// CSV is the one ingestion path whose parser accepts "NaN"/"Inf"
+	// tokens, so the finite-readings rule must hold here too.
+	if series.HasNaN() {
+		s.ingestRejected("nonfinite").Inc()
+		writeError(w, http.StatusBadRequest, "series contains non-finite readings")
 		return
 	}
 	s.mu.Lock()
