@@ -30,3 +30,4 @@ race:
 .PHONY: bench
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/
+	$(GO) test -run XXX -bench BenchmarkManagerIngest -benchmem ./internal/manager/

@@ -71,6 +71,11 @@ const (
 	RCExponential = core.RCExponential
 )
 
+// ParseRCMode maps a mode name ("sliding", "cumulative", "exponential") back
+// to the RCMode, the inverse of RCMode.String. Config JSON files and API
+// bodies spell modes by name.
+func ParseRCMode(s string) (RCMode, error) { return core.ParseRCMode(s) }
+
 // ErrBadConfig reports an invalid configuration.
 var ErrBadConfig = core.ErrBadConfig
 
@@ -82,8 +87,38 @@ func DefaultConfig(n, length int) Config { return core.DefaultConfig(n, length) 
 // streaming state persist) and not safe for concurrent use.
 type Detector = core.Detector
 
+// StageTimings breaks one detection round into its pipeline stages.
+type StageTimings = core.StageTimings
+
+// RoundObserver receives telemetry after every processed round (warm-up
+// included); see WithObserver. Implementations must be fast — they run
+// synchronously on the detection path.
+type RoundObserver = core.RoundObserver
+
+// Option configures optional detector behavior at construction, so callers
+// never need the internal setter API.
+type Option func(*Detector)
+
+// WithObserver attaches a per-round telemetry observer to the detector
+// (metrics, tracing, progress reporting). The observer is called
+// synchronously after every processed round.
+func WithObserver(o RoundObserver) Option {
+	return func(d *Detector) { d.SetObserver(o) }
+}
+
 // NewDetector validates cfg for n sensors and returns a fresh detector.
-func NewDetector(n int, cfg Config) (*Detector, error) { return core.NewDetector(n, cfg) }
+// Options, when given, configure optional behavior such as WithObserver;
+// the two-argument form keeps working unchanged.
+func NewDetector(n int, cfg Config, opts ...Option) (*Detector, error) {
+	det, err := core.NewDetector(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		opt(det)
+	}
+	return det, nil
+}
 
 // LoadDetector restores a detector from a Detector.SaveState snapshot; it
 // resumes exactly where the saved detector stopped (no repeated warm-up).
@@ -104,6 +139,11 @@ type Streamer = core.Streamer
 
 // NewStreamer wraps det for streaming ingestion.
 func NewStreamer(det *Detector) *Streamer { return core.NewStreamer(det) }
+
+// LoadStreamer restores a streamer from a Streamer.SaveState snapshot,
+// including the in-flight window, so ingestion resumes mid-window with
+// bit-identical round reports.
+func LoadStreamer(r io.Reader) (*Streamer, error) { return core.LoadStreamer(r) }
 
 // Adjuster selects the prediction adjustment of the evaluation scheme.
 type Adjuster = eval.Adjuster

@@ -4,15 +4,18 @@
 //
 // Usage:
 //
-//	caddetect -input readings.csv [-warmup history.csv] [-w 200 -s 4]
-//	          [-k 10] [-tau 0.5] [-theta 0.3]
+//	caddetect -input readings.csv [-warmup history.csv]
+//	          [-config detector.json | -w 200 -s 4 -k 10 -tau 0.5 -theta 0.3]
 //
 // Without -w/-s the paper-recommended windowing for the input length is
-// used. Exit status 0 regardless of whether anomalies were found; errors
-// exit 1.
+// used. -config loads the full detector configuration from a JSON file in
+// the wire format shared with cadserve and POST /v1/streams, replacing the
+// individual tuning flags. Exit status 0 regardless of whether anomalies
+// were found; errors exit 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,15 +26,16 @@ import (
 
 func main() {
 	var (
-		input  = flag.String("input", "", "CSV file to analyze (required)")
-		warmup = flag.String("warmup", "", "optional anomaly-free CSV for the warm-up process")
-		w      = flag.Int("w", 0, "sliding window length (0 = auto)")
-		s      = flag.Int("s", 0, "window step (0 = auto)")
-		k      = flag.Int("k", 0, "correlation neighbors per sensor (0 = auto)")
-		tau    = flag.Float64("tau", 0.5, "correlation threshold τ")
-		theta  = flag.Float64("theta", 0.3, "outlier threshold θ")
-		names  = flag.Bool("names", false, "print sensor names instead of indices")
-		report = flag.String("report", "", "also write a self-contained HTML report to this path")
+		input   = flag.String("input", "", "CSV file to analyze (required)")
+		warmup  = flag.String("warmup", "", "optional anomaly-free CSV for the warm-up process")
+		cfgFile = flag.String("config", "", "detector config JSON file (replaces -w/-s/-k/-tau/-theta)")
+		w       = flag.Int("w", 0, "sliding window length (0 = auto)")
+		s       = flag.Int("s", 0, "window step (0 = auto)")
+		k       = flag.Int("k", 0, "correlation neighbors per sensor (0 = auto)")
+		tau     = flag.Float64("tau", 0.5, "correlation threshold τ")
+		theta   = flag.Float64("theta", 0.3, "outlier threshold θ")
+		names   = flag.Bool("names", false, "print sensor names instead of indices")
+		report  = flag.String("report", "", "also write a self-contained HTML report to this path")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -39,25 +43,36 @@ func main() {
 		flag.Usage()
 		os.Exit(1)
 	}
-	if err := detect(*input, *warmup, *w, *s, *k, *tau, *theta, *names, *report); err != nil {
+	if err := detect(*input, *warmup, *cfgFile, *w, *s, *k, *tau, *theta, *names, *report); err != nil {
 		fmt.Fprintf(os.Stderr, "caddetect: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func detect(input, warmup string, w, s, k int, tau, theta float64, useNames bool, reportPath string) error {
+func detect(input, warmup, cfgFile string, w, s, k int, tau, theta float64, useNames bool, reportPath string) error {
 	series, err := cad.LoadCSV(input)
 	if err != nil {
 		return fmt.Errorf("load %s: %w", input, err)
 	}
-	cfg := cad.DefaultConfig(series.Sensors(), series.Len())
-	cfg.Tau = tau
-	cfg.Theta = theta
-	if w > 0 && s > 0 {
-		cfg.Window = cad.Windowing{W: w, S: s}
-	}
-	if k > 0 {
-		cfg.K = k
+	var cfg cad.Config
+	if cfgFile != "" {
+		buf, err := os.ReadFile(cfgFile)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(buf, &cfg); err != nil {
+			return fmt.Errorf("%s: %w", cfgFile, err)
+		}
+	} else {
+		cfg = cad.DefaultConfig(series.Sensors(), series.Len())
+		cfg.Tau = tau
+		cfg.Theta = theta
+		if w > 0 && s > 0 {
+			cfg.Window = cad.Windowing{W: w, S: s}
+		}
+		if k > 0 {
+			cfg.K = k
+		}
 	}
 	det, err := cad.NewDetector(series.Sensors(), cfg)
 	if err != nil {

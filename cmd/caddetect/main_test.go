@@ -42,27 +42,27 @@ func TestDetectEndToEnd(t *testing.T) {
 	writeSeries(t, warm, 1, false)
 	writeSeries(t, live, 2, true)
 
-	if err := detect(live, warm, 40, 4, 3, 0.4, 0.2, false, filepath.Join(dir, "report.html")); err != nil {
+	if err := detect(live, warm, "", 40, 4, 3, 0.4, 0.2, false, filepath.Join(dir, "report.html")); err != nil {
 		t.Fatalf("detect: %v", err)
 	}
 	// With names, without warm-up, auto windowing.
-	if err := detect(live, "", 0, 0, 0, 0.5, 0.3, true, ""); err != nil {
+	if err := detect(live, "", "", 0, 0, 0, 0.5, 0.3, true, ""); err != nil {
 		t.Fatalf("detect without warm-up: %v", err)
 	}
 }
 
 func TestDetectErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := detect(filepath.Join(dir, "missing.csv"), "", 0, 0, 0, 0.5, 0.3, false, ""); err == nil {
+	if err := detect(filepath.Join(dir, "missing.csv"), "", "", 0, 0, 0, 0.5, 0.3, false, ""); err == nil {
 		t.Error("missing input should error")
 	}
 	live := filepath.Join(dir, "live.csv")
 	writeSeries(t, live, 3, false)
-	if err := detect(live, filepath.Join(dir, "missing.csv"), 0, 0, 0, 0.5, 0.3, false, ""); err == nil {
+	if err := detect(live, filepath.Join(dir, "missing.csv"), "", 0, 0, 0, 0.5, 0.3, false, ""); err == nil {
 		t.Error("missing warm-up should error")
 	}
 	// Invalid explicit windowing.
-	if err := detect(live, "", 4, 4, 0, 0.5, 0.3, false, ""); err == nil {
+	if err := detect(live, "", "", 4, 4, 0, 0.5, 0.3, false, ""); err == nil {
 		t.Error("s == w should error")
 	}
 }
@@ -72,7 +72,7 @@ func TestReportWritten(t *testing.T) {
 	live := filepath.Join(dir, "live.csv")
 	writeSeries(t, live, 4, true)
 	out := filepath.Join(dir, "out.html")
-	if err := detect(live, "", 40, 4, 3, 0.4, 0.2, false, out); err != nil {
+	if err := detect(live, "", "", 40, 4, 3, 0.4, 0.2, false, out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -83,7 +83,33 @@ func TestReportWritten(t *testing.T) {
 		t.Error("report missing SVG chart")
 	}
 	// Unwritable report path errors.
-	if err := detect(live, "", 40, 4, 3, 0.4, 0.2, false, "/nonexistent/x.html"); err == nil {
+	if err := detect(live, "", "", 40, 4, 3, 0.4, 0.2, false, "/nonexistent/x.html"); err == nil {
 		t.Error("bad report path should error")
+	}
+}
+
+func TestDetectWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	live := filepath.Join(dir, "live.csv")
+	writeSeries(t, live, 2, true)
+	path := filepath.Join(dir, "detector.json")
+	doc := `{"window":{"w":40,"s":4},"k":3,"tau":0.4,"theta":0.2,"eta":3,
+	         "sigmaFloor":0.5,"minHistory":8,"rcMode":"sliding","rcHorizon":8}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := detect(live, "", path, 0, 0, 0, 0.5, 0.3, false, ""); err != nil {
+		t.Fatalf("detect with config file: %v", err)
+	}
+	// Unknown fields in the file fail loudly.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"taw":0.4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := detect(live, "", bad, 0, 0, 0, 0.5, 0.3, false, ""); err == nil {
+		t.Error("typoed config field should error")
+	}
+	if err := detect(live, "", filepath.Join(dir, "missing.json"), 0, 0, 0, 0.5, 0.3, false, ""); err == nil {
+		t.Error("missing config file should error")
 	}
 }

@@ -1,16 +1,26 @@
-// Command cadserve runs the streaming CAD detector as an HTTP service.
+// Command cadserve runs a multi-tenant fleet of streaming CAD detectors as
+// an HTTP service.
 //
 // Usage:
 //
 //	cadserve -sensors 26 -addr :8080 [-warmup history.csv]
-//	         [-w 200 -s 4] [-k 10] [-tau 0.5] [-theta 0.3]
+//	         [-config detector.json | -w 200 -s 4 -k 10 -tau 0.5 -theta 0.3]
+//	         [-capacity 64] [-idle-ttl 30m] [-snapdir /var/lib/cadserve]
 //	         [-pprof] [-logjson]
 //
-// Collectors POST readings to /ingest; operators read /status, /alarms,
-// /anomalies, and scrape Prometheus metrics from /metrics; /detect accepts
-// a CSV for one-shot batch analysis. See internal/serve for the payloads
-// and the exported metric names. -pprof additionally mounts the
+// Operators create streams with POST /v1/streams and drive them through
+// /v1/streams/{id}/…; the legacy unversioned routes (/ingest, /status,
+// /alarms, /anomalies, /detect) serve the built-in "default" stream, which
+// -sensors/-warmup configure. See internal/serve for the payloads, error
+// codes, and exported metric names. -pprof additionally mounts the
 // net/http/pprof profiling handlers under /debug/pprof/.
+//
+// -config loads the detector configuration from a JSON file in the same
+// wire format POST /v1/streams accepts (and caddetect -config reads); it
+// replaces the individual tuning flags. -capacity bounds how many streams
+// stay resident; with -snapdir, overflowing and idle streams (-idle-ttl)
+// are snapshotted to disk instead of rejected and restored transparently
+// on their next request.
 //
 // The server logs one structured line per request (text to stderr, or JSON
 // with -logjson), enforces read/write timeouts, and shuts down gracefully
@@ -19,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,26 +43,35 @@ import (
 
 	"cad"
 	"cad/internal/core"
+	"cad/internal/manager"
 	"cad/internal/serve"
 )
 
 func main() {
 	var (
-		sensors = flag.Int("sensors", 0, "number of sensors (required unless -warmup is given)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		warmup  = flag.String("warmup", "", "anomaly-free CSV for the warm-up process")
-		w       = flag.Int("w", 0, "sliding window length (0 = auto)")
-		s       = flag.Int("s", 0, "window step (0 = auto)")
-		k       = flag.Int("k", 0, "correlation neighbors per sensor (0 = auto)")
-		tau     = flag.Float64("tau", 0.5, "correlation threshold τ")
-		theta   = flag.Float64("theta", 0.3, "outlier threshold θ")
-		approx  = flag.Bool("approx", false, "build TSGs with the HNSW index (for very wide sensor arrays)")
-		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
-		logJSON = flag.Bool("logjson", false, "emit JSON logs instead of text")
+		sensors  = flag.Int("sensors", 0, "number of sensors of the default stream (required unless -warmup is given)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		warmup   = flag.String("warmup", "", "anomaly-free CSV warming up the default stream")
+		cfgFile  = flag.String("config", "", "detector config JSON file (replaces -w/-s/-k/-tau/-theta/-approx)")
+		w        = flag.Int("w", 0, "sliding window length (0 = auto)")
+		s        = flag.Int("s", 0, "window step (0 = auto)")
+		k        = flag.Int("k", 0, "correlation neighbors per sensor (0 = auto)")
+		tau      = flag.Float64("tau", 0.5, "correlation threshold τ")
+		theta    = flag.Float64("theta", 0.3, "outlier threshold θ")
+		approx   = flag.Bool("approx", false, "build TSGs with the HNSW index (for very wide sensor arrays)")
+		capacity = flag.Int("capacity", 64, "max resident streams before eviction (needs -snapdir) or rejection")
+		idleTTL  = flag.Duration("idle-ttl", 0, "evict streams idle this long (0 = never; needs -snapdir)")
+		snapdir  = flag.String("snapdir", "", "directory for evicted-stream snapshots ('' disables eviction)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		logJSON  = flag.Bool("logjson", false, "emit JSON logs instead of text")
 	)
 	flag.Parse()
 	logger := newLogger(*logJSON)
-	if err := run(*sensors, *addr, *warmup, *w, *s, *k, *tau, *theta, *approx, *pprofOn, logger); err != nil {
+	opts := serverOptions{
+		addr: *addr, capacity: *capacity, idleTTL: *idleTTL, snapdir: *snapdir,
+		pprofOn: *pprofOn,
+	}
+	if err := run(*sensors, *warmup, *cfgFile, *w, *s, *k, *tau, *theta, *approx, opts, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "cadserve: %v\n", err)
 		os.Exit(1)
 	}
@@ -64,10 +84,26 @@ func newLogger(logJSON bool) *slog.Logger {
 	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
-// setup loads the optional warm-up series, derives the configuration, and
-// returns the warmed detector (split from run so tests can exercise it
-// without binding a socket).
-func setup(sensors int, warmup string, w, s, k int, tau, theta float64, approx bool) (*core.Detector, error) {
+// loadConfigFile reads a detector configuration in the shared JSON wire
+// format (see core.Config.UnmarshalJSON) used by POST /v1/streams and
+// caddetect -config.
+func loadConfigFile(path string) (core.Config, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return core.Config{}, err
+	}
+	var cfg core.Config
+	if err := json.Unmarshal(buf, &cfg); err != nil {
+		return core.Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// setup loads the optional warm-up series, derives the configuration — from
+// the config file when given, from the tuning flags otherwise — and returns
+// the warmed detector for the default stream (split from run so tests can
+// exercise it without binding a socket).
+func setup(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, approx bool) (*core.Detector, error) {
 	var history *cad.Series
 	if warmup != "" {
 		var err error
@@ -85,19 +121,28 @@ func setup(sensors int, warmup string, w, s, k int, tau, theta float64, approx b
 	if sensors < 2 {
 		return nil, fmt.Errorf("need -sensors ≥ 2 or a -warmup file")
 	}
-	length := 10000
-	if history != nil {
-		length = history.Len()
-	}
-	cfg := core.DefaultConfig(sensors, length)
-	cfg.Tau = tau
-	cfg.Theta = theta
-	cfg.ApproxTSG = approx
-	if w > 0 && s > 0 {
-		cfg.Window = cad.Windowing{W: w, S: s}
-	}
-	if k > 0 {
-		cfg.K = k
+	var cfg core.Config
+	if cfgFile != "" {
+		var err error
+		cfg, err = loadConfigFile(cfgFile)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		length := 10000
+		if history != nil {
+			length = history.Len()
+		}
+		cfg = core.DefaultConfig(sensors, length)
+		cfg.Tau = tau
+		cfg.Theta = theta
+		cfg.ApproxTSG = approx
+		if w > 0 && s > 0 {
+			cfg.Window = cad.Windowing{W: w, S: s}
+		}
+		if k > 0 {
+			cfg.K = k
+		}
 	}
 	det, err := core.NewDetector(sensors, cfg)
 	if err != nil {
@@ -112,6 +157,25 @@ func setup(sensors int, warmup string, w, s, k int, tau, theta float64, approx b
 			"mu", det.HistoryMean(), "sigma", det.HistoryStdDev())
 	}
 	return det, nil
+}
+
+// serverOptions bundles the service-level (not per-detector) flags.
+type serverOptions struct {
+	addr     string
+	capacity int
+	idleTTL  time.Duration
+	snapdir  string
+	pprofOn  bool
+}
+
+// newManager builds the stream registry from the service flags.
+func newManager(o serverOptions) *manager.Manager {
+	return manager.New(manager.Options{
+		Capacity:    o.capacity,
+		IdleTTL:     o.idleTTL,
+		SnapshotDir: o.snapdir,
+		MaxAlarms:   1024,
+	})
 }
 
 // newServer assembles the HTTP server around svc: service routes, optional
@@ -138,21 +202,56 @@ func newServer(svc *serve.Service, addr string, pprofOn bool) *http.Server {
 	}
 }
 
-func run(sensors int, addr, warmup string, w, s, k int, tau, theta float64, approx, pprofOn bool, logger *slog.Logger) error {
-	det, err := setup(sensors, warmup, w, s, k, tau, theta, approx)
+// sweepInterval picks how often the janitor runs: a quarter of the TTL,
+// clamped to [10s, 5m], so an idle stream is evicted within ~1.25× its TTL
+// without busy-looping on short TTLs.
+func sweepInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 4
+	if iv < 10*time.Second {
+		iv = 10 * time.Second
+	}
+	if iv > 5*time.Minute {
+		iv = 5 * time.Minute
+	}
+	return iv
+}
+
+func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, approx bool, o serverOptions, logger *slog.Logger) error {
+	det, err := setup(sensors, warmup, cfgFile, w, s, k, tau, theta, approx)
 	if err != nil {
 		return err
 	}
 	cfg := det.Config()
-	svc := serve.NewWithOptions(det, serve.Options{MaxAlarms: 1024, Logger: logger})
-	srv := newServer(svc, addr, pprofOn)
+	mgr := newManager(o)
+	svc := serve.NewWithOptions(det, serve.Options{Manager: mgr, Logger: logger})
+	srv := newServer(svc, o.addr, o.pprofOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger.Info("cadserve listening", "addr", addr, "sensors", det.Sensors(),
+	if o.snapdir != "" && o.idleTTL > 0 {
+		iv := sweepInterval(o.idleTTL)
+		go func() {
+			tick := time.NewTicker(iv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n := mgr.Sweep(); n > 0 {
+						logger.Info("swept idle streams", "evicted", n, "resident", mgr.Len())
+					}
+				}
+			}
+		}()
+	}
+
+	logger.Info("cadserve listening", "addr", o.addr, "sensors", det.Sensors(),
 		"w", cfg.Window.W, "s", cfg.Window.S, "k", cfg.K,
-		"tau", cfg.Tau, "theta", cfg.Theta, "approx", approx, "pprof", pprofOn)
+		"tau", cfg.Tau, "theta", cfg.Theta, "approx", cfg.ApproxTSG,
+		"capacity", o.capacity, "idleTTL", o.idleTTL, "snapdir", o.snapdir,
+		"pprof", o.pprofOn)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cad/internal/mts"
+)
+
+// persistedStreamer is the gob wire format of a Streamer: the wrapped
+// detector's full snapshot plus the trailing ring of raw columns, so a
+// restored streamer completes its next round on exactly the same window a
+// never-interrupted one would. Persisting the detector alone is not enough —
+// the partial window between rounds lives only in the streamer.
+type persistedStreamer struct {
+	Version  int
+	Detector []byte
+	Ring     [][]float64
+	Pos      int
+	Filled   int
+	Pending  int
+	Started  bool
+}
+
+const streamerPersistVersion = 1
+
+// SaveState serializes the streamer — the detector snapshot plus the
+// in-flight window state — so ingestion can resume mid-window after a
+// restart or eviction with bit-identical round reports.
+func (s *Streamer) SaveState(w io.Writer) error {
+	var det bytes.Buffer
+	if err := s.det.SaveState(&det); err != nil {
+		return err
+	}
+	st := persistedStreamer{
+		Version:  streamerPersistVersion,
+		Detector: det.Bytes(),
+		Ring:     s.ring,
+		Pos:      s.pos,
+		Filled:   s.filled,
+		Pending:  s.pending,
+		Started:  s.started,
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("cad: save streamer: %w", err)
+	}
+	return nil
+}
+
+// LoadStreamer reconstructs a streamer from a Streamer.SaveState snapshot.
+// The next Push continues exactly where the saved streamer stopped.
+func LoadStreamer(r io.Reader) (*Streamer, error) {
+	var st persistedStreamer
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("cad: load streamer: %w", err)
+	}
+	if st.Version != streamerPersistVersion {
+		return nil, fmt.Errorf("%w: streamer snapshot version %d, want %d", ErrBadConfig, st.Version, streamerPersistVersion)
+	}
+	det, err := LoadDetector(bytes.NewReader(st.Detector))
+	if err != nil {
+		return nil, err
+	}
+	s := NewStreamer(det)
+	if len(st.Ring) != len(s.ring) {
+		return nil, fmt.Errorf("%w: streamer snapshot ring has %d sensors, want %d", ErrBadConfig, len(st.Ring), len(s.ring))
+	}
+	for i := range s.ring {
+		if len(st.Ring[i]) != len(s.ring[i]) {
+			return nil, fmt.Errorf("%w: streamer snapshot window %d, want %d", ErrBadConfig, len(st.Ring[i]), len(s.ring[i]))
+		}
+		copy(s.ring[i], st.Ring[i])
+	}
+	s.pos = st.Pos
+	s.filled = st.Filled
+	s.pending = st.Pending
+	s.started = st.Started
+	return s, nil
+}
+
+// persistedTracker is the gob wire format of a Tracker: the windowing it
+// maps rounds with, the open anomaly (if any) with its per-sensor onsets,
+// and the completed-but-undrained queue.
+type persistedTracker struct {
+	Version      int
+	W, S         int
+	HasOpen      bool
+	Open         Anomaly
+	OnsetSensors []int
+	OnsetRounds  []int
+	Done         []Anomaly
+}
+
+const trackerPersistVersion = 1
+
+// SaveState serializes the tracker so anomaly assembly resumes across a
+// restart without splitting an in-progress anomaly in two.
+func (tr *Tracker) SaveState(w io.Writer) error {
+	st := persistedTracker{
+		Version: trackerPersistVersion,
+		W:       tr.wd.W,
+		S:       tr.wd.S,
+		Done:    tr.done,
+	}
+	if tr.open != nil {
+		st.HasOpen = true
+		st.Open = *tr.open
+		for v, r := range tr.onsets {
+			st.OnsetSensors = append(st.OnsetSensors, v)
+			st.OnsetRounds = append(st.OnsetRounds, r)
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("cad: save tracker: %w", err)
+	}
+	return nil
+}
+
+// LoadTracker reconstructs a tracker from a Tracker.SaveState snapshot.
+func LoadTracker(r io.Reader) (*Tracker, error) {
+	var st persistedTracker
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("cad: load tracker: %w", err)
+	}
+	if st.Version != trackerPersistVersion {
+		return nil, fmt.Errorf("%w: tracker snapshot version %d, want %d", ErrBadConfig, st.Version, trackerPersistVersion)
+	}
+	if len(st.OnsetSensors) != len(st.OnsetRounds) {
+		return nil, fmt.Errorf("%w: tracker snapshot onsets mismatched (%d sensors, %d rounds)", ErrBadConfig, len(st.OnsetSensors), len(st.OnsetRounds))
+	}
+	tr := &Tracker{wd: mts.Windowing{W: st.W, S: st.S}, step: st.S, done: st.Done}
+	if st.HasOpen {
+		open := st.Open
+		tr.open = &open
+		tr.onsets = make(map[int]int, len(st.OnsetSensors))
+		for i, v := range st.OnsetSensors {
+			tr.onsets[v] = st.OnsetRounds[i]
+		}
+	}
+	return tr, nil
+}

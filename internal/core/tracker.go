@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"cad/internal/mts"
+)
 
 // Tracker assembles streaming RoundReports into Anomaly records with the
 // same grouping rule batch Detect uses: consecutive abnormal rounds form
@@ -10,7 +14,7 @@ import "sort"
 // The zero value is not usable; construct with NewTracker using the same
 // config as the detector feeding it.
 type Tracker struct {
-	wd     interface{ Bounds(int) (int, int) }
+	wd     mts.Windowing
 	step   int
 	open   *Anomaly
 	onsets map[int]int

@@ -1,0 +1,464 @@
+// Package manager owns a fleet of named CAD streams — one detector,
+// streamer, and anomaly tracker per stream — behind a sharded locking
+// scheme: the manager's own mutex guards only the registry map, while each
+// stream carries its own mutex, so ingestion on stream A never serializes
+// behind a Louvain round on stream B.
+//
+// The registry is bounded. When it is full, creating (or restoring) a
+// stream evicts the least-recently-used resident stream: its full streaming
+// state — detector, in-flight window, tracker, alarm history — is
+// snapshotted to the snapshot directory, and any later access to the
+// evicted stream transparently restores it, resuming mid-window with
+// bit-identical round reports and no repeated warm-up. A Sweep pass
+// additionally evicts streams idle longer than the configured TTL. Without
+// a snapshot directory eviction is disabled and a full registry rejects new
+// streams instead.
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cad/internal/core"
+	"cad/internal/obs"
+)
+
+// Registry errors, distinguished so the HTTP layer can map them onto stable
+// machine-readable error codes.
+var (
+	// ErrNotFound reports that no stream (resident or snapshotted) has the id.
+	ErrNotFound = errors.New("manager: stream not found")
+	// ErrExists reports a Create against an id that is already resident.
+	ErrExists = errors.New("manager: stream already exists")
+	// ErrCapacity reports a full registry with no evictable stream.
+	ErrCapacity = errors.New("manager: stream capacity exhausted")
+	// ErrBadID reports a syntactically invalid stream id.
+	ErrBadID = errors.New("manager: invalid stream id")
+)
+
+// Alarm is one abnormal round kept in a stream's ring buffer.
+type Alarm struct {
+	// Round is the detector's global round counter at alarm time.
+	Round int `json:"round"`
+	// Tick is the ingest counter (columns received) when the alarm fired.
+	Tick int `json:"tick"`
+	// Variations is n_r, Score the normalized deviation.
+	Variations int     `json:"variations"`
+	Score      float64 `json:"score"`
+	// Sensors are the outlier sensors O_r at the alarm round.
+	Sensors []int `json:"sensors"`
+	// Time is the wall-clock arrival of the alarming column.
+	Time time.Time `json:"time"`
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Capacity bounds the number of resident streams (≤ 0 means 64).
+	Capacity int
+	// IdleTTL is the idle age beyond which Sweep evicts a stream
+	// (≤ 0 disables idle eviction).
+	IdleTTL time.Duration
+	// SnapshotDir receives evicted-stream snapshots; "" disables snapshots,
+	// and with them LRU eviction (a full registry then rejects creates).
+	SnapshotDir string
+	// MaxAlarms bounds each stream's alarm/anomaly ring buffers (≤ 0 means 256).
+	MaxAlarms int
+	// Registry receives the per-stream detector metrics; nil creates a
+	// private one.
+	Registry *obs.Registry
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Manager is a bounded registry of named CAD streams. Safe for concurrent
+// use; operations on distinct streams run in parallel.
+type Manager struct {
+	opt Options
+	reg *obs.Registry
+	now func() time.Time
+
+	mu      sync.Mutex
+	streams map[string]*stream
+
+	resident  *obs.Gauge
+	evictions *obs.Counter
+	restores  *obs.Counter
+	snapFails *obs.Counter
+}
+
+// stream is one tenant: detector + streamer + tracker plus the serving
+// state (tick counter, alarm and anomaly rings). All mutable fields are
+// guarded by mu, except lastUsed which is read by LRU selection without the
+// stream lock and is therefore atomic.
+type stream struct {
+	id string
+
+	mu        sync.Mutex
+	evicted   bool
+	det       *core.Detector
+	streamer  *core.Streamer
+	tracker   *core.Tracker
+	tick      int
+	rounds    int
+	alarms    []Alarm
+	anomalies []core.Anomaly
+	maxAlarm  int
+
+	created  time.Time
+	lastUsed atomic.Int64 // unix nanoseconds
+}
+
+// New builds a manager. The zero Options value works: 64 resident streams,
+// no snapshots, 256 alarms per stream.
+func New(o Options) *Manager {
+	if o.Capacity <= 0 {
+		o.Capacity = 64
+	}
+	if o.MaxAlarms <= 0 {
+		o.MaxAlarms = 256
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	now := o.Now
+	if now == nil {
+		now = time.Now
+	}
+	m := &Manager{
+		opt:     o,
+		reg:     o.Registry,
+		now:     now,
+		streams: make(map[string]*stream),
+		resident: o.Registry.Gauge("cad_streams_resident",
+			"Streams currently resident in the manager registry."),
+		evictions: o.Registry.Counter("cad_stream_evictions_total",
+			"Streams evicted to a snapshot (LRU capacity or idle TTL)."),
+		restores: o.Registry.Counter("cad_stream_restores_total",
+			"Streams restored from a snapshot on access."),
+		snapFails: o.Registry.Counter("cad_stream_snapshot_errors_total",
+			"Failed snapshot writes; the stream stays resident."),
+	}
+	return m
+}
+
+// Registry returns the metrics registry the manager reports into.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// MaxAlarms returns the per-stream alarm ring capacity.
+func (m *Manager) MaxAlarms() int { return m.opt.MaxAlarms }
+
+// ValidateID checks that id is usable as a stream name: 1–64 characters
+// from [a-zA-Z0-9._-], not starting with a dot or dash (which keeps ids
+// safe as snapshot file names and unambiguous in URLs).
+func ValidateID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("%w: %q (need 1–64 characters)", ErrBadID, id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '_' || c == '-'
+		if !ok {
+			return fmt.Errorf("%w: %q (allowed: letters, digits, '.', '_', '-')", ErrBadID, id)
+		}
+	}
+	if id[0] == '.' || id[0] == '-' {
+		return fmt.Errorf("%w: %q (must not start with '.' or '-')", ErrBadID, id)
+	}
+	return nil
+}
+
+// Create registers a new stream with a fresh detector for sensors and cfg.
+// If a snapshot exists for id (the stream was evicted or the process
+// restarted), the snapshot is restored instead and cfg is ignored — an
+// evicted tenant resumes, never restarts. Returns whether a restore
+// happened.
+func (m *Manager) Create(id string, sensors int, cfg core.Config) (restored bool, err error) {
+	if err := ValidateID(id); err != nil {
+		return false, err
+	}
+	if m.residentStream(id) != nil {
+		return false, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	if st, err := m.restore(id); err == nil && st != nil {
+		return true, nil
+	} else if err != nil && !errors.Is(err, ErrNotFound) {
+		return false, err
+	}
+	det, err := core.NewDetector(sensors, cfg)
+	if err != nil {
+		return false, err
+	}
+	st := m.newStream(id, det)
+	if err := m.insert(st); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// Adopt registers a stream around an existing (possibly warmed-up)
+// detector. It is how the legacy single-stream service plugs its detector
+// in as the default stream. Unlike Create, an existing snapshot for id is
+// discarded — the caller's detector wins.
+func (m *Manager) Adopt(id string, det *core.Detector) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	if m.opt.SnapshotDir != "" {
+		_ = os.Remove(m.snapPath(id))
+	}
+	return m.insert(m.newStream(id, det))
+}
+
+// newStream assembles the per-tenant state around det and attaches the
+// per-stream metrics observer.
+func (m *Manager) newStream(id string, det *core.Detector) *stream {
+	st := &stream{
+		id:       id,
+		det:      det,
+		streamer: core.NewStreamer(det),
+		tracker:  core.NewTracker(det.Config()),
+		maxAlarm: m.opt.MaxAlarms,
+		created:  m.now(),
+	}
+	st.lastUsed.Store(m.now().UnixNano())
+	det.SetObserver(newDetectorMetrics(m.reg, id))
+	return st
+}
+
+// residentStream returns the resident stream for id, or nil.
+func (m *Manager) residentStream(id string) *stream {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.streams[id]
+}
+
+// insert adds st to the registry, evicting the LRU resident stream first
+// when the registry is full. The eviction's snapshot write happens outside
+// the registry lock, so other streams' lookups never wait on it.
+func (m *Manager) insert(st *stream) error {
+	var victim *stream
+	m.mu.Lock()
+	if _, ok := m.streams[st.id]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, st.id)
+	}
+	if len(m.streams) >= m.opt.Capacity {
+		if m.opt.SnapshotDir == "" {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %d streams resident and no snapshot directory to evict into", ErrCapacity, len(m.streams))
+		}
+		victim = m.lruLocked()
+		if victim == nil {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %d streams resident", ErrCapacity, len(m.streams))
+		}
+	}
+	m.streams[st.id] = st
+	m.resident.Set(float64(len(m.streams)))
+	m.mu.Unlock()
+	if victim != nil {
+		if _, err := m.evict(victim, time.Time{}); err != nil {
+			m.snapFails.Inc()
+		}
+	}
+	return nil
+}
+
+// lruLocked picks the least-recently-used resident stream. Caller holds m.mu.
+func (m *Manager) lruLocked() *stream {
+	var victim *stream
+	var oldest int64
+	for _, st := range m.streams {
+		if used := st.lastUsed.Load(); victim == nil || used < oldest {
+			victim, oldest = st, used
+		}
+	}
+	return victim
+}
+
+// evict snapshots st and removes it from the registry. A non-zero cutoff
+// makes the eviction conditional: streams used at or after the cutoff are
+// left alone (Sweep re-checks under the stream lock so a stream that went
+// hot between selection and eviction is not penalized). On snapshot-write
+// failure the stream stays resident — state is never dropped.
+func (m *Manager) evict(st *stream, cutoff time.Time) (bool, error) {
+	st.mu.Lock()
+	if st.evicted || (!cutoff.IsZero() && st.lastUsed.Load() >= cutoff.UnixNano()) {
+		st.mu.Unlock()
+		return false, nil
+	}
+	err := m.writeSnapshot(st)
+	if err == nil {
+		st.evicted = true
+	}
+	st.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	m.mu.Lock()
+	if m.streams[st.id] == st {
+		delete(m.streams, st.id)
+		m.resident.Set(float64(len(m.streams)))
+	}
+	m.mu.Unlock()
+	m.evictions.Inc()
+	return true, nil
+}
+
+// acquire returns the stream for id with its lock held; the caller must
+// unlock it. A stream found evicted mid-acquisition (it lost an LRU race)
+// is transparently restored from its snapshot.
+func (m *Manager) acquire(id string) (*stream, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	for {
+		st := m.residentStream(id)
+		if st == nil {
+			var err error
+			st, err = m.restore(id)
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.mu.Lock()
+		if st.evicted {
+			st.mu.Unlock()
+			continue
+		}
+		st.lastUsed.Store(m.now().UnixNano())
+		return st, nil
+	}
+}
+
+// Delete removes the stream and any snapshot of it. It succeeds when either
+// existed.
+func (m *Manager) Delete(id string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	st, ok := m.streams[id]
+	if ok {
+		delete(m.streams, id)
+		m.resident.Set(float64(len(m.streams)))
+	}
+	m.mu.Unlock()
+	hadSnap := false
+	if m.opt.SnapshotDir != "" {
+		if err := os.Remove(m.snapPath(id)); err == nil {
+			hadSnap = true
+		}
+	}
+	if ok {
+		// Mark evicted so goroutines already holding the pointer retry,
+		// miss the registry and the snapshot, and report not-found.
+		st.mu.Lock()
+		st.evicted = true
+		st.mu.Unlock()
+	}
+	if !ok && !hadSnap {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return nil
+}
+
+// Sweep evicts every resident stream idle longer than IdleTTL and returns
+// how many were evicted. It is a no-op without a snapshot directory or TTL.
+func (m *Manager) Sweep() int {
+	if m.opt.SnapshotDir == "" || m.opt.IdleTTL <= 0 {
+		return 0
+	}
+	cutoff := m.now().Add(-m.opt.IdleTTL)
+	m.mu.Lock()
+	var idle []*stream
+	for _, st := range m.streams {
+		if st.lastUsed.Load() < cutoff.UnixNano() {
+			idle = append(idle, st)
+		}
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, st := range idle {
+		done, err := m.evict(st, cutoff)
+		if err != nil {
+			m.snapFails.Inc()
+		} else if done {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of resident streams.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.streams)
+}
+
+// Info summarizes one stream for listings. Snapshotted streams report only
+// their identity — inspecting them would mean reading the whole snapshot.
+type Info struct {
+	ID string `json:"id"`
+	// State is "active" (resident) or "snapshotted" (evicted to disk).
+	State    string    `json:"state"`
+	Sensors  int       `json:"sensors,omitempty"`
+	Ticks    int       `json:"ticks,omitempty"`
+	Rounds   int       `json:"rounds,omitempty"`
+	Alarms   int       `json:"alarms,omitempty"`
+	Created  time.Time `json:"created,omitempty"`
+	LastUsed time.Time `json:"lastUsed,omitempty"`
+}
+
+// List returns every known stream — resident and snapshotted — sorted by id.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	resident := make([]*stream, 0, len(m.streams))
+	for _, st := range m.streams {
+		resident = append(resident, st)
+	}
+	m.mu.Unlock()
+
+	out := make([]Info, 0, len(resident))
+	seen := make(map[string]bool, len(resident))
+	for _, st := range resident {
+		st.mu.Lock()
+		if st.evicted {
+			st.mu.Unlock()
+			continue
+		}
+		out = append(out, Info{
+			ID: st.id, State: "active",
+			Sensors: st.det.Sensors(), Ticks: st.tick, Rounds: st.rounds,
+			Alarms: len(st.alarms), Created: st.created,
+			LastUsed: time.Unix(0, st.lastUsed.Load()),
+		})
+		seen[st.id] = true
+		st.mu.Unlock()
+	}
+	if m.opt.SnapshotDir != "" {
+		if entries, err := os.ReadDir(m.opt.SnapshotDir); err == nil {
+			for _, e := range entries {
+				id, ok := idFromSnapName(e.Name())
+				if !ok || seen[id] {
+					continue
+				}
+				out = append(out, Info{ID: id, State: "snapshotted"})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (m *Manager) snapPath(id string) string {
+	return filepath.Join(m.opt.SnapshotDir, id+snapSuffix)
+}

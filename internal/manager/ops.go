@@ -1,0 +1,202 @@
+package manager
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cad/internal/core"
+)
+
+// IngestResult reports what one ingested column did to its stream.
+type IngestResult struct {
+	// Tick is the stream's ingest counter after the column.
+	Tick int
+	// RoundCompleted reports whether the column completed a detection round;
+	// Report is only meaningful when it did.
+	RoundCompleted bool
+	// Report is the completed round's full report.
+	Report core.RoundReport
+}
+
+// ErrBadColumn wraps per-column validation failures (non-finite readings,
+// wrong arity) so the HTTP layer can map them to bad_readings.
+var ErrBadColumn = fmt.Errorf("manager: bad column")
+
+// validateColumns checks every column for the stream's arity and finite
+// readings before any of them mutates state, making a batch all-or-nothing
+// at the validation boundary.
+func validateColumns(sensors int, cols [][]float64) error {
+	for c, col := range cols {
+		if len(col) != sensors {
+			return fmt.Errorf("%w: column %d has %d readings, want %d", ErrBadColumn, c, len(col), sensors)
+		}
+		for i, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: column %d has a non-finite reading for sensor %d", ErrBadColumn, c, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Ingest pushes one column into the stream and returns what it did.
+func (m *Manager) Ingest(id string, col []float64) (IngestResult, error) {
+	res, err := m.IngestBatch(id, [][]float64{col})
+	if err != nil {
+		return IngestResult{}, err
+	}
+	return res[0], nil
+}
+
+// IngestBatch pushes cols in order under a single stream-lock acquisition.
+// Every column is validated (arity, finite readings) before the first one
+// is applied; a validation failure therefore leaves the stream untouched.
+// A mid-batch processing error returns the results of the columns already
+// applied alongside the error.
+func (m *Manager) IngestBatch(id string, cols [][]float64) ([]IngestResult, error) {
+	st, err := m.acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.Unlock()
+	if err := validateColumns(st.det.Sensors(), cols); err != nil {
+		return nil, err
+	}
+	out := make([]IngestResult, 0, len(cols))
+	for _, col := range cols {
+		rep, done, err := st.streamer.Push(col)
+		if err != nil {
+			return out, fmt.Errorf("%w: %v", ErrBadColumn, err)
+		}
+		st.tick++
+		res := IngestResult{Tick: st.tick}
+		if done {
+			st.rounds++
+			res.RoundCompleted = true
+			res.Report = rep
+			st.tracker.Push(rep)
+			if finished := st.tracker.Drain(); len(finished) > 0 {
+				st.anomalies = append(st.anomalies, finished...)
+				if len(st.anomalies) > st.maxAlarm {
+					st.anomalies = st.anomalies[len(st.anomalies)-st.maxAlarm:]
+				}
+			}
+			if rep.Abnormal {
+				st.alarms = append(st.alarms, Alarm{
+					Round:      rep.Round,
+					Tick:       st.tick,
+					Variations: rep.Variations,
+					Score:      rep.Score,
+					Sensors:    rep.Outliers,
+					Time:       m.now(),
+				})
+				if len(st.alarms) > st.maxAlarm {
+					st.alarms = st.alarms[len(st.alarms)-st.maxAlarm:]
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// StreamStatus is one stream's health snapshot.
+type StreamStatus struct {
+	ID          string    `json:"id"`
+	Sensors     int       `json:"sensors"`
+	Ticks       int       `json:"ticks"`
+	Rounds      int       `json:"rounds"`
+	TotalRounds int       `json:"totalRounds"` // including warm-up
+	Mu          float64   `json:"mu"`
+	Sigma       float64   `json:"sigma"`
+	Alarms      int       `json:"alarms"`
+	Window      int       `json:"window"`
+	Step        int       `json:"step"`
+	Created     time.Time `json:"created"`
+}
+
+// finiteOrZero maps NaN/Inf (e.g. μ before any round) to 0 so status
+// payloads stay valid JSON.
+func finiteOrZero(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+// Status returns the stream's health, restoring it first if it was evicted.
+func (m *Manager) Status(id string) (StreamStatus, error) {
+	st, err := m.acquire(id)
+	if err != nil {
+		return StreamStatus{}, err
+	}
+	defer st.mu.Unlock()
+	cfg := st.det.Config()
+	return StreamStatus{
+		ID:          st.id,
+		Sensors:     st.det.Sensors(),
+		Ticks:       st.tick,
+		Rounds:      st.rounds,
+		TotalRounds: st.det.Rounds(),
+		Mu:          finiteOrZero(st.det.HistoryMean()),
+		Sigma:       finiteOrZero(st.det.HistoryStdDev()),
+		Alarms:      len(st.alarms),
+		Window:      cfg.Window.W,
+		Step:        cfg.Window.S,
+		Created:     st.created,
+	}, nil
+}
+
+// Config returns the stream's detector configuration.
+func (m *Manager) Config(id string) (core.Config, error) {
+	st, err := m.acquire(id)
+	if err != nil {
+		return core.Config{}, err
+	}
+	defer st.mu.Unlock()
+	return st.det.Config(), nil
+}
+
+// Alarms returns up to limit alarms from the stream's ring buffer in
+// chronological order, skipping the offset most recent ones (offset pages
+// backwards from "now"). limit is capped at the ring size; limit ≤ 0 means
+// the full ring.
+func (m *Manager) Alarms(id string, limit, offset int) ([]Alarm, error) {
+	st, err := m.acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	defer st.mu.Unlock()
+	if limit <= 0 || limit > st.maxAlarm {
+		limit = st.maxAlarm
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	end := len(st.alarms) - offset
+	if end < 0 {
+		end = 0
+	}
+	start := end - limit
+	if start < 0 {
+		start = 0
+	}
+	// Copy under lock so callers work on a stable snapshot.
+	out := make([]Alarm, end-start)
+	copy(out, st.alarms[start:end])
+	return out, nil
+}
+
+// Anomalies returns the stream's completed anomalies (oldest first) and
+// whether one is in progress right now.
+func (m *Manager) Anomalies(id string) ([]core.Anomaly, bool, error) {
+	st, err := m.acquire(id)
+	if err != nil {
+		return nil, false, err
+	}
+	defer st.mu.Unlock()
+	out := make([]core.Anomaly, len(st.anomalies))
+	copy(out, st.anomalies)
+	return out, st.tracker.Open(), nil
+}

@@ -1,0 +1,153 @@
+package manager
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cad/internal/core"
+)
+
+// snapSuffix names snapshot files <id>.cadsnap under the snapshot
+// directory; ValidateID keeps ids path-safe.
+const snapSuffix = ".cadsnap"
+
+// idFromSnapName maps a snapshot file name back to its stream id.
+func idFromSnapName(name string) (string, bool) {
+	id, ok := strings.CutSuffix(name, snapSuffix)
+	if !ok || ValidateID(id) != nil {
+		return "", false
+	}
+	return id, true
+}
+
+// persistedStream is the gob envelope of one evicted stream: the streamer
+// blob (detector + in-flight window, see core.Streamer.SaveState), the
+// tracker blob, and the serving state the HTTP layer reports.
+type persistedStream struct {
+	Version   int
+	ID        string
+	Streamer  []byte
+	Tracker   []byte
+	Tick      int
+	Rounds    int
+	Alarms    []Alarm
+	Anomalies []core.Anomaly
+	Created   time.Time
+}
+
+const streamSnapVersion = 1
+
+// writeSnapshot persists st atomically (temp file + rename) so a crash
+// mid-write never leaves a truncated snapshot behind. Caller holds st.mu.
+func (m *Manager) writeSnapshot(st *stream) error {
+	var streamer, tracker bytes.Buffer
+	if err := st.streamer.SaveState(&streamer); err != nil {
+		return err
+	}
+	if err := st.tracker.SaveState(&tracker); err != nil {
+		return err
+	}
+	env := persistedStream{
+		Version:   streamSnapVersion,
+		ID:        st.id,
+		Streamer:  streamer.Bytes(),
+		Tracker:   tracker.Bytes(),
+		Tick:      st.tick,
+		Rounds:    st.rounds,
+		Alarms:    st.alarms,
+		Anomalies: st.anomalies,
+		Created:   st.created,
+	}
+	if err := os.MkdirAll(m.opt.SnapshotDir, 0o755); err != nil {
+		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	tmp, err := os.CreateTemp(m.opt.SnapshotDir, st.id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(&env); err != nil {
+		tmp.Close()
+		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	if err := os.Rename(tmp.Name(), m.snapPath(st.id)); err != nil {
+		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	return nil
+}
+
+// restore loads the snapshot for id, re-registers the stream (evicting an
+// LRU victim if the registry is full), and deletes the snapshot file — a
+// snapshot exists exactly while its stream is evicted. Concurrent restores
+// of the same id race benignly: the loser finds the id registered and
+// returns the winner's stream.
+func (m *Manager) restore(id string) (*stream, error) {
+	if m.opt.SnapshotDir == "" {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	f, err := os.Open(m.snapPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("manager: restore %s: %w", id, err)
+	}
+	defer f.Close()
+	var env persistedStream
+	if err := gob.NewDecoder(f).Decode(&env); err != nil {
+		return nil, fmt.Errorf("manager: restore %s: %w", id, err)
+	}
+	if env.Version != streamSnapVersion {
+		return nil, fmt.Errorf("manager: restore %s: snapshot version %d, want %d", id, env.Version, streamSnapVersion)
+	}
+	streamer, err := core.LoadStreamer(bytes.NewReader(env.Streamer))
+	if err != nil {
+		return nil, fmt.Errorf("manager: restore %s: %w", id, err)
+	}
+	tracker, err := core.LoadTracker(bytes.NewReader(env.Tracker))
+	if err != nil {
+		return nil, fmt.Errorf("manager: restore %s: %w", id, err)
+	}
+	st := &stream{
+		id:        id,
+		det:       streamer.Detector(),
+		streamer:  streamer,
+		tracker:   tracker,
+		tick:      env.Tick,
+		rounds:    env.Rounds,
+		alarms:    env.Alarms,
+		anomalies: env.Anomalies,
+		maxAlarm:  m.opt.MaxAlarms,
+		created:   env.Created,
+	}
+	st.lastUsed.Store(m.now().UnixNano())
+	st.det.SetObserver(newDetectorMetrics(m.reg, id))
+	if err := m.insert(st); err != nil {
+		if errors.Is(err, ErrExists) {
+			// Another goroutine restored it first; use theirs.
+			if cur := m.residentStream(id); cur != nil {
+				return cur, nil
+			}
+		}
+		return nil, err
+	}
+	// Remove the consumed snapshot, unless the stream already lost an LRU
+	// race after insertion — then the file on disk is the NEW snapshot and
+	// must survive. The evicted flag and snapshot writes share st.mu, so
+	// the check and the write cannot interleave.
+	st.mu.Lock()
+	if !st.evicted {
+		_ = os.Remove(m.snapPath(id))
+	}
+	st.mu.Unlock()
+	m.restores.Inc()
+	return st, nil
+}

@@ -1,64 +1,18 @@
 package serve
 
 import (
-	"cad/internal/core"
 	"cad/internal/obs"
 )
 
-// detectorMetrics bridges core.RoundObserver onto the obs registry,
-// exporting one histogram per pipeline stage plus round/alarm counters and
-// the current n_r history statistics.
-type detectorMetrics struct {
-	tsgBuild   *obs.Histogram
-	louvain    *obs.Histogram
-	advance    *obs.Histogram
-	rounds     *obs.Counter
-	alarms     *obs.Counter
-	variations *obs.Gauge
-	mu         *obs.Gauge
-	sigma      *obs.Gauge
-}
-
-func newDetectorMetrics(reg *obs.Registry) *detectorMetrics {
-	return &detectorMetrics{
-		tsgBuild: reg.Histogram("cad_tsg_build_seconds",
-			"Time building each round's Time-Series Graph.", obs.DefBuckets),
-		louvain: reg.Histogram("cad_louvain_seconds",
-			"Louvain community-detection time per round.", obs.DefBuckets),
-		advance: reg.Histogram("cad_advance_seconds",
-			"Co-appearance mining and abnormal-round rule time per round.", obs.DefBuckets),
-		rounds: reg.Counter("cad_rounds_total",
-			"Detection rounds processed."),
-		alarms: reg.Counter("cad_alarms_total",
-			"Rounds flagged abnormal."),
-		variations: reg.Gauge("cad_round_variations",
-			"Outlier transitions n_r of the last processed round."),
-		mu: reg.Gauge("cad_history_mu",
-			"Running mean of n_r."),
-		sigma: reg.Gauge("cad_history_sigma",
-			"Running standard deviation of n_r."),
-	}
-}
-
-// ObserveRound implements core.RoundObserver.
-func (m *detectorMetrics) ObserveRound(rep core.RoundReport, t core.StageTimings, mu, sigma float64) {
-	m.tsgBuild.Observe(t.TSGBuild.Seconds())
-	m.louvain.Observe(t.Louvain.Seconds())
-	m.advance.Observe(t.Advance.Seconds())
-	m.rounds.Inc()
-	if rep.Abnormal {
-		m.alarms.Inc()
-	}
-	m.variations.Set(float64(rep.Variations))
-	m.mu.Set(finiteOrZero(mu))
-	m.sigma.Set(finiteOrZero(sigma))
-}
-
-// ingestRejected counts columns the API boundary refused, by reason:
-// "nonfinite" (NaN/Inf readings), "badjson" (undecodable body), and
+// ingestRejected counts columns the API boundary refused, by stream and
+// reason: "nonfinite" (NaN/Inf readings), "badjson" (undecodable body), and
 // "stream" (the streamer itself refused the column, e.g. wrong arity).
-func (s *Service) ingestRejected(reason string) *obs.Counter {
+// Cardinality is bounded by the manager's stream capacity. The per-stream
+// detector pipeline metrics live in internal/manager, attached when a
+// stream is created or restored.
+func (s *Service) ingestRejected(stream, reason string) *obs.Counter {
 	return s.reg.Counter("cad_ingest_rejected_total",
-		"Ingest columns rejected at the API boundary, by reason.",
-		obs.Label{Name: "reason", Value: reason})
+		"Ingest columns rejected at the API boundary, by stream and reason.",
+		obs.Label{Name: "reason", Value: reason},
+		obs.Label{Name: "stream", Value: stream})
 }

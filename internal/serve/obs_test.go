@@ -44,13 +44,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	// 120 ticks at w=30, s=3 complete (120-30)/3+1 = 31 rounds.
 	for _, want := range []string{
 		"# TYPE cad_tsg_build_seconds histogram",
-		"cad_tsg_build_seconds_count 31",
-		"cad_louvain_seconds_count 31",
-		"cad_advance_seconds_count 31",
-		"cad_rounds_total 31",
+		`cad_tsg_build_seconds_count{stream="default"} 31`,
+		`cad_louvain_seconds_count{stream="default"} 31`,
+		`cad_advance_seconds_count{stream="default"} 31`,
+		`cad_rounds_total{stream="default"} 31`,
 		"# TYPE cad_alarms_total counter",
 		"# TYPE cad_history_mu gauge",
 		"# TYPE cad_history_sigma gauge",
+		"# TYPE cad_streams_resident gauge",
 		`http_requests_total{code="200",method="POST",path="/ingest"} 120`,
 		`http_request_duration_seconds_count{path="/ingest"} 120`,
 		"# TYPE http_requests_in_flight gauge",
@@ -109,7 +110,7 @@ func TestIngestRejectsNonFinite(t *testing.T) {
 		t.Errorf("ticks = %d after only rejected columns, want 0", st.Ticks)
 	}
 	out := scrapeMetrics(t, h)
-	if want := `cad_ingest_rejected_total{reason="badjson"} 3`; !strings.Contains(out, want) {
+	if want := `cad_ingest_rejected_total{reason="badjson",stream="default"} 3`; !strings.Contains(out, want) {
 		t.Errorf("/metrics missing %q:\n%s", want, out)
 	}
 }
@@ -139,7 +140,7 @@ func TestDetectRejectsNonFiniteCSV(t *testing.T) {
 		t.Errorf("error should mention non-finite readings: %s", rec.Body)
 	}
 	out := scrapeMetrics(t, h)
-	if want := `cad_ingest_rejected_total{reason="nonfinite"} 1`; !strings.Contains(out, want) {
+	if want := `cad_ingest_rejected_total{reason="nonfinite",stream="default"} 1`; !strings.Contains(out, want) {
 		t.Errorf("/metrics missing %q:\n%s", want, out)
 	}
 }
@@ -286,7 +287,8 @@ func TestStreamedWithTransientErrorsMatchesBatch(t *testing.T) {
 	}
 	for _, reason := range []string{"badjson", "stream"} {
 		if fails := svc.Registry().Counter("cad_ingest_rejected_total", "",
-			obs.Label{Name: "reason", Value: reason}).Value(); fails == 0 {
+			obs.Label{Name: "reason", Value: reason},
+			obs.Label{Name: "stream", Value: DefaultStream}).Value(); fails == 0 {
 			t.Errorf("expected %s rejections to be counted", reason)
 		}
 	}

@@ -1,143 +1,215 @@
-// Package serve exposes a streaming CAD detector over HTTP: data
-// collectors POST one column of sensor readings at a time, the service runs
-// CAD incrementally, and operators poll the detected anomalies and detector
-// health. It is the ingestion front-end cmd/cadserve wires up.
+// Package serve exposes a multi-tenant fleet of streaming CAD detectors
+// over a versioned HTTP API: operators create named streams, data
+// collectors POST columns of sensor readings (singly or as NDJSON
+// batches), and dashboards poll per-stream status, alarms, and assembled
+// anomalies. It is the ingestion front-end cmd/cadserve wires up, built on
+// internal/manager's sharded locking so traffic to one stream never
+// serializes behind a detection round on another.
 //
-// Endpoints:
+// Versioned API (one stream per tenant, {id} is 1–64 chars of [A-Za-z0-9._-]):
 //
-//	POST /ingest     {"readings": [..n floats..]}       → ingest result
-//	GET  /status                                        → detector health
-//	GET  /alarms?limit=N                                → recent abnormal rounds
-//	GET  /anomalies                                     → assembled anomalies
-//	POST /detect     CSV body (sensors as columns)      → batch detection
-//	GET  /metrics                                       → Prometheus text format
+//	POST   /v1/streams                    {"id","sensors","config"?}  → 201 (200 when restored from a snapshot)
+//	GET    /v1/streams                                                → list of known streams (active + snapshotted)
+//	POST   /v1/streams/{id}/ingest        {"readings":[…]} or NDJSON  → ingest result(s)
+//	GET    /v1/streams/{id}               alias of …/status           → stream health
+//	GET    /v1/streams/{id}/status                                    → stream health
+//	GET    /v1/streams/{id}/alarms?limit=N&offset=M                   → recent abnormal rounds (offset pages backwards)
+//	GET    /v1/streams/{id}/anomalies                                 → assembled anomalies
+//	DELETE /v1/streams/{id}                                           → remove the stream and its snapshot
 //
-// Ingested readings must be finite; a column containing NaN or ±Inf is
-// rejected with 400 before it can poison the Pearson correlations of the
-// following rounds.
+// Legacy unversioned routes (/ingest, /status, /alarms, /anomalies,
+// /detect) are thin delegates to the "default" stream, so single-detector
+// deployments keep working unchanged. GET /metrics serves the Prometheus
+// text exposition.
+//
+// Every non-2xx response carries one structured JSON error envelope,
+//
+//	{"error": {"code": "stream_not_found", "message": "…"}}
+//
+// with stable machine-readable codes (bad_json, bad_readings, bad_csv,
+// bad_config, bad_query, bad_stream_id, batch_too_large, stream_not_found,
+// stream_exists, capacity_exhausted, method_not_allowed, not_found,
+// internal).
+//
+// Stream lifecycle: a created stream is resident until the registry hits
+// its capacity bound or the stream sits idle past the TTL; it is then
+// evicted — its full streaming state (detector, in-flight window, tracker,
+// alarm history) snapshotted to disk — and transparently restored on the
+// next access, resuming mid-window with bit-identical round reports and no
+// repeated warm-up. Ingested readings must be finite; a column containing
+// NaN or ±Inf is rejected with 400 before it can poison the Pearson
+// correlations of the following rounds.
 //
 // Every handler is wrapped in obs.Middleware, so the /metrics endpoint
 // exports per-endpoint request counts (http_requests_total), latencies
 // (http_request_duration_seconds), and an in-flight gauge alongside the
-// detector pipeline metrics: cad_tsg_build_seconds, cad_louvain_seconds,
-// cad_advance_seconds, cad_rounds_total, cad_alarms_total,
-// cad_round_variations, cad_history_mu, cad_history_sigma, and
-// cad_ingest_rejected_total{reason}.
+// per-stream detector pipeline metrics: cad_tsg_build_seconds,
+// cad_louvain_seconds, cad_advance_seconds, cad_rounds_total,
+// cad_alarms_total, cad_round_variations, cad_history_mu,
+// cad_history_sigma (all labeled {stream}), the registry metrics
+// cad_streams_resident, cad_stream_evictions_total,
+// cad_stream_restores_total, cad_stream_snapshot_errors_total, and
+// cad_ingest_rejected_total{stream,reason}.
 package serve
 
 import (
 	"encoding/json"
-	"fmt"
+	"errors"
+	"io"
 	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
-	"sync"
-	"time"
+	"strings"
 
 	"cad/internal/core"
+	"cad/internal/manager"
 	"cad/internal/mts"
 	"cad/internal/obs"
 )
 
-// Alarm is one abnormal round kept in the service's ring buffer.
-type Alarm struct {
-	// Round is the detector's global round counter at alarm time.
-	Round int `json:"round"`
-	// Tick is the ingest counter (columns received) when the alarm fired.
-	Tick int `json:"tick"`
-	// Variations is n_r, Score the normalized deviation.
-	Variations int     `json:"variations"`
-	Score      float64 `json:"score"`
-	// Sensors are the outlier sensors O_r at the alarm round.
-	Sensors []int `json:"sensors"`
-	// Time is the wall-clock arrival of the alarming column.
-	Time time.Time `json:"time"`
-}
+// DefaultStream is the stream id the legacy unversioned routes operate on.
+const DefaultStream = "default"
 
-// Service wraps a streaming detector behind HTTP handlers. Safe for
-// concurrent use.
+// maxBatchColumns caps one NDJSON ingest request; larger batches are
+// rejected with batch_too_large before any column is applied.
+const maxBatchColumns = 10000
+
+// Alarm is one abnormal round kept in a stream's ring buffer.
+type Alarm = manager.Alarm
+
+// Status is the stream-health payload of GET /status and /v1/…/status.
+type Status = manager.StreamStatus
+
+// Service routes HTTP traffic onto a stream manager. Safe for concurrent
+// use.
 type Service struct {
-	mu        sync.Mutex
-	det       *core.Detector
-	streamer  *core.Streamer
-	tracker   *core.Tracker
-	tick      int
-	rounds    int
-	alarms    []Alarm
-	anomalies []core.Anomaly
-	maxAlarm  int
-	now       func() time.Time
-
+	mgr    *manager.Manager
 	reg    *obs.Registry
 	logger *slog.Logger
 }
 
 // Options configures optional service dependencies.
 type Options struct {
-	// MaxAlarms bounds the alarm/anomaly ring buffers (≤ 0 means 256).
+	// Manager, when non-nil, is the stream registry to serve (cadserve
+	// builds one with capacity/TTL/snapshot flags). Nil creates a private
+	// manager with defaults.
+	Manager *manager.Manager
+	// MaxAlarms bounds the alarm/anomaly ring buffers of the private
+	// manager (≤ 0 means 256); ignored when Manager is given.
 	MaxAlarms int
-	// Registry receives the service and detector metrics; nil creates a
-	// private one (exposed via Registry / the /metrics endpoint).
+	// Registry receives the service and detector metrics of the private
+	// manager; ignored when Manager is given (its registry wins).
 	Registry *obs.Registry
 	// Logger, when non-nil, gets one structured line per HTTP request.
 	Logger *slog.Logger
 }
 
-// New wraps det (already warmed up, if desired) in a service that keeps up
-// to maxAlarms recent alarms (≤ 0 means 256).
+// New wraps det (already warmed up, if desired) as the default stream of a
+// fresh manager, keeping up to maxAlarms recent alarms (≤ 0 means 256).
 func New(det *core.Detector, maxAlarms int) *Service {
 	return NewWithOptions(det, Options{MaxAlarms: maxAlarms})
 }
 
-// NewWithOptions is New with explicit observability dependencies. It
-// attaches a metrics observer to det, so the detector should not be shared
-// with another service.
+// NewWithOptions is New with explicit dependencies. det is registered as
+// the "default" stream the legacy routes serve; the manager must not
+// already hold that id. The manager attaches a metrics observer to det, so
+// the detector should not be shared with another service.
 func NewWithOptions(det *core.Detector, o Options) *Service {
-	if o.MaxAlarms <= 0 {
-		o.MaxAlarms = 256
+	mgr := o.Manager
+	if mgr == nil {
+		if o.Registry == nil {
+			o.Registry = obs.NewRegistry()
+		}
+		mgr = manager.New(manager.Options{MaxAlarms: o.MaxAlarms, Registry: o.Registry})
 	}
-	if o.Registry == nil {
-		o.Registry = obs.NewRegistry()
+	if err := mgr.Adopt(DefaultStream, det); err != nil {
+		panic("serve: adopting the default stream: " + err.Error())
 	}
-	s := &Service{
-		det:      det,
-		streamer: core.NewStreamer(det),
-		tracker:  core.NewTracker(det.Config()),
-		maxAlarm: o.MaxAlarms,
-		now:      time.Now,
-		reg:      o.Registry,
-		logger:   o.Logger,
-	}
-	det.SetObserver(newDetectorMetrics(s.reg))
-	return s
+	return &Service{mgr: mgr, reg: mgr.Registry(), logger: o.Logger}
 }
 
 // Registry returns the metrics registry the service reports into.
 func (s *Service) Registry() *obs.Registry { return s.reg }
 
-// routeLabel maps a request to a bounded path label for metrics; unknown
-// paths collapse into "other" so label cardinality stays fixed.
+// Manager returns the underlying stream manager.
+func (s *Service) Manager() *manager.Manager { return s.mgr }
+
+// routeLabel maps a request to a bounded path label for metrics: stream ids
+// collapse into {id}, unknown paths into "other", so label cardinality
+// stays fixed no matter what clients request.
 func routeLabel(r *http.Request) string {
-	switch r.URL.Path {
-	case "/ingest", "/status", "/alarms", "/anomalies", "/detect", "/metrics":
-		return r.URL.Path
-	default:
-		return "other"
+	p := r.URL.Path
+	switch p {
+	case "/ingest", "/status", "/alarms", "/anomalies", "/detect", "/metrics", "/v1/streams":
+		return p
 	}
+	if rest, ok := strings.CutPrefix(p, "/v1/streams/"); ok {
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			if rest != "" {
+				return "/v1/streams/{id}"
+			}
+			return "other"
+		}
+		switch action := rest[i:]; action {
+		case "/ingest", "/status", "/alarms", "/anomalies":
+			return "/v1/streams/{id}" + action
+		}
+	}
+	return "other"
 }
 
 // Handler returns the routed HTTP handler, wrapped with request metrics and
 // (when a logger was configured) structured request logging.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/status", s.handleStatus)
-	mux.HandleFunc("/alarms", s.handleAlarms)
-	mux.HandleFunc("/anomalies", s.handleAnomalies)
+	// Versioned multi-tenant API. Method dispatch happens inside the
+	// handlers so 405s carry the structured envelope instead of the mux's
+	// plain-text default.
+	mux.HandleFunc("/v1/streams", s.handleStreams)
+	mux.HandleFunc("/v1/streams/{id}", s.handleStream)
+	mux.HandleFunc("/v1/streams/{id}/ingest", s.byID(s.handleIngest))
+	mux.HandleFunc("/v1/streams/{id}/status", s.byID(s.handleStatus))
+	mux.HandleFunc("/v1/streams/{id}/alarms", s.byID(s.handleAlarms))
+	mux.HandleFunc("/v1/streams/{id}/anomalies", s.byID(s.handleAnomalies))
+	// Legacy single-stream routes: thin delegates to the default stream.
+	mux.HandleFunc("/ingest", s.onDefault(s.handleIngest))
+	mux.HandleFunc("/status", s.onDefault(s.handleStatus))
+	mux.HandleFunc("/alarms", s.onDefault(s.handleAlarms))
+	mux.HandleFunc("/anomalies", s.onDefault(s.handleAnomalies))
 	mux.HandleFunc("/detect", s.handleDetect)
-	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/", s.handleNotFound)
 	return obs.Middleware(mux, s.reg, s.logger, routeLabel)
+}
+
+// byID adapts a stream handler to the /v1/streams/{id}/… routes.
+func (s *Service) byID(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h(w, r, r.PathValue("id"))
+	}
+}
+
+// onDefault adapts a stream handler to the legacy unversioned routes.
+func (s *Service) onDefault(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h(w, r, DefaultStream)
+	}
+}
+
+func (s *Service) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, CodeNotFound, "no route for %s", r.URL.Path)
+}
+
+// handleMetrics guards the exposition handler so its 405 also carries the
+// envelope.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	s.reg.Handler().ServeHTTP(w, r)
 }
 
 // finiteOrZero maps NaN/Inf (e.g. μ before any round) to 0 so the status
@@ -159,17 +231,85 @@ func firstNonFinite(xs []float64) int {
 	return -1
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+// CreateStreamRequest is the POST /v1/streams body. Config is optional;
+// without it the paper-recommended defaults for the sensor count are used.
+// Unknown fields — including inside config — are rejected.
+type CreateStreamRequest struct {
+	ID      string       `json:"id"`
+	Sensors int          `json:"sensors"`
+	Config  *core.Config `json:"config"`
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// handleStreams serves the collection route: POST creates, GET lists.
+func (s *Service) handleStreams(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleCreateStream(w, r)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, StreamListResponse{Streams: s.mgr.List()})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST required")
+	}
 }
 
-// IngestRequest is the POST /ingest body.
+// StreamListResponse is the GET /v1/streams payload.
+type StreamListResponse struct {
+	Streams []manager.Info `json:"streams"`
+}
+
+func (s *Service) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req CreateStreamRequest
+	if err := dec.Decode(&req); err != nil {
+		if errors.Is(err, core.ErrBadConfig) || strings.Contains(err.Error(), "invalid config") {
+			writeError(w, http.StatusBadRequest, CodeBadConfig, "config: %v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad JSON: %v", err)
+		return
+	}
+	cfg := core.DefaultConfig(req.Sensors, 10000)
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	restored, err := s.mgr.Create(req.ID, req.Sensors, cfg)
+	if err != nil {
+		writeStreamError(w, err)
+		return
+	}
+	st, err := s.mgr.Status(req.ID)
+	if err != nil {
+		writeStreamError(w, err)
+		return
+	}
+	code := http.StatusCreated
+	if restored {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// handleStream serves the item route: GET is an alias of …/status, DELETE
+// removes the stream and any snapshot of it.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		s.handleStatus(w, r, id)
+	case http.MethodDelete:
+		if err := s.mgr.Delete(id); err != nil {
+			writeStreamError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or DELETE required")
+	}
+}
+
+// IngestRequest is one column of the POST …/ingest body; an NDJSON body
+// carries one object per column.
 type IngestRequest struct {
 	Readings []float64 `json:"readings"`
 }
@@ -183,126 +323,144 @@ type IngestResponse struct {
 	Sensors        []int `json:"sensors,omitempty"`
 }
 
-func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+// BatchIngestResponse reports an NDJSON batch: per-column results plus the
+// round tally.
+type BatchIngestResponse struct {
+	Accepted        int              `json:"accepted"`
+	RoundsCompleted int              `json:"roundsCompleted"`
+	Results         []IngestResponse `json:"results"`
+}
+
+func ingestResponse(res manager.IngestResult) IngestResponse {
+	out := IngestResponse{Tick: res.Tick, RoundCompleted: res.RoundCompleted}
+	if res.RoundCompleted && res.Report.Abnormal {
+		out.Abnormal = true
+		out.Variations = res.Report.Variations
+		out.Sensors = res.Report.Outliers
+	}
+	return out
+}
+
+// handleIngest accepts a single JSON column or an NDJSON batch of columns
+// (whitespace-separated JSON objects). The whole request is validated
+// before any column is applied, so a 400 never leaves the stream partially
+// advanced.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
 		return
 	}
-	var req IngestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.ingestRejected("badjson").Inc()
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	dec := json.NewDecoder(r.Body)
+	var cols [][]float64
+	for {
+		var req IngestRequest
+		err := dec.Decode(&req)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			s.ingestRejected(id, "badjson").Inc()
+			writeError(w, http.StatusBadRequest, CodeBadJSON, "bad JSON at column %d: %v", len(cols), err)
+			return
+		}
+		if len(cols) >= maxBatchColumns {
+			writeError(w, http.StatusBadRequest, CodeBatchTooLarge, "batch exceeds %d columns", maxBatchColumns)
+			return
+		}
+		cols = append(cols, req.Readings)
+	}
+	if len(cols) == 0 {
+		s.ingestRejected(id, "badjson").Inc()
+		writeError(w, http.StatusBadRequest, CodeBadJSON, "empty body: want a JSON column or an NDJSON batch")
 		return
 	}
 	// Validate at the boundary: one NaN/Inf reading would silently poison
 	// the Pearson correlations of every round whose window covers it. The
 	// stdlib JSON decoder already refuses non-finite number literals, so
 	// this also guards programmatic callers and future encodings.
-	if i := firstNonFinite(req.Readings); i >= 0 {
-		s.ingestRejected("nonfinite").Inc()
-		writeError(w, http.StatusBadRequest, "non-finite reading for sensor %d", i)
-		return
+	for c, col := range cols {
+		if i := firstNonFinite(col); i >= 0 {
+			s.ingestRejected(id, "nonfinite").Inc()
+			writeError(w, http.StatusBadRequest, CodeBadReadings, "column %d: non-finite reading for sensor %d", c, i)
+			return
+		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rep, done, err := s.streamer.Push(req.Readings)
+	results, err := s.mgr.IngestBatch(id, cols)
 	if err != nil {
-		s.ingestRejected("stream").Inc()
-		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		if errors.Is(err, manager.ErrBadColumn) {
+			s.ingestRejected(id, "stream").Inc()
+		}
+		writeStreamError(w, err)
 		return
 	}
-	s.tick++
-	resp := IngestResponse{Tick: s.tick, RoundCompleted: done}
-	if done {
-		s.rounds++
-		s.tracker.Push(rep)
-		if finished := s.tracker.Drain(); len(finished) > 0 {
-			s.anomalies = append(s.anomalies, finished...)
-			if len(s.anomalies) > s.maxAlarm {
-				s.anomalies = s.anomalies[len(s.anomalies)-s.maxAlarm:]
-			}
+	if len(cols) == 1 {
+		writeJSON(w, http.StatusOK, ingestResponse(results[0]))
+		return
+	}
+	resp := BatchIngestResponse{Accepted: len(results), Results: make([]IngestResponse, 0, len(results))}
+	for _, res := range results {
+		if res.RoundCompleted {
+			resp.RoundsCompleted++
 		}
-		if rep.Abnormal {
-			resp.Abnormal = true
-			resp.Variations = rep.Variations
-			resp.Sensors = rep.Outliers
-			s.alarms = append(s.alarms, Alarm{
-				Round:      rep.Round,
-				Tick:       s.tick,
-				Variations: rep.Variations,
-				Score:      rep.Score,
-				Sensors:    rep.Outliers,
-				Time:       s.now(),
-			})
-			if len(s.alarms) > s.maxAlarm {
-				s.alarms = s.alarms[len(s.alarms)-s.maxAlarm:]
-			}
-		}
+		resp.Results = append(resp.Results, ingestResponse(res))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// Status is the GET /status payload.
-type Status struct {
-	Sensors     int     `json:"sensors"`
-	Ticks       int     `json:"ticks"`
-	Rounds      int     `json:"rounds"`
-	TotalRounds int     `json:"totalRounds"` // including warm-up
-	Mu          float64 `json:"mu"`
-	Sigma       float64 `json:"sigma"`
-	Alarms      int     `json:"alarms"`
-	Window      int     `json:"window"`
-	Step        int     `json:"step"`
-}
-
-func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cfg := s.det.Config()
-	writeJSON(w, http.StatusOK, Status{
-		Sensors:     s.det.Sensors(),
-		Ticks:       s.tick,
-		Rounds:      s.rounds,
-		TotalRounds: s.det.Rounds(),
-		Mu:          finiteOrZero(s.det.HistoryMean()),
-		Sigma:       finiteOrZero(s.det.HistoryStdDev()),
-		Alarms:      len(s.alarms),
-		Window:      cfg.Window.W,
-		Step:        cfg.Window.S,
-	})
-}
-
-func (s *Service) handleAlarms(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+	st, err := s.mgr.Status(id)
+	if err != nil {
+		writeStreamError(w, err)
 		return
 	}
-	limit := 50
-	if q := r.URL.Query().Get("limit"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 1 {
-			writeError(w, http.StatusBadRequest, "bad limit %q", q)
-			return
-		}
-		limit = v
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.alarms
-	if len(out) > limit {
-		out = out[len(out)-limit:]
-	}
-	// Copy under lock so the encoder works on a stable snapshot.
-	snapshot := make([]Alarm, len(out))
-	copy(snapshot, out)
-	writeJSON(w, http.StatusOK, snapshot)
+	writeJSON(w, http.StatusOK, st)
 }
 
-// AnomalyRecord is one completed streaming anomaly of GET /anomalies.
+// parseCountParam parses a non-negative integer query parameter, rejecting
+// non-numeric and negative values.
+func parseCountParam(r *http.Request, name string, def int) (int, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 {
+		return 0, errors.New("bad " + name)
+	}
+	return v, nil
+}
+
+// handleAlarms serves the alarm ring buffer. ?limit= bounds the page size
+// (default 50, capped at the ring size; 0 is rejected) and ?offset= skips
+// the N most recent alarms, paging backwards through the ring.
+func (s *Service) handleAlarms(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	limit, err := parseCountParam(r, "limit", 50)
+	if err != nil || limit < 1 {
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad limit %q: want a positive integer", r.URL.Query().Get("limit"))
+		return
+	}
+	offset, err := parseCountParam(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad offset %q: want a non-negative integer", r.URL.Query().Get("offset"))
+		return
+	}
+	alarms, err := s.mgr.Alarms(id, limit, offset)
+	if err != nil {
+		writeStreamError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, alarms)
+}
+
+// AnomalyRecord is one completed streaming anomaly of GET …/anomalies.
 type AnomalyRecord struct {
 	Start      int     `json:"start"`
 	End        int     `json:"end"`
@@ -313,7 +471,7 @@ type AnomalyRecord struct {
 	Sensors []int `json:"sensors"`
 }
 
-// AnomaliesResponse is the GET /anomalies payload.
+// AnomaliesResponse is the GET …/anomalies payload.
 type AnomaliesResponse struct {
 	// Anomalies completed so far (bounded ring buffer).
 	Anomalies []AnomalyRecord `json:"anomalies"`
@@ -322,16 +480,19 @@ type AnomaliesResponse struct {
 }
 
 // handleAnomalies serves the completed streaming anomalies assembled by the
-// tracker, newest last.
-func (s *Service) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+// stream's tracker, newest last.
+func (s *Service) handleAnomalies(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	resp := AnomaliesResponse{Anomalies: []AnomalyRecord{}, Open: s.tracker.Open()}
-	for _, a := range s.anomalies {
+	anomalies, open, err := s.mgr.Anomalies(id)
+	if err != nil {
+		writeStreamError(w, err)
+		return
+	}
+	resp := AnomaliesResponse{Anomalies: []AnomalyRecord{}, Open: open}
+	for _, a := range anomalies {
 		resp.Anomalies = append(resp.Anomalies, AnomalyRecord{
 			Start: a.Start, End: a.End,
 			FirstRound: a.FirstRound, LastRound: a.LastRound,
@@ -356,36 +517,38 @@ type BatchResult struct {
 }
 
 // handleDetect runs a one-shot batch detection on an uploaded CSV with a
-// fresh detector sharing this service's configuration. The streaming state
-// is not touched.
+// fresh detector sharing the default stream's configuration. The streaming
+// state is not touched.
 func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
 		return
 	}
 	series, err := mts.ReadCSV(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad CSV: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadCSV, "bad CSV: %v", err)
 		return
 	}
 	// CSV is the one ingestion path whose parser accepts "NaN"/"Inf"
 	// tokens, so the finite-readings rule must hold here too.
 	if series.HasNaN() {
-		s.ingestRejected("nonfinite").Inc()
-		writeError(w, http.StatusBadRequest, "series contains non-finite readings")
+		s.ingestRejected(DefaultStream, "nonfinite").Inc()
+		writeError(w, http.StatusBadRequest, CodeBadReadings, "series contains non-finite readings")
 		return
 	}
-	s.mu.Lock()
-	cfg := s.det.Config()
-	s.mu.Unlock()
+	cfg, err := s.mgr.Config(DefaultStream)
+	if err != nil {
+		writeStreamError(w, err)
+		return
+	}
 	det, err := core.NewDetector(series.Sensors(), cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "detector: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadConfig, "detector: %v", err)
 		return
 	}
 	res, err := det.Detect(series)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "detect: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadConfig, "detect: %v", err)
 		return
 	}
 	resp := DetectResponse{Rounds: len(res.Rounds), Anomalies: []BatchResult{}}

@@ -60,6 +60,25 @@ func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.Res
 	return rec
 }
 
+// wantEnvelope asserts a non-2xx response carries the structured error
+// envelope with the given code.
+func wantEnvelope(t *testing.T, rec *httptest.ResponseRecorder, status int, code string) {
+	t.Helper()
+	if rec.Code != status {
+		t.Errorf("status = %d, want %d: %s", rec.Code, status, rec.Body)
+	}
+	var resp ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("non-envelope error body: %v: %s", err, rec.Body)
+	}
+	if resp.Error.Code != code {
+		t.Errorf("error code = %q, want %q (message %q)", resp.Error.Code, code, resp.Error.Message)
+	}
+	if resp.Error.Message == "" {
+		t.Error("error envelope without a message")
+	}
+}
+
 func TestIngestStatusAlarms(t *testing.T) {
 	det := testDetector(t)
 	svc := New(det, 10)
@@ -127,21 +146,15 @@ func TestIngestErrors(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/ingest", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("GET /ingest = %d", rec.Code)
-	}
+	wantEnvelope(t, rec, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
 	// Bad JSON.
 	req = httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader("{"))
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("bad JSON = %d", rec.Code)
-	}
+	wantEnvelope(t, rec, http.StatusBadRequest, CodeBadJSON)
 	// Wrong column width.
 	rec = postJSON(t, h, "/ingest", IngestRequest{Readings: []float64{1, 2}})
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("short column = %d: %s", rec.Code, rec.Body)
-	}
+	wantEnvelope(t, rec, http.StatusBadRequest, CodeBadReadings)
 }
 
 func TestStatusAndAlarmsMethodErrors(t *testing.T) {
@@ -151,15 +164,15 @@ func TestStatusAndAlarmsMethodErrors(t *testing.T) {
 		req := httptest.NewRequest(http.MethodPost, path, nil)
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
-		if rec.Code != http.StatusMethodNotAllowed {
-			t.Errorf("POST %s = %d", path, rec.Code)
-		}
+		wantEnvelope(t, rec, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
 	}
-	req := httptest.NewRequest(http.MethodGet, "/alarms?limit=zero", nil)
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("bad limit = %d", rec.Code)
+	// Bad ?limit= and ?offset= values must be rejected, not silently
+	// defaulted.
+	for _, query := range []string{"limit=zero", "limit=-1", "limit=0", "limit=1.5", "offset=-2", "offset=x"} {
+		req := httptest.NewRequest(http.MethodGet, "/alarms?"+query, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		wantEnvelope(t, rec, http.StatusBadRequest, CodeBadQuery)
 	}
 }
 
@@ -212,46 +225,81 @@ func TestBatchDetectErrors(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/detect", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusMethodNotAllowed {
-		t.Errorf("GET /detect = %d", rec.Code)
-	}
+	wantEnvelope(t, rec, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
 	req = httptest.NewRequest(http.MethodPost, "/detect", strings.NewReader("not,a\nvalid,csv,extra\n"))
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("bad CSV = %d", rec.Code)
-	}
+	wantEnvelope(t, rec, http.StatusBadRequest, CodeBadCSV)
 	// Valid CSV but too few sensors for the configured K.
 	req = httptest.NewRequest(http.MethodPost, "/detect", strings.NewReader("a,b\n1,2\n3,4\n"))
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("tiny CSV = %d: %s", rec.Code, rec.Body)
-	}
+	wantEnvelope(t, rec, http.StatusBadRequest, CodeBadConfig)
 }
 
-func TestAlarmRingBuffer(t *testing.T) {
+// TestAlarmPagination drives a faulty stream and pages through its alarms
+// with ?limit= and ?offset=: the pages must tile the full chronological
+// list without overlap or gaps.
+func TestAlarmPagination(t *testing.T) {
 	det := testDetector(t)
-	svc := New(det, 3)
-	// Inject alarms directly through the lock-protected path by pushing
-	// synthetic ticks is slow; instead exercise the trim logic.
-	svc.mu.Lock()
-	for i := 0; i < 10; i++ {
-		svc.alarms = append(svc.alarms, Alarm{Round: i})
-		if len(svc.alarms) > svc.maxAlarm {
-			svc.alarms = svc.alarms[len(svc.alarms)-svc.maxAlarm:]
+	svc := New(det, 64)
+	h := svc.Handler()
+	rng := rand.New(rand.NewSource(7))
+	for tick := 0; tick < 900; tick++ {
+		// Repeated fault bursts: each on/off transition restructures the
+		// correlation communities and fires alarms.
+		broken := tick >= 200 && (tick/75)%2 == 0
+		rec := postJSON(t, h, "/ingest", IngestRequest{Readings: column(rng, tick, broken)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tick %d: %d: %s", tick, rec.Code, rec.Body)
 		}
 	}
-	svc.mu.Unlock()
-	if len(svc.alarms) != 3 || svc.alarms[0].Round != 7 {
-		t.Errorf("ring buffer = %v", svc.alarms)
+	fetch := func(query string) []Alarm {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/alarms?"+query, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /alarms?%s = %d: %s", query, rec.Code, rec.Body)
+		}
+		var alarms []Alarm
+		if err := json.Unmarshal(rec.Body.Bytes(), &alarms); err != nil {
+			t.Fatal(err)
+		}
+		return alarms
+	}
+	all := fetch("limit=64")
+	if len(all) < 4 {
+		t.Fatalf("want at least 4 alarms from a 300-tick fault, got %d", len(all))
+	}
+	// limit over the ring size is capped, not an error.
+	if got := fetch("limit=100000"); len(got) != len(all) {
+		t.Errorf("oversized limit returned %d alarms, want %d", len(got), len(all))
+	}
+	// Page backwards two at a time and reassemble the full list.
+	var pages []Alarm
+	for offset := 0; offset < len(all); offset += 2 {
+		page := fetch(fmt.Sprintf("limit=2&offset=%d", offset))
+		pages = append(page, pages...)
+	}
+	if len(pages) != len(all) {
+		t.Fatalf("pages reassemble to %d alarms, want %d", len(pages), len(all))
+	}
+	for i := range all {
+		if pages[i].Round != all[i].Round {
+			t.Fatalf("page alarm %d has round %d, want %d", i, pages[i].Round, all[i].Round)
+		}
+	}
+	// Offset past the end is an empty page, not an error.
+	if got := fetch(fmt.Sprintf("limit=2&offset=%d", len(all)+5)); len(got) != 0 {
+		t.Errorf("offset past the end returned %d alarms", len(got))
 	}
 }
 
 func TestDefaultMaxAlarms(t *testing.T) {
 	svc := New(testDetector(t), 0)
-	if svc.maxAlarm != 256 {
-		t.Errorf("default maxAlarm = %d", svc.maxAlarm)
+	if got := svc.Manager().MaxAlarms(); got != 256 {
+		t.Errorf("default maxAlarm = %d", got)
 	}
 }
 

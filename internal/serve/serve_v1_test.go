@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cad/internal/core"
+	"cad/internal/manager"
+	"cad/internal/mts"
+	"cad/internal/obs"
+)
+
+func testConfig() core.Config {
+	return core.Config{
+		Window: mts.Windowing{W: 30, S: 3}, K: 3, Tau: 0.4, Theta: 0.2,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8, RCMode: core.RCSliding, RCHorizon: 5,
+	}
+}
+
+// newV1Service builds a service whose manager snapshots into a temp dir.
+func newV1Service(t *testing.T, capacity int) *Service {
+	t.Helper()
+	mgr := manager.New(manager.Options{
+		Capacity:    capacity,
+		SnapshotDir: t.TempDir(),
+		MaxAlarms:   64,
+		Registry:    obs.NewRegistry(),
+	})
+	return NewWithOptions(testDetector(t), Options{Manager: mgr})
+}
+
+func createStream(t *testing.T, h http.Handler, id string) {
+	t.Helper()
+	cfg := testConfig()
+	rec := postJSON(t, h, "/v1/streams", CreateStreamRequest{ID: id, Sensors: 8, Config: &cfg})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create %s = %d: %s", id, rec.Code, rec.Body)
+	}
+}
+
+func TestV1StreamLifecycle(t *testing.T) {
+	svc := newV1Service(t, 8)
+	h := svc.Handler()
+
+	createStream(t, h, "plant-a")
+
+	// Duplicate create conflicts.
+	cfg := testConfig()
+	rec := postJSON(t, h, "/v1/streams", CreateStreamRequest{ID: "plant-a", Sensors: 8, Config: &cfg})
+	wantEnvelope(t, rec, http.StatusConflict, CodeStreamExists)
+
+	// Listing shows the default stream and the new one.
+	recL := httptest.NewRecorder()
+	h.ServeHTTP(recL, httptest.NewRequest(http.MethodGet, "/v1/streams", nil))
+	if recL.Code != http.StatusOK {
+		t.Fatalf("list = %d: %s", recL.Code, recL.Body)
+	}
+	var list StreamListResponse
+	if err := json.Unmarshal(recL.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]string)
+	for _, info := range list.Streams {
+		ids[info.ID] = info.State
+	}
+	if ids[DefaultStream] != "active" || ids["plant-a"] != "active" {
+		t.Errorf("list = %v", ids)
+	}
+
+	// Ingest and status on the new stream.
+	rng := rand.New(rand.NewSource(11))
+	for tick := 0; tick < 60; tick++ {
+		rec := postJSON(t, h, "/v1/streams/plant-a/ingest", IngestRequest{Readings: column(rng, tick, false)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tick %d: %d: %s", tick, rec.Code, rec.Body)
+		}
+	}
+	recS := httptest.NewRecorder()
+	h.ServeHTTP(recS, httptest.NewRequest(http.MethodGet, "/v1/streams/plant-a/status", nil))
+	var st Status
+	if err := json.Unmarshal(recS.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "plant-a" || st.Ticks != 60 || st.Sensors != 8 {
+		t.Errorf("status = %+v", st)
+	}
+	// GET /v1/streams/{id} is an alias of …/status.
+	recA := httptest.NewRecorder()
+	h.ServeHTTP(recA, httptest.NewRequest(http.MethodGet, "/v1/streams/plant-a", nil))
+	var alias Status
+	if err := json.Unmarshal(recA.Body.Bytes(), &alias); err != nil {
+		t.Fatal(err)
+	}
+	if alias != st {
+		t.Errorf("alias status = %+v, want %+v", alias, st)
+	}
+
+	// Delete, then every read 404s with the envelope.
+	recD := httptest.NewRecorder()
+	h.ServeHTTP(recD, httptest.NewRequest(http.MethodDelete, "/v1/streams/plant-a", nil))
+	if recD.Code != http.StatusOK {
+		t.Fatalf("delete = %d: %s", recD.Code, recD.Body)
+	}
+	for _, path := range []string{
+		"/v1/streams/plant-a",
+		"/v1/streams/plant-a/status",
+		"/v1/streams/plant-a/alarms",
+		"/v1/streams/plant-a/anomalies",
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		wantEnvelope(t, rec, http.StatusNotFound, CodeStreamNotFound)
+	}
+	recD = httptest.NewRecorder()
+	h.ServeHTTP(recD, httptest.NewRequest(http.MethodDelete, "/v1/streams/plant-a", nil))
+	wantEnvelope(t, recD, http.StatusNotFound, CodeStreamNotFound)
+}
+
+// TestV1ErrorEnvelopes hits every remaining failure path and checks each
+// non-2xx body parses as the structured envelope with its stable code.
+func TestV1ErrorEnvelopes(t *testing.T) {
+	mgr := manager.New(manager.Options{Capacity: 2, MaxAlarms: 8, Registry: obs.NewRegistry()}) // no snapshot dir
+	svc := NewWithOptions(testDetector(t), Options{Manager: mgr})
+	h := svc.Handler()
+
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(method, path, strings.NewReader(body)))
+		return rec
+	}
+
+	// Unknown route.
+	wantEnvelope(t, do(http.MethodGet, "/nope", ""), http.StatusNotFound, CodeNotFound)
+	// Method errors on every v1 route.
+	wantEnvelope(t, do(http.MethodDelete, "/v1/streams", ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantEnvelope(t, do(http.MethodPut, "/v1/streams/default", ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantEnvelope(t, do(http.MethodGet, "/v1/streams/default/ingest", ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams/default/status", ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams/default/alarms", ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams/default/anomalies", ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	wantEnvelope(t, do(http.MethodPost, "/metrics", ""), http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	// Create: undecodable body, unknown field, bad id, bad config.
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams", "{"), http.StatusBadRequest, CodeBadJSON)
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams", `{"id":"x","sensors":8,"nope":1}`), http.StatusBadRequest, CodeBadJSON)
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams", `{"id":"-bad","sensors":8}`), http.StatusBadRequest, CodeBadStreamID)
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams", `{"id":"x","sensors":1}`), http.StatusBadRequest, CodeBadConfig)
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams", `{"id":"x","sensors":8,"config":{"bogus":true}}`), http.StatusBadRequest, CodeBadConfig)
+	// Unknown stream and syntactically invalid id on the item routes.
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams/ghost/ingest", `{"readings":[1,2,3,4,5,6,7,8]}`), http.StatusNotFound, CodeStreamNotFound)
+	wantEnvelope(t, do(http.MethodGet, "/v1/streams/bad%20id/status", ""), http.StatusBadRequest, CodeBadStreamID)
+	// Bad query parameters.
+	wantEnvelope(t, do(http.MethodGet, "/v1/streams/default/alarms?limit=-3", ""), http.StatusBadRequest, CodeBadQuery)
+	wantEnvelope(t, do(http.MethodGet, "/v1/streams/default/alarms?offset=no", ""), http.StatusBadRequest, CodeBadQuery)
+	// Bad readings through the v1 ingest route.
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams/default/ingest", `{"readings":[1,2]}`), http.StatusBadRequest, CodeBadReadings)
+	wantEnvelope(t, do(http.MethodPost, "/v1/streams/default/ingest", ""), http.StatusBadRequest, CodeBadJSON)
+	// Capacity: the manager has room for 2 streams, "default" occupies one,
+	// and without a snapshot directory nothing can be evicted.
+	if rec := postJSON(t, h, "/v1/streams", CreateStreamRequest{ID: "second", Sensors: 8}); rec.Code != http.StatusCreated {
+		t.Fatalf("create second = %d: %s", rec.Code, rec.Body)
+	}
+	wantEnvelope(t, postJSON(t, h, "/v1/streams", CreateStreamRequest{ID: "third", Sensors: 8}),
+		http.StatusServiceUnavailable, CodeCapacityExhausted)
+}
+
+// TestV1TwoStreamsIndependent runs a healthy and a faulty stream side by
+// side: the fault must alarm only on its own stream, and per-stream metric
+// labels must keep the two apart.
+func TestV1TwoStreamsIndependent(t *testing.T) {
+	svc := newV1Service(t, 8)
+	h := svc.Handler()
+	createStream(t, h, "healthy")
+	createStream(t, h, "faulty")
+
+	rngH := rand.New(rand.NewSource(21))
+	rngF := rand.New(rand.NewSource(22))
+	for tick := 0; tick < 600; tick++ {
+		recH := postJSON(t, h, "/v1/streams/healthy/ingest", IngestRequest{Readings: column(rngH, tick, false)})
+		recF := postJSON(t, h, "/v1/streams/faulty/ingest", IngestRequest{Readings: column(rngF, tick, tick >= 300 && tick < 450)})
+		if recH.Code != http.StatusOK || recF.Code != http.StatusOK {
+			t.Fatalf("tick %d: healthy=%d faulty=%d", tick, recH.Code, recF.Code)
+		}
+	}
+	status := func(id string) Status {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/streams/"+id+"/status", nil))
+		var st Status
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if st := status("healthy"); st.Alarms != 0 {
+		t.Errorf("healthy stream alarmed %d times", st.Alarms)
+	}
+	if st := status("faulty"); st.Alarms == 0 {
+		t.Error("faulty stream never alarmed")
+	}
+	out := scrapeMetrics(t, h)
+	if want := `cad_rounds_total{stream="healthy"}`; !strings.Contains(out, want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+	if want := `cad_rounds_total{stream="faulty"}`; !strings.Contains(out, want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `cad_alarms_total{stream="healthy"}`) && !strings.HasSuffix(line, " 0") {
+			t.Errorf("healthy stream counted alarms: %s", line)
+		}
+	}
+}
+
+// TestV1NDJSONBatch ingests the same series once column-by-column and once
+// as NDJSON batches; both paths must report identical rounds, and the batch
+// response must tally them.
+func TestV1NDJSONBatch(t *testing.T) {
+	svc := newV1Service(t, 8)
+	h := svc.Handler()
+	createStream(t, h, "single")
+	createStream(t, h, "batched")
+
+	const ticks = 240
+	rng := rand.New(rand.NewSource(31))
+	cols := make([][]float64, ticks)
+	for tick := range cols {
+		cols[tick] = column(rng, tick, tick >= 120 && tick < 180)
+	}
+
+	var singles []IngestResponse
+	for _, col := range cols {
+		rec := postJSON(t, h, "/v1/streams/single/ingest", IngestRequest{Readings: col})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("single ingest = %d: %s", rec.Code, rec.Body)
+		}
+		var resp IngestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		singles = append(singles, resp)
+	}
+
+	// Ship the same columns in NDJSON chunks of 50.
+	var batched []IngestResponse
+	for at := 0; at < ticks; at += 50 {
+		end := at + 50
+		if end > ticks {
+			end = ticks
+		}
+		var body strings.Builder
+		for _, col := range cols[at:end] {
+			buf, err := json.Marshal(IngestRequest{Readings: col})
+			if err != nil {
+				t.Fatal(err)
+			}
+			body.Write(buf)
+			body.WriteByte('\n')
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/streams/batched/ingest", strings.NewReader(body.String()))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("batch ingest = %d: %s", rec.Code, rec.Body)
+		}
+		var resp BatchIngestResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Accepted != end-at {
+			t.Fatalf("batch accepted %d columns, want %d", resp.Accepted, end-at)
+		}
+		rounds := 0
+		for _, r := range resp.Results {
+			if r.RoundCompleted {
+				rounds++
+			}
+		}
+		if rounds != resp.RoundsCompleted {
+			t.Fatalf("batch tally %d rounds, results say %d", resp.RoundsCompleted, rounds)
+		}
+		batched = append(batched, resp.Results...)
+	}
+
+	if len(batched) != len(singles) {
+		t.Fatalf("batched %d columns, single %d", len(batched), len(singles))
+	}
+	for i := range singles {
+		if singles[i].Tick != batched[i].Tick ||
+			singles[i].RoundCompleted != batched[i].RoundCompleted ||
+			singles[i].Abnormal != batched[i].Abnormal ||
+			singles[i].Variations != batched[i].Variations {
+			t.Fatalf("column %d: single %+v, batched %+v", i, singles[i], batched[i])
+		}
+	}
+
+	// A batch with one bad column is rejected whole: the stream must not
+	// advance.
+	before := func() int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/streams/batched/status", nil))
+		var st Status
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Ticks
+	}()
+	body := `{"readings":[1,1,1,1,1,1,1,1]}` + "\n" + `{"readings":[1,2]}` + "\n"
+	req := httptest.NewRequest(http.MethodPost, "/v1/streams/batched/ingest", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	wantEnvelope(t, rec, http.StatusBadRequest, CodeBadReadings)
+	if after := func() int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/streams/batched/status", nil))
+		var st Status
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Ticks
+	}(); after != before {
+		t.Errorf("rejected batch advanced ticks %d → %d", before, after)
+	}
+}
+
+// TestV1EvictRestoreThroughAPI fills a capacity-2 manager so creating a
+// third stream evicts the LRU one, then touches the evicted stream: it must
+// come back transparently with its streaming state intact.
+func TestV1EvictRestoreThroughAPI(t *testing.T) {
+	svc := newV1Service(t, 2) // "default" + 1
+	h := svc.Handler()
+	createStream(t, h, "first")
+
+	rng := rand.New(rand.NewSource(41))
+	for tick := 0; tick < 100; tick++ {
+		rec := postJSON(t, h, "/v1/streams/first/ingest", IngestRequest{Readings: column(rng, tick, false)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tick %d: %d: %s", tick, rec.Code, rec.Body)
+		}
+	}
+
+	// "default" is now the LRU stream; creating a second tenant evicts it.
+	createStream(t, h, "second")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/streams", nil))
+	var list StreamListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	states := make(map[string]string)
+	for _, info := range list.Streams {
+		states[info.ID] = info.State
+	}
+	if states[DefaultStream] != "snapshotted" {
+		t.Fatalf("expected the default stream evicted, list = %v", states)
+	}
+
+	// Touching the evicted stream restores it transparently.
+	recS := httptest.NewRecorder()
+	h.ServeHTTP(recS, httptest.NewRequest(http.MethodGet, "/status", nil))
+	if recS.Code != http.StatusOK {
+		t.Fatalf("status after restore = %d: %s", recS.Code, recS.Body)
+	}
+	// Re-creating an evicted stream restores it too (200, not 201), keeping
+	// its ticks: make "first" the LRU resident, then push it out with a new
+	// tenant.
+	cfg := testConfig()
+	recT := httptest.NewRecorder()
+	h.ServeHTTP(recT, httptest.NewRequest(http.MethodGet, "/v1/streams/first/status", nil))
+	if recT.Code != http.StatusOK {
+		t.Fatalf("touch first = %d: %s", recT.Code, recT.Body)
+	}
+	recT = httptest.NewRecorder()
+	h.ServeHTTP(recT, httptest.NewRequest(http.MethodGet, "/v1/streams/second/status", nil))
+	if recT.Code != http.StatusOK {
+		t.Fatalf("touch second = %d: %s", recT.Code, recT.Body)
+	}
+	recC := postJSON(t, h, "/v1/streams", CreateStreamRequest{ID: "third", Sensors: 8, Config: &cfg})
+	if recC.Code != http.StatusCreated {
+		t.Fatalf("create third = %d: %s", recC.Code, recC.Body)
+	}
+	recR := postJSON(t, h, "/v1/streams", CreateStreamRequest{ID: "first", Sensors: 8, Config: &cfg})
+	if recR.Code != http.StatusOK {
+		t.Fatalf("re-create of evicted stream = %d, want 200 (restored): %s", recR.Code, recR.Body)
+	}
+	var restored Status
+	if err := json.Unmarshal(recR.Body.Bytes(), &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Ticks != 100 {
+		t.Errorf("restored stream has %d ticks, want 100 (state lost?)", restored.Ticks)
+	}
+}
+
+// TestLegacyRoutesShareDefaultStream proves the unversioned routes are thin
+// delegates: state written through /ingest is visible through /v1 and vice
+// versa.
+func TestLegacyRoutesShareDefaultStream(t *testing.T) {
+	svc := New(testDetector(t), 16)
+	h := svc.Handler()
+	rng := rand.New(rand.NewSource(51))
+	for tick := 0; tick < 40; tick++ {
+		path := "/ingest"
+		if tick%2 == 1 {
+			path = "/v1/streams/" + DefaultStream + "/ingest"
+		}
+		rec := postJSON(t, h, path, IngestRequest{Readings: column(rng, tick, false)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tick %d via %s: %d: %s", tick, path, rec.Code, rec.Body)
+		}
+	}
+	for _, path := range []string{"/status", "/v1/streams/" + DefaultStream + "/status"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		var st Status
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Ticks != 40 {
+			t.Errorf("%s: ticks = %d, want 40", path, st.Ticks)
+		}
+	}
+}
+
+// TestBatchTooLarge sends more NDJSON columns than the cap allows.
+func TestBatchTooLarge(t *testing.T) {
+	svc := New(testDetector(t), 16)
+	h := svc.Handler()
+	var body strings.Builder
+	for i := 0; i <= maxBatchColumns; i++ {
+		body.WriteString(`{"readings":[0,0,0,0,0,0,0,0]}`)
+		body.WriteByte('\n')
+	}
+	req := httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader(body.String()))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	wantEnvelope(t, rec, http.StatusBadRequest, CodeBatchTooLarge)
+	// Nothing may have been applied.
+	recS := httptest.NewRecorder()
+	h.ServeHTTP(recS, httptest.NewRequest(http.MethodGet, "/status", nil))
+	var st Status
+	if err := json.Unmarshal(recS.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ticks != 0 {
+		t.Errorf("oversized batch advanced ticks to %d", st.Ticks)
+	}
+}

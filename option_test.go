@@ -1,0 +1,79 @@
+package cad_test
+
+import (
+	"testing"
+
+	"cad"
+)
+
+// countingObserver records the rounds it sees.
+type countingObserver struct {
+	rounds, alarms int
+	lastMu         float64
+}
+
+func (o *countingObserver) ObserveRound(rep cad.RoundReport, _ cad.StageTimings, mu, _ float64) {
+	o.rounds++
+	if rep.Abnormal {
+		o.alarms++
+	}
+	o.lastMu = mu
+}
+
+// TestWithObserver checks the functional-option constructor: the observer
+// sees every round, and the two-argument call without options keeps
+// working unchanged.
+func TestWithObserver(t *testing.T) {
+	his := buildSeries(1, 8, 600, -1, -1)
+	test := buildSeries(2, 8, 600, 300, 400)
+	cfg := cad.Config{
+		Window: cad.Windowing{W: 40, S: 4}, K: 3, Tau: 0.4, Theta: 0.15,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8, RCMode: cad.RCSliding, RCHorizon: 8,
+	}
+
+	obs := &countingObserver{}
+	det, err := cad.NewDetector(8, cfg, cad.WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.WarmUp(his); err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Detect(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.rounds != det.Rounds() {
+		t.Errorf("observer saw %d rounds, detector processed %d", obs.rounds, det.Rounds())
+	}
+	wantAlarms := 0
+	for _, rep := range res.Rounds {
+		if rep.Abnormal {
+			wantAlarms++
+		}
+	}
+	if obs.alarms != wantAlarms {
+		t.Errorf("observer saw %d alarms, detector flagged %d", obs.alarms, wantAlarms)
+	}
+
+	// The plain two-argument form still works and detects the same rounds.
+	plain, err := cad.NewDetector(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WarmUp(his); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := plain.Detect(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rounds) != len(res.Rounds) {
+		t.Errorf("observer changed detection: %d vs %d rounds", len(res.Rounds), len(res2.Rounds))
+	}
+	for i := range res.Rounds {
+		if res.Rounds[i].Abnormal != res2.Rounds[i].Abnormal {
+			t.Fatalf("observer changed round %d verdict", i)
+		}
+	}
+}
