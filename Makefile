@@ -1,10 +1,11 @@
 GO ?= go
 
-# ci is the tier-1 gate: formatting, vet, build, and the full test suite
-# under the race detector (the serve concurrency tests only mean something
-# with -race).
+# ci is the tier-1 gate: formatting, vet, build, the full test suite under
+# the race detector (the serve concurrency tests only mean something with
+# -race), the fault-injection suite, and the pinned-seed crash-recovery
+# equivalence run.
 .PHONY: ci
-ci: fmt vet build race
+ci: fmt vet build race faulttest crashtest
 
 .PHONY: fmt
 fmt:
@@ -26,6 +27,25 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race ./...
+
+# faulttest runs the fault-injection suite: the filesystem seam, the WAL's
+# torn-tail repair, and the manager's degraded-mode and quarantine paths.
+.PHONY: faulttest
+faulttest:
+	$(GO) test -count=1 ./internal/faultfs/ ./internal/wal/
+	$(GO) test -count=1 -run 'TestCorruptSnapshot|TestDegraded|TestSnapshot|TestTorn' ./internal/manager/
+	$(GO) test -count=1 -run 'TestReadyzReportsDegraded|TestHealthEndpoints' ./internal/serve/
+
+# crashtest runs the randomized crash-point equivalence test with a pinned
+# seed and a larger iteration budget than the default `go test` run, so CI
+# failures reproduce exactly. Override the knobs to explore:
+#   make crashtest CRASH_SEED=42 CRASH_ITERS=200
+CRASH_SEED ?= 1
+CRASH_ITERS ?= 50
+.PHONY: crashtest
+crashtest:
+	CAD_CRASH_SEED=$(CRASH_SEED) CAD_CRASH_ITERS=$(CRASH_ITERS) \
+		$(GO) test -count=1 -run 'TestCrashRecover' ./internal/manager/
 
 .PHONY: bench
 bench:

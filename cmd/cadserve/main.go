@@ -6,7 +6,8 @@
 //	cadserve -sensors 26 -addr :8080 [-warmup history.csv]
 //	         [-config detector.json | -w 200 -s 4 -k 10 -tau 0.5 -theta 0.3]
 //	         [-capacity 64] [-idle-ttl 30m] [-snapdir /var/lib/cadserve]
-//	         [-pprof] [-logjson]
+//	         [-wal /var/lib/cadserve/wal] [-fsync always|interval|never]
+//	         [-fsync-interval 100ms] [-pprof] [-logjson]
 //
 // Operators create streams with POST /v1/streams and drive them through
 // /v1/streams/{id}/…; the legacy unversioned routes (/ingest, /status,
@@ -21,6 +22,18 @@
 // stay resident; with -snapdir, overflowing and idle streams (-idle-ttl)
 // are snapshotted to disk instead of rejected and restored transparently
 // on their next request.
+//
+// -wal makes the fleet crash-safe: every ingested column is appended to a
+// per-stream checksummed write-ahead log before it touches detector state,
+// snapshots become persistent checkpoints (defaulting to <wal>/snapshots
+// when -snapdir is not given), and on boot every persisted stream is
+// recovered — newest checkpoint plus WAL replay — to the exact state of
+// the previous run, including a warmed-up default stream (the -warmup
+// detector then yields to the recovered one). -fsync picks when writes
+// reach stable storage: "always" (default, one fsync per append),
+// "interval" (batched, at most one per -fsync-interval per stream), or
+// "never" (leave it to the OS). If the disk fails while serving, cadserve
+// degrades to memory-only ingest and reports it on GET /readyz.
 //
 // The server logs one structured line per request (text to stderr, or JSON
 // with -logjson), enforces read/write timeouts, and shuts down gracefully
@@ -62,6 +75,9 @@ func main() {
 		capacity = flag.Int("capacity", 64, "max resident streams before eviction (needs -snapdir) or rejection")
 		idleTTL  = flag.Duration("idle-ttl", 0, "evict streams idle this long (0 = never; needs -snapdir)")
 		snapdir  = flag.String("snapdir", "", "directory for evicted-stream snapshots ('' disables eviction)")
+		walDir   = flag.String("wal", "", "write-ahead-log directory enabling crash-safe durability ('' disables)")
+		fsync    = flag.String("fsync", "always", "WAL/snapshot fsync policy: always, interval, or never")
+		fsyncIv  = flag.Duration("fsync-interval", 100*time.Millisecond, "max time between fsyncs under -fsync interval")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		logJSON  = flag.Bool("logjson", false, "emit JSON logs instead of text")
 	)
@@ -69,6 +85,7 @@ func main() {
 	logger := newLogger(*logJSON)
 	opts := serverOptions{
 		addr: *addr, capacity: *capacity, idleTTL: *idleTTL, snapdir: *snapdir,
+		walDir: *walDir, fsync: *fsync, fsyncIv: *fsyncIv,
 		pprofOn: *pprofOn,
 	}
 	if err := run(*sensors, *warmup, *cfgFile, *w, *s, *k, *tau, *theta, *approx, opts, logger); err != nil {
@@ -165,16 +182,22 @@ type serverOptions struct {
 	capacity int
 	idleTTL  time.Duration
 	snapdir  string
+	walDir   string
+	fsync    string
+	fsyncIv  time.Duration
 	pprofOn  bool
 }
 
 // newManager builds the stream registry from the service flags.
 func newManager(o serverOptions) *manager.Manager {
 	return manager.New(manager.Options{
-		Capacity:    o.capacity,
-		IdleTTL:     o.idleTTL,
-		SnapshotDir: o.snapdir,
-		MaxAlarms:   1024,
+		Capacity:      o.capacity,
+		IdleTTL:       o.idleTTL,
+		SnapshotDir:   o.snapdir,
+		WALDir:        o.walDir,
+		Fsync:         o.fsync,
+		FsyncInterval: o.fsyncIv,
+		MaxAlarms:     1024,
 	})
 }
 
@@ -222,7 +245,19 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 		return err
 	}
 	cfg := det.Config()
+	if o.fsync != manager.FsyncAlways && o.fsync != manager.FsyncInterval && o.fsync != manager.FsyncNever {
+		return fmt.Errorf("-fsync %q: want always, interval, or never", o.fsync)
+	}
 	mgr := newManager(o)
+	// Recover persisted streams before the service adopts the default
+	// stream, so a recovered default (warm state, alarm history) wins over
+	// the freshly built detector.
+	if stats, err := mgr.Recover(); err != nil {
+		return fmt.Errorf("recover: %w", err)
+	} else if o.walDir != "" {
+		logger.Info("recovery done", "streams", stats.Recovered,
+			"replayed", stats.Replayed, "quarantined", stats.Quarantined)
+	}
 	svc := serve.NewWithOptions(det, serve.Options{Manager: mgr, Logger: logger})
 	srv := newServer(svc, o.addr, o.pprofOn)
 
@@ -251,7 +286,7 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 		"w", cfg.Window.W, "s", cfg.Window.S, "k", cfg.K,
 		"tau", cfg.Tau, "theta", cfg.Theta, "approx", cfg.ApproxTSG,
 		"capacity", o.capacity, "idleTTL", o.idleTTL, "snapdir", o.snapdir,
-		"pprof", o.pprofOn)
+		"wal", o.walDir, "fsync", o.fsync, "pprof", o.pprofOn)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

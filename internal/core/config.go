@@ -18,6 +18,10 @@ import (
 // ErrBadConfig reports an invalid detector configuration.
 var ErrBadConfig = errors.New("cad: invalid config")
 
+// ErrBadReading reports a non-finite (NaN or ±Inf) sensor reading pushed
+// into a streamer.
+var ErrBadReading = errors.New("cad: non-finite reading")
+
 // RCMode selects how the ratio of co-appearance number (paper Def. 6) is
 // accumulated over rounds.
 type RCMode int

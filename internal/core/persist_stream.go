@@ -22,9 +22,13 @@ type persistedStreamer struct {
 	Filled   int
 	Pending  int
 	Started  bool
+	Seq      uint64
 }
 
-const streamerPersistVersion = 1
+// streamerPersistVersion is 2 since the sequence number joined the format;
+// version-1 snapshots predate write-ahead logging and are rejected rather
+// than resumed with a replay cursor stuck at zero.
+const streamerPersistVersion = 2
 
 // SaveState serializes the streamer — the detector snapshot plus the
 // in-flight window state — so ingestion can resume mid-window after a
@@ -42,6 +46,7 @@ func (s *Streamer) SaveState(w io.Writer) error {
 		Filled:   s.filled,
 		Pending:  s.pending,
 		Started:  s.started,
+		Seq:      s.seq,
 	}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("cad: save streamer: %w", err)
@@ -77,6 +82,7 @@ func LoadStreamer(r io.Reader) (*Streamer, error) {
 	s.filled = st.Filled
 	s.pending = st.Pending
 	s.started = st.Started
+	s.seq = st.Seq
 	return s, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"cad/internal/mts"
 )
@@ -29,6 +30,11 @@ type Streamer struct {
 	// since start, for the first round).
 	pending int
 	started bool
+	// seq counts every column ever accepted, including those of rounds
+	// that later failed to process. It is persisted with the streamer and
+	// is the replay cursor of the manager's write-ahead log: a WAL record
+	// numbered at or below seq is already reflected in this state.
+	seq uint64
 	// process runs one round; tests replace it to inject round failures.
 	process func(*mts.MTS) (RoundReport, error)
 }
@@ -48,6 +54,11 @@ func NewStreamer(det *Detector) *Streamer {
 // Detector returns the wrapped detector.
 func (s *Streamer) Detector() *Detector { return s.det }
 
+// Seq returns the number of columns accepted so far, counting across
+// SaveState/LoadStreamer cycles. It increases by exactly one per accepted
+// Push, making it a stable replay cursor for write-ahead logging.
+func (s *Streamer) Seq() uint64 { return s.seq }
+
 // Push appends one column of sensor readings. When enough data has
 // accumulated to complete a round (w columns for the first round, s more for
 // each later one) the round is processed and its report returned with
@@ -62,6 +73,15 @@ func (s *Streamer) Push(col []float64) (rep RoundReport, ok bool, err error) {
 	if len(col) != s.det.Sensors() {
 		return RoundReport{}, false, fmt.Errorf("%w: column has %d readings, want %d", ErrBadConfig, len(col), s.det.Sensors())
 	}
+	// Reject non-finite readings before anything mutates: one NaN in the
+	// ring would silently poison the Pearson correlations of every round
+	// whose window covers it. HTTP ingest validates earlier, but direct
+	// library users and WAL replay land here first.
+	for i, v := range col {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return RoundReport{}, false, fmt.Errorf("%w: sensor %d", ErrBadReading, i)
+		}
+	}
 	w, step := s.det.cfg.Window.W, s.det.cfg.Window.S
 	for i, v := range col {
 		s.ring[i][s.pos] = v
@@ -71,6 +91,7 @@ func (s *Streamer) Push(col []float64) (rep RoundReport, ok bool, err error) {
 		s.filled++
 	}
 	s.pending++
+	s.seq++
 	need := w
 	if s.started {
 		need = step

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cad/internal/mts"
+)
+
+// nanFixture builds an 8-sensor MTS whose middle column hides one bad
+// reading per flavor of non-finite value.
+func nanFixture(t *testing.T, bad float64) *mts.MTS {
+	t.Helper()
+	rows := make([][]float64, 8)
+	for i := range rows {
+		rows[i] = []float64{float64(i), float64(i) + 1, float64(i) + 2}
+	}
+	rows[3][1] = bad
+	m, err := mts.New(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasNaN() {
+		t.Fatalf("fixture with %v not flagged by HasNaN", bad)
+	}
+	return m
+}
+
+// TestStreamerRejectsNonFinite guards the library boundary: a NaN or ±Inf
+// reading must be refused by Push itself — not just by the HTTP layer — so
+// WAL replay and direct library users can never poison the correlation
+// state.
+func TestStreamerRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		fixture := nanFixture(t, bad)
+		det, err := NewDetector(8, streamTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStreamer(det)
+		// Column 0 of the fixture is clean, column 1 carries the bad value.
+		if _, _, err := s.Push(fixture.Column(0, nil)); err != nil {
+			t.Fatalf("clean column rejected: %v", err)
+		}
+		_, done, err := s.Push(fixture.Column(1, nil))
+		if !errors.Is(err, ErrBadReading) {
+			t.Fatalf("Push(%v column) = %v, want ErrBadReading", bad, err)
+		}
+		if done {
+			t.Fatal("rejected column completed a round")
+		}
+		if got := s.Seq(); got != 1 {
+			t.Fatalf("Seq after rejected push = %d, want 1 (rejection must not consume a sequence number)", got)
+		}
+	}
+}
+
+// TestStreamerRejectionKeepsStateIntact interleaves non-finite columns into
+// a clean series and checks the reports still match an untouched run.
+func TestStreamerRejectionKeepsStateIntact(t *testing.T) {
+	const ticks = 120
+	rng := rand.New(rand.NewSource(31))
+	cols := make([][]float64, ticks)
+	for tick := range cols {
+		cols[tick] = streamColumn(rng, tick, false)
+	}
+
+	det, err := NewDetector(8, streamTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewStreamer(det)
+	var want []RoundReport
+	for _, col := range cols {
+		rep, done, err := ref.Push(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			want = append(want, rep)
+		}
+	}
+
+	det2, err := NewDetector(8, streamTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamer(det2)
+	poison := []float64{0, 1, 2, math.NaN(), 4, 5, 6, 7}
+	var got []RoundReport
+	for tick, col := range cols {
+		if tick%11 == 5 {
+			if _, _, err := s.Push(poison); !errors.Is(err, ErrBadReading) {
+				t.Fatalf("tick %d: poison column: %v, want ErrBadReading", tick, err)
+			}
+		}
+		rep, done, err := s.Push(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			got = append(got, rep)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rejected columns perturbed the reports:\n got %d rounds\nwant %d rounds", len(got), len(want))
+	}
+}
+
+// TestStreamerSeqPersists pins the replay cursor to the snapshot format:
+// every accepted column advances Seq exactly once and the value survives a
+// SaveState/LoadStreamer round trip.
+func TestStreamerSeqPersists(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	det, err := NewDetector(8, streamTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStreamer(det)
+	for tick := 0; tick < 47; tick++ {
+		if _, _, err := s.Push(streamColumn(rng, tick, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Seq(); got != 47 {
+		t.Fatalf("Seq = %d after 47 pushes", got)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadStreamer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Seq(); got != 47 {
+		t.Fatalf("Seq after save/load = %d, want 47", got)
+	}
+	if _, _, err := restored.Push(streamColumn(rng, 47, false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Seq(); got != 48 {
+		t.Fatalf("Seq after post-restore push = %d, want 48", got)
+	}
+}

@@ -1,0 +1,289 @@
+// Package faultfs is the filesystem seam of the durability layer. All
+// snapshot and write-ahead-log I/O in internal/manager goes through the FS
+// interface, so production code talks to the real operating system while
+// tests substitute a Fault wrapper that forces short writes, ENOSPC, fsync
+// failures, and crash points at deterministic byte offsets — the failure
+// modes a crash-safety design must survive but the real filesystem almost
+// never produces on demand.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the durability layer needs.
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Close() error
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface of the durability layer. The OS
+// implementation forwards to the os package; Fault wraps another FS and
+// injects failures.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	// Truncate cuts the named file to size bytes (torn-tail repair).
+	Truncate(name string, size int64) error
+}
+
+// osFS forwards every operation to the os package.
+type osFS struct{}
+
+// OS returns the real-filesystem implementation.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+// ErrCrashed is returned by every operation once a Fault's crash point has
+// been reached: the simulated process is dead and can no longer touch the
+// disk. Tests abandon the crashed manager and recover with a fresh FS over
+// the same directory, exactly as a restarted process would.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// Fault wraps an FS and injects failures. The zero configuration injects
+// nothing; arm failure modes with CrashAfterBytes, FailWrites, and
+// FailSyncs. Safe for concurrent use.
+type Fault struct {
+	inner FS
+
+	mu       sync.Mutex
+	crashed  bool
+	budget   int64 // bytes writable before the crash point; -1 = unlimited
+	writeErr error // forced error for every write (e.g. syscall.ENOSPC)
+	syncErr  error // forced error for every Sync
+	written  int64
+	syncs    int64
+}
+
+// New wraps inner with fault injection disarmed.
+func New(inner FS) *Fault {
+	return &Fault{inner: inner, budget: -1}
+}
+
+// CrashAfterBytes arms the crash point: after n more bytes have been
+// written (across all files), the write that crosses the boundary is cut
+// short at exactly the boundary — a torn write — and every later operation
+// fails with ErrCrashed. n = 0 crashes on the next write.
+func (f *Fault) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+}
+
+// FailWrites forces every write to fail with err (e.g. syscall.ENOSPC)
+// without writing anything. nil disarms.
+func (f *Fault) FailWrites(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr = err
+}
+
+// FailSyncs forces every Sync to fail with err. nil disarms. Writes keep
+// succeeding, modeling a disk that accepts data into its cache but cannot
+// commit it.
+func (f *Fault) FailSyncs(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// BytesWritten returns the total bytes successfully written through the
+// fault layer — run a workload once to size the budget range for
+// randomized crash points.
+func (f *Fault) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Syncs returns how many Sync calls reached the inner filesystem.
+func (f *Fault) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// check fails the current operation when the crash point has been reached.
+func (f *Fault) check() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *Fault) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, file: file}, nil
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(name string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Fault) RemoveAll(path string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *Fault) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Fault) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *Fault) Stat(name string) (fs.FileInfo, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Fault) Truncate(name string, size int64) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// faultFile routes writes and syncs of one open file through the Fault.
+type faultFile struct {
+	f    *Fault
+	file File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.f.check(); err != nil {
+		return 0, err
+	}
+	return ff.file.Read(p)
+}
+
+// Write applies the armed failure modes: a forced error writes nothing; a
+// crossed crash budget writes only the prefix that fits (a torn write) and
+// kills the filesystem.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.f
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if f.writeErr != nil {
+		err := f.writeErr
+		f.mu.Unlock()
+		return 0, err
+	}
+	n := len(p)
+	torn := false
+	if f.budget >= 0 {
+		if int64(n) > f.budget {
+			n = int(f.budget)
+			f.crashed = true
+			torn = true
+		} else {
+			f.budget -= int64(n)
+		}
+	}
+	f.mu.Unlock()
+	wrote, err := ff.file.Write(p[:n])
+	f.mu.Lock()
+	f.written += int64(wrote)
+	f.mu.Unlock()
+	if err != nil {
+		return wrote, err
+	}
+	if torn {
+		return wrote, ErrCrashed
+	}
+	return wrote, nil
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.f
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	if f.syncErr != nil {
+		err := f.syncErr
+		f.mu.Unlock()
+		return err
+	}
+	f.syncs++
+	f.mu.Unlock()
+	return ff.file.Sync()
+}
+
+// Close always reaches the inner file: a dying process's descriptors are
+// closed by the kernel regardless.
+func (ff *faultFile) Close() error { return ff.file.Close() }
+
+func (ff *faultFile) Name() string { return ff.file.Name() }

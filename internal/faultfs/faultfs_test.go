@@ -1,0 +1,117 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func openTemp(t *testing.T, fs FS) File {
+	t.Helper()
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDisarmedFaultForwards(t *testing.T) {
+	f := New(OS())
+	file := openTemp(t, f)
+	if n, err := file.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := file.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := f.BytesWritten(); got != 5 {
+		t.Fatalf("BytesWritten = %d, want 5", got)
+	}
+	if got := f.Syncs(); got != 1 {
+		t.Fatalf("Syncs = %d, want 1", got)
+	}
+	if f.Crashed() {
+		t.Fatal("disarmed fault reports crashed")
+	}
+}
+
+func TestCrashAfterBytesTearsTheCrossingWrite(t *testing.T) {
+	f := New(OS())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	file, err := f.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CrashAfterBytes(7)
+	if n, err := file.Write([]byte("1234")); err != nil || n != 4 {
+		t.Fatalf("within budget: Write = %d, %v", n, err)
+	}
+	// This write crosses the boundary: only 3 of 5 bytes land.
+	n, err := file.Write([]byte("abcde"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write error = %v, want ErrCrashed", err)
+	}
+	if n != 3 {
+		t.Fatalf("crossing write wrote %d bytes, want 3 (torn)", n)
+	}
+	if !f.Crashed() {
+		t.Fatal("fault not crashed after boundary")
+	}
+	// Every later operation on the dead filesystem fails.
+	if _, err := file.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Write error = %v, want ErrCrashed", err)
+	}
+	if err := file.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Sync error = %v, want ErrCrashed", err)
+	}
+	if _, err := f.OpenFile(filepath.Join(dir, "g"), os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash OpenFile error = %v, want ErrCrashed", err)
+	}
+	if err := f.Rename(path, path+".x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Rename error = %v, want ErrCrashed", err)
+	}
+	// The torn prefix is what actually reached the disk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "1234abc" {
+		t.Fatalf("on-disk content %q, want %q", raw, "1234abc")
+	}
+}
+
+func TestFailWrites(t *testing.T) {
+	f := New(OS())
+	file := openTemp(t, f)
+	defer file.Close()
+	f.FailWrites(syscall.ENOSPC)
+	if _, err := file.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Write error = %v, want ENOSPC", err)
+	}
+	f.FailWrites(nil)
+	if _, err := file.Write([]byte("x")); err != nil {
+		t.Fatalf("Write after disarm: %v", err)
+	}
+}
+
+func TestFailSyncs(t *testing.T) {
+	f := New(OS())
+	file := openTemp(t, f)
+	defer file.Close()
+	f.FailSyncs(syscall.EIO)
+	if _, err := file.Write([]byte("x")); err != nil {
+		t.Fatalf("Write should keep working: %v", err)
+	}
+	if err := file.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Sync error = %v, want EIO", err)
+	}
+	if got := f.Syncs(); got != 0 {
+		t.Fatalf("failed syncs counted: %d", got)
+	}
+}

@@ -13,12 +13,28 @@
 // additionally evicts streams idle longer than the configured TTL. Without
 // a snapshot directory eviction is disabled and a full registry rejects new
 // streams instead.
+//
+// # Durability
+//
+// With a WAL directory configured the manager is crash-safe: every
+// ingested column is appended to a per-stream, checksummed, segmented
+// write-ahead log before it touches detector state, snapshots become
+// persistent checkpoints (written at creation, at WAL-size thresholds, and
+// on eviction, each time folding the log), and Recover scans the disk on
+// boot, restores each stream from its newest checkpoint, and replays its
+// WAL through the streamer to reach bit-identical state versus a process
+// that never crashed. Snapshots carry a CRC32-C footer; a corrupt or torn
+// snapshot is quarantined (renamed *.corrupt, counted in
+// cad_snapshot_quarantined_total) so the stream id stays recreatable
+// instead of failing every restore forever. If the disk fails at runtime —
+// a WAL append or checkpoint error — the manager degrades to memory-only
+// operation: ingest keeps working, cad_durability_degraded flips to 1, and
+// Degraded reports the cause for /readyz.
 package manager
 
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -26,7 +42,9 @@ import (
 	"time"
 
 	"cad/internal/core"
+	"cad/internal/faultfs"
 	"cad/internal/obs"
+	"cad/internal/wal"
 )
 
 // Registry errors, distinguished so the HTTP layer can map them onto stable
@@ -74,7 +92,45 @@ type Options struct {
 	Registry *obs.Registry
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
+
+	// WALDir enables crash-safe durability: every ingested column is
+	// appended to a per-stream write-ahead log under this directory
+	// before it is applied, snapshots become persistent checkpoints, and
+	// Recover replays the logs on boot. "" disables write-ahead logging
+	// (snapshots then exist only while a stream is evicted, as before).
+	// When WALDir is set and SnapshotDir is not, snapshots default to
+	// WALDir/snapshots.
+	WALDir string
+	// Fsync picks when WAL appends and snapshot writes reach stable
+	// storage: FsyncAlways (default), FsyncInterval (at most once per
+	// FsyncInterval per stream), or FsyncNever (leave it to the OS).
+	Fsync string
+	// FsyncInterval spaces fsyncs under the "interval" policy
+	// (≤ 0 means 100ms).
+	FsyncInterval time.Duration
+	// WALSegmentBytes rotates WAL segments past this size
+	// (≤ 0 means 1 MiB).
+	WALSegmentBytes int64
+	// CheckpointEvery folds a stream's WAL into a fresh snapshot after
+	// this many appended records, bounding replay time after a crash
+	// (≤ 0 means 4096).
+	CheckpointEvery int
+	// SnapshotRetries bounds snapshot write attempts on transient errors
+	// (≤ 0 means 3); retried with exponential backoff and jitter.
+	SnapshotRetries int
+	// SnapshotRetryBase is the first backoff delay (≤ 0 means 5ms).
+	SnapshotRetryBase time.Duration
+	// FS overrides filesystem access for all snapshot and WAL I/O so
+	// tests can inject faults; nil means the real OS.
+	FS faultfs.FS
 }
+
+// Fsync policy names accepted by Options.Fsync.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncNever    = "never"
+)
 
 // Manager is a bounded registry of named CAD streams. Safe for concurrent
 // use; operations on distinct streams run in parallel.
@@ -82,14 +138,27 @@ type Manager struct {
 	opt Options
 	reg *obs.Registry
 	now func() time.Time
+	fs  faultfs.FS
 
-	mu      sync.Mutex
-	streams map[string]*stream
+	mu             sync.Mutex
+	streams        map[string]*stream
+	degradedReason string // why durability was lost; guarded by mu
 
-	resident  *obs.Gauge
-	evictions *obs.Counter
-	restores  *obs.Counter
-	snapFails *obs.Counter
+	// degraded flips once and stays set when the disk fails at runtime;
+	// atomic so the readiness probe never contends with ingest.
+	degraded atomic.Bool
+
+	resident    *obs.Gauge
+	evictions   *obs.Counter
+	restores    *obs.Counter
+	snapFails   *obs.Counter
+	snapRetries *obs.Counter
+	quarantined *obs.Counter
+	walAppends  *obs.Counter
+	walErrors   *obs.Counter
+	walReplayed *obs.Counter
+	recovered   *obs.Counter
+	degradedG   *obs.Gauge
 }
 
 // stream is one tenant: detector + streamer + tracker plus the serving
@@ -112,6 +181,12 @@ type stream struct {
 
 	created  time.Time
 	lastUsed atomic.Int64 // unix nanoseconds
+
+	// wal is the stream's write-ahead log; nil when durability is off or
+	// has degraded. walRecs counts records appended since the last
+	// checkpoint. Both guarded by mu.
+	wal     *wal.Log
+	walRecs int
 }
 
 // New builds a manager. The zero Options value works: 64 resident streams,
@@ -126,6 +201,24 @@ func New(o Options) *Manager {
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
+	if o.WALDir != "" && o.SnapshotDir == "" {
+		o.SnapshotDir = filepath.Join(o.WALDir, "snapshots")
+	}
+	if o.WALSegmentBytes <= 0 {
+		o.WALSegmentBytes = wal.DefaultSegmentBytes
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 4096
+	}
+	if o.SnapshotRetries <= 0 {
+		o.SnapshotRetries = 3
+	}
+	if o.SnapshotRetryBase <= 0 {
+		o.SnapshotRetryBase = 5 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS()
+	}
 	now := o.Now
 	if now == nil {
 		now = time.Now
@@ -134,6 +227,7 @@ func New(o Options) *Manager {
 		opt:     o,
 		reg:     o.Registry,
 		now:     now,
+		fs:      o.FS,
 		streams: make(map[string]*stream),
 		resident: o.Registry.Gauge("cad_streams_resident",
 			"Streams currently resident in the manager registry."),
@@ -143,8 +237,37 @@ func New(o Options) *Manager {
 			"Streams restored from a snapshot on access."),
 		snapFails: o.Registry.Counter("cad_stream_snapshot_errors_total",
 			"Failed snapshot writes; the stream stays resident."),
+		snapRetries: o.Registry.Counter("cad_snapshot_retries_total",
+			"Snapshot write attempts retried after a transient error."),
+		quarantined: o.Registry.Counter("cad_snapshot_quarantined_total",
+			"Corrupt snapshots or WALs renamed *.corrupt instead of restored."),
+		walAppends: o.Registry.Counter("cad_wal_appends_total",
+			"Columns appended to a write-ahead log."),
+		walErrors: o.Registry.Counter("cad_wal_errors_total",
+			"Write-ahead log failures (append, sync, open, or replay)."),
+		walReplayed: o.Registry.Counter("cad_wal_replayed_total",
+			"WAL records replayed into restored streams."),
+		recovered: o.Registry.Counter("cad_streams_recovered_total",
+			"Streams recovered from disk at startup."),
+		degradedG: o.Registry.Gauge("cad_durability_degraded",
+			"1 when the manager lost durability and runs memory-only."),
 	}
 	return m
+}
+
+// durable reports whether write-ahead logging is configured.
+func (m *Manager) durable() bool { return m.opt.WALDir != "" }
+
+// Degraded reports whether durability was lost at runtime (the manager
+// keeps serving from memory) and why. Always false when write-ahead
+// logging is not configured.
+func (m *Manager) Degraded() (bool, string) {
+	if !m.degraded.Load() {
+		return false, ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return true, m.degradedReason
 }
 
 // Registry returns the metrics registry the manager reports into.
@@ -186,7 +309,7 @@ func (m *Manager) Create(id string, sensors int, cfg core.Config) (restored bool
 	if m.residentStream(id) != nil {
 		return false, fmt.Errorf("%w: %q", ErrExists, id)
 	}
-	if st, err := m.restore(id); err == nil && st != nil {
+	if st, _, err := m.restore(id); err == nil && st != nil {
 		return true, nil
 	} else if err != nil && !errors.Is(err, ErrNotFound) {
 		return false, err
@@ -196,7 +319,14 @@ func (m *Manager) Create(id string, sensors int, cfg core.Config) (restored bool
 		return false, err
 	}
 	st := m.newStream(id, det)
+	if m.durable() {
+		// The stream is still private, so the initial checkpoint and WAL
+		// need no lock. A durability failure degrades instead of blocking
+		// the create: the stream works, memory-only.
+		m.initDurability(st)
+	}
 	if err := m.insert(st); err != nil {
+		m.dropDurability(st)
 		return false, err
 	}
 	return false, nil
@@ -204,16 +334,32 @@ func (m *Manager) Create(id string, sensors int, cfg core.Config) (restored bool
 
 // Adopt registers a stream around an existing (possibly warmed-up)
 // detector. It is how the legacy single-stream service plugs its detector
-// in as the default stream. Unlike Create, an existing snapshot for id is
-// discarded — the caller's detector wins.
+// in as the default stream. Unlike Create, an existing on-disk snapshot
+// for id is discarded — the caller's detector wins — but a RESIDENT stream
+// is never clobbered: Adopt then returns ErrExists so a caller that ran
+// Recover first can keep the recovered state instead.
 func (m *Manager) Adopt(id string, det *core.Detector) error {
 	if err := ValidateID(id); err != nil {
 		return err
 	}
-	if m.opt.SnapshotDir != "" {
-		_ = os.Remove(m.snapPath(id))
+	if m.residentStream(id) != nil {
+		return fmt.Errorf("%w: %q", ErrExists, id)
 	}
-	return m.insert(m.newStream(id, det))
+	if m.opt.SnapshotDir != "" {
+		_ = m.fs.Remove(m.snapPath(id))
+	}
+	if m.durable() {
+		_ = m.fs.RemoveAll(m.walPath(id))
+	}
+	st := m.newStream(id, det)
+	if m.durable() {
+		m.initDurability(st)
+	}
+	if err := m.insert(st); err != nil {
+		m.dropDurability(st)
+		return err
+	}
+	return nil
 }
 
 // newStream assembles the per-tenant state around det and attaches the
@@ -294,9 +440,20 @@ func (m *Manager) evict(st *stream, cutoff time.Time) (bool, error) {
 		st.mu.Unlock()
 		return false, nil
 	}
-	err := m.writeSnapshot(st)
+	err := m.writeSnapshotRetry(st)
 	if err == nil {
 		st.evicted = true
+		// The snapshot now covers everything the WAL held; fold the log so
+		// the next restore replays nothing. Errors are harmless — replay
+		// skips records at or below the snapshot's sequence number.
+		if st.wal != nil {
+			if rerr := st.wal.Reset(); rerr != nil {
+				m.walErrors.Inc()
+			}
+			_ = st.wal.Close()
+			st.wal = nil
+			st.walRecs = 0
+		}
 	}
 	st.mu.Unlock()
 	if err != nil {
@@ -323,7 +480,7 @@ func (m *Manager) acquire(id string) (*stream, error) {
 		st := m.residentStream(id)
 		if st == nil {
 			var err error
-			st, err = m.restore(id)
+			st, _, err = m.restore(id)
 			if err != nil {
 				return nil, err
 			}
@@ -353,15 +510,22 @@ func (m *Manager) Delete(id string) error {
 	m.mu.Unlock()
 	hadSnap := false
 	if m.opt.SnapshotDir != "" {
-		if err := os.Remove(m.snapPath(id)); err == nil {
+		if err := m.fs.Remove(m.snapPath(id)); err == nil {
 			hadSnap = true
 		}
+	}
+	if m.durable() {
+		_ = m.fs.RemoveAll(m.walPath(id))
 	}
 	if ok {
 		// Mark evicted so goroutines already holding the pointer retry,
 		// miss the registry and the snapshot, and report not-found.
 		st.mu.Lock()
 		st.evicted = true
+		if st.wal != nil {
+			_ = st.wal.Close()
+			st.wal = nil
+		}
 		st.mu.Unlock()
 	}
 	if !ok && !hadSnap {
@@ -445,7 +609,9 @@ func (m *Manager) List() []Info {
 		st.mu.Unlock()
 	}
 	if m.opt.SnapshotDir != "" {
-		if entries, err := os.ReadDir(m.opt.SnapshotDir); err == nil {
+		// In durable mode resident streams keep an on-disk checkpoint, so
+		// the seen filter is what separates "active" from "snapshotted".
+		if entries, err := m.fs.ReadDir(m.opt.SnapshotDir); err == nil {
 			for _, e := range entries {
 				id, ok := idFromSnapName(e.Name())
 				if !ok || seen[id] {
@@ -461,4 +627,9 @@ func (m *Manager) List() []Info {
 
 func (m *Manager) snapPath(id string) string {
 	return filepath.Join(m.opt.SnapshotDir, id+snapSuffix)
+}
+
+// walPath is the directory holding one stream's WAL segments.
+func (m *Manager) walPath(id string) string {
+	return filepath.Join(m.opt.WALDir, id)
 }

@@ -65,40 +65,65 @@ func (m *Manager) IngestBatch(id string, cols [][]float64) ([]IngestResult, erro
 	}
 	out := make([]IngestResult, 0, len(cols))
 	for _, col := range cols {
-		rep, done, err := st.streamer.Push(col)
+		var t time.Time
+		if st.wal != nil {
+			// Stamp and log the column before it mutates state; the WAL
+			// record's timestamp makes replayed alarms bit-identical.
+			t = m.now()
+			m.logColumn(st, t, col)
+		}
+		res, err := m.applyColumn(st, col, t)
 		if err != nil {
 			return out, fmt.Errorf("%w: %v", ErrBadColumn, err)
 		}
-		st.tick++
-		res := IngestResult{Tick: st.tick}
-		if done {
-			st.rounds++
-			res.RoundCompleted = true
-			res.Report = rep
-			st.tracker.Push(rep)
-			if finished := st.tracker.Drain(); len(finished) > 0 {
-				st.anomalies = append(st.anomalies, finished...)
-				if len(st.anomalies) > st.maxAlarm {
-					st.anomalies = st.anomalies[len(st.anomalies)-st.maxAlarm:]
-				}
-			}
-			if rep.Abnormal {
-				st.alarms = append(st.alarms, Alarm{
-					Round:      rep.Round,
-					Tick:       st.tick,
-					Variations: rep.Variations,
-					Score:      rep.Score,
-					Sensors:    rep.Outliers,
-					Time:       m.now(),
-				})
-				if len(st.alarms) > st.maxAlarm {
-					st.alarms = st.alarms[len(st.alarms)-st.maxAlarm:]
-				}
-			}
-		}
 		out = append(out, res)
 	}
+	m.maybeCheckpoint(st)
 	return out, nil
+}
+
+// applyColumn pushes one validated column through the stream's detector
+// pipeline — streamer, round tracker, alarm ring. It is the single apply
+// path shared by live ingest and WAL replay, so a replayed stream marches
+// through the exact state sequence of the original run. A zero t means
+// "stamp alarms lazily with the current clock" (non-durable mode, where no
+// WAL record fixes the arrival time). Caller holds st.mu.
+func (m *Manager) applyColumn(st *stream, col []float64, t time.Time) (IngestResult, error) {
+	rep, done, err := st.streamer.Push(col)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	st.tick++
+	res := IngestResult{Tick: st.tick}
+	if done {
+		st.rounds++
+		res.RoundCompleted = true
+		res.Report = rep
+		st.tracker.Push(rep)
+		if finished := st.tracker.Drain(); len(finished) > 0 {
+			st.anomalies = append(st.anomalies, finished...)
+			if len(st.anomalies) > st.maxAlarm {
+				st.anomalies = st.anomalies[len(st.anomalies)-st.maxAlarm:]
+			}
+		}
+		if rep.Abnormal {
+			if t.IsZero() {
+				t = m.now()
+			}
+			st.alarms = append(st.alarms, Alarm{
+				Round:      rep.Round,
+				Tick:       st.tick,
+				Variations: rep.Variations,
+				Score:      rep.Score,
+				Sensors:    rep.Outliers,
+				Time:       t,
+			})
+			if len(st.alarms) > st.maxAlarm {
+				st.alarms = st.alarms[len(st.alarms)-st.maxAlarm:]
+			}
+		}
+	}
+	return res, nil
 }
 
 // StreamStatus is one stream's health snapshot.

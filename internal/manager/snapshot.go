@@ -2,9 +2,13 @@ package manager
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
@@ -13,8 +17,24 @@ import (
 )
 
 // snapSuffix names snapshot files <id>.cadsnap under the snapshot
-// directory; ValidateID keeps ids path-safe.
-const snapSuffix = ".cadsnap"
+// directory; ValidateID keeps ids path-safe. Quarantined files get an
+// additional .corrupt suffix and are never picked up again.
+const (
+	snapSuffix     = ".cadsnap"
+	corruptSuffix  = ".corrupt"
+	snapTmpSuffix  = ".tmp"
+	snapMagic      = 0x43534e50 // "CSNP"
+	snapFooterVer  = 1
+	snapFooterSize = 12 // crc32c + footer version + magic, little endian
+)
+
+// castagnoli is the CRC32-C table shared with the WAL framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorruptSnapshot reports a snapshot that failed its footer or payload
+// validation; restore quarantines the file and maps this to ErrNotFound so
+// the stream id stays recreatable.
+var errCorruptSnapshot = errors.New("manager: corrupt snapshot")
 
 // idFromSnapName maps a snapshot file name back to its stream id.
 func idFromSnapName(name string) (string, bool) {
@@ -25,9 +45,9 @@ func idFromSnapName(name string) (string, bool) {
 	return id, true
 }
 
-// persistedStream is the gob envelope of one evicted stream: the streamer
-// blob (detector + in-flight window, see core.Streamer.SaveState), the
-// tracker blob, and the serving state the HTTP layer reports.
+// persistedStream is the gob envelope of one stream checkpoint: the
+// streamer blob (detector + in-flight window, see core.Streamer.SaveState),
+// the tracker blob, and the serving state the HTTP layer reports.
 type persistedStream struct {
 	Version   int
 	ID        string
@@ -40,10 +60,40 @@ type persistedStream struct {
 	Created   time.Time
 }
 
-const streamSnapVersion = 1
+const streamSnapVersion = 2
 
-// writeSnapshot persists st atomically (temp file + rename) so a crash
-// mid-write never leaves a truncated snapshot behind. Caller holds st.mu.
+// appendFooter seals the snapshot payload with a CRC32-C footer so restore
+// can tell a whole snapshot from a torn or bit-rotted one.
+func appendFooter(payload []byte) []byte {
+	footer := make([]byte, snapFooterSize)
+	binary.LittleEndian.PutUint32(footer, crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(footer[4:], snapFooterVer)
+	binary.LittleEndian.PutUint32(footer[8:], snapMagic)
+	return append(payload, footer...)
+}
+
+// checkFooter validates and strips the footer, returning the gob payload.
+func checkFooter(raw []byte) ([]byte, error) {
+	if len(raw) < snapFooterSize {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the footer", errCorruptSnapshot, len(raw))
+	}
+	payload := raw[:len(raw)-snapFooterSize]
+	footer := raw[len(raw)-snapFooterSize:]
+	if binary.LittleEndian.Uint32(footer[8:]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", errCorruptSnapshot)
+	}
+	if v := binary.LittleEndian.Uint32(footer[4:]); v != snapFooterVer {
+		return nil, fmt.Errorf("%w: footer version %d, want %d", errCorruptSnapshot, v, snapFooterVer)
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(footer) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorruptSnapshot)
+	}
+	return payload, nil
+}
+
+// writeSnapshot persists st atomically: encode to memory, write a temp
+// file, fsync it (per the fsync policy), rename into place, and fsync the
+// directory so the rename itself survives a power cut. Caller holds st.mu.
 func (m *Manager) writeSnapshot(st *stream) error {
 	var streamer, tracker bytes.Buffer
 	if err := st.streamer.SaveState(&streamer); err != nil {
@@ -63,58 +113,157 @@ func (m *Manager) writeSnapshot(st *stream) error {
 		Anomalies: st.anomalies,
 		Created:   st.created,
 	}
-	if err := os.MkdirAll(m.opt.SnapshotDir, 0o755); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
 		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
 	}
-	tmp, err := os.CreateTemp(m.opt.SnapshotDir, st.id+".tmp-*")
+	data := appendFooter(buf.Bytes())
+	if err := m.fs.MkdirAll(m.opt.SnapshotDir, 0o755); err != nil {
+		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	// st.mu serializes writers of this stream, so a fixed temp name is
+	// unambiguous and never leaks anonymous files.
+	tmpPath := m.snapPath(st.id) + snapTmpSuffix
+	tmp, err := m.fs.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
 	}
-	defer os.Remove(tmp.Name())
-	if err := gob.NewEncoder(tmp).Encode(&env); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
+		_ = m.fs.Remove(tmpPath)
 		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	if m.fsyncOn() {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			_ = m.fs.Remove(tmpPath)
+			return fmt.Errorf("manager: snapshot %s: sync: %w", st.id, err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
+		_ = m.fs.Remove(tmpPath)
 		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
 	}
-	if err := os.Rename(tmp.Name(), m.snapPath(st.id)); err != nil {
+	if err := m.fs.Rename(tmpPath, m.snapPath(st.id)); err != nil {
+		_ = m.fs.Remove(tmpPath)
 		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	if m.fsyncOn() {
+		if err := m.syncDir(m.opt.SnapshotDir); err != nil {
+			return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+		}
 	}
 	return nil
 }
 
-// restore loads the snapshot for id, re-registers the stream (evicting an
-// LRU victim if the registry is full), and deletes the snapshot file — a
-// snapshot exists exactly while its stream is evicted. Concurrent restores
-// of the same id race benignly: the loser finds the id registered and
-// returns the winner's stream.
-func (m *Manager) restore(id string) (*stream, error) {
-	if m.opt.SnapshotDir == "" {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
-	}
-	f, err := os.Open(m.snapPath(id))
+// syncDir fsyncs a directory so a completed rename is durable.
+func (m *Manager) syncDir(dir string) error {
+	d, err := m.fs.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeSnapshotRetry retries writeSnapshot on transient errors with
+// bounded exponential backoff and jitter before giving up (the caller then
+// keeps the stream resident — state is never dropped). Caller holds st.mu.
+func (m *Manager) writeSnapshotRetry(st *stream) error {
+	base := m.opt.SnapshotRetryBase
+	var err error
+	for attempt := 0; attempt < m.opt.SnapshotRetries; attempt++ {
+		if attempt > 0 {
+			m.snapRetries.Inc()
+			time.Sleep(base<<(attempt-1) + time.Duration(rand.Int63n(int64(base))))
 		}
-		return nil, fmt.Errorf("manager: restore %s: %w", id, err)
+		if err = m.writeSnapshot(st); err == nil {
+			return nil
+		}
 	}
-	defer f.Close()
+	return err
+}
+
+// readSnapshot loads and validates the snapshot for id. Corrupt files are
+// quarantined on the spot — renamed *.corrupt and counted — so one bad
+// restore never turns into a permanent restore loop.
+func (m *Manager) readSnapshot(id string) (persistedStream, error) {
 	var env persistedStream
-	if err := gob.NewDecoder(f).Decode(&env); err != nil {
-		return nil, fmt.Errorf("manager: restore %s: %w", id, err)
+	raw, err := m.fs.ReadFile(m.snapPath(id))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return env, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		return env, fmt.Errorf("manager: restore %s: %w", id, err)
 	}
-	if env.Version != streamSnapVersion {
-		return nil, fmt.Errorf("manager: restore %s: snapshot version %d, want %d", id, env.Version, streamSnapVersion)
+	payload, err := checkFooter(raw)
+	if err == nil {
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); derr != nil {
+			err = fmt.Errorf("%w: %v", errCorruptSnapshot, derr)
+		} else if env.Version != streamSnapVersion {
+			err = fmt.Errorf("%w: snapshot version %d, want %d", errCorruptSnapshot, env.Version, streamSnapVersion)
+		}
+	}
+	if err != nil {
+		m.quarantine(m.snapPath(id))
+		return persistedStream{}, fmt.Errorf("restore %s: %w", id, err)
+	}
+	return env, nil
+}
+
+// quarantine renames a damaged file or directory out of the restore path,
+// preserving it as evidence for the operator.
+func (m *Manager) quarantine(path string) {
+	dst := path + corruptSuffix
+	if err := m.fs.Rename(path, dst); err != nil {
+		// A previous quarantine may occupy the name; replace it — the
+		// newest evidence wins, and the restore path must be cleared.
+		_ = m.fs.RemoveAll(dst)
+		if err := m.fs.Rename(path, dst); err != nil {
+			_ = m.fs.RemoveAll(path)
+		}
+	}
+	m.quarantined.Inc()
+}
+
+// restore loads the snapshot for id, replays its WAL (in durable mode),
+// and re-registers the stream, evicting an LRU victim if the registry is
+// full. Without a WAL directory the consumed snapshot is deleted — legacy
+// behavior, where a snapshot exists exactly while its stream is evicted;
+// with one the snapshot is the stream's persistent checkpoint and remains.
+// Returns the stream and how many WAL records were replayed. Concurrent
+// restores of the same id race benignly: the loser finds the id registered
+// and returns the winner's stream.
+func (m *Manager) restore(id string) (*stream, int, error) {
+	if m.opt.SnapshotDir == "" {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	env, err := m.readSnapshot(id)
+	if err != nil {
+		if errors.Is(err, errCorruptSnapshot) || errors.Is(err, ErrNotFound) {
+			// Without a usable base snapshot the WAL alone cannot rebuild
+			// the stream (it records columns, not configuration), so any
+			// log is quarantined alongside and the id reports a clean
+			// miss: recreatable, not permanently broken.
+			if m.durable() {
+				if _, serr := m.fs.Stat(m.walPath(id)); serr == nil {
+					m.quarantine(m.walPath(id))
+				}
+			}
+			if errors.Is(err, ErrNotFound) {
+				return nil, 0, err
+			}
+			return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		return nil, 0, err
 	}
 	streamer, err := core.LoadStreamer(bytes.NewReader(env.Streamer))
 	if err != nil {
-		return nil, fmt.Errorf("manager: restore %s: %w", id, err)
+		return nil, 0, fmt.Errorf("manager: restore %s: %w", id, err)
 	}
 	tracker, err := core.LoadTracker(bytes.NewReader(env.Tracker))
 	if err != nil {
-		return nil, fmt.Errorf("manager: restore %s: %w", id, err)
+		return nil, 0, fmt.Errorf("manager: restore %s: %w", id, err)
 	}
 	st := &stream{
 		id:        id,
@@ -130,24 +279,54 @@ func (m *Manager) restore(id string) (*stream, error) {
 	}
 	st.lastUsed.Store(m.now().UnixNano())
 	st.det.SetObserver(newDetectorMetrics(m.reg, id))
+	replayed := 0
+	if m.durable() {
+		// Replay while the stream is still private: by the time anyone
+		// can acquire it, it is indistinguishable from one that never
+		// left memory.
+		replayed, err = m.replayWAL(st)
+		if err != nil {
+			m.walErrors.Inc()
+			m.degrade(id, err)
+			st.wal = nil
+		}
+	}
 	if err := m.insert(st); err != nil {
+		m.dropDurability(st)
 		if errors.Is(err, ErrExists) {
 			// Another goroutine restored it first; use theirs.
 			if cur := m.residentStream(id); cur != nil {
-				return cur, nil
+				return cur, 0, nil
 			}
 		}
-		return nil, err
+		return nil, 0, err
 	}
-	// Remove the consumed snapshot, unless the stream already lost an LRU
-	// race after insertion — then the file on disk is the NEW snapshot and
-	// must survive. The evicted flag and snapshot writes share st.mu, so
-	// the check and the write cannot interleave.
 	st.mu.Lock()
 	if !st.evicted {
-		_ = os.Remove(m.snapPath(id))
+		if m.durable() {
+			// Fold any replayed records into a fresh checkpoint so the
+			// next crash replays only what arrives from here on.
+			if replayed > 0 && st.wal != nil {
+				if cerr := m.writeSnapshotRetry(st); cerr == nil {
+					if rerr := st.wal.Reset(); rerr == nil {
+						st.walRecs = 0
+					} else {
+						m.walErrors.Inc()
+					}
+				} else {
+					m.snapFails.Inc()
+				}
+			}
+		} else {
+			// Remove the consumed snapshot, unless the stream already
+			// lost an LRU race after insertion — then the file on disk is
+			// the NEW snapshot and must survive. The evicted flag and
+			// snapshot writes share st.mu, so the check and the write
+			// cannot interleave.
+			_ = m.fs.Remove(m.snapPath(id))
+		}
 	}
 	st.mu.Unlock()
 	m.restores.Inc()
-	return st, nil
+	return st, replayed, nil
 }

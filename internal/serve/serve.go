@@ -20,7 +20,11 @@
 // Legacy unversioned routes (/ingest, /status, /alarms, /anomalies,
 // /detect) are thin delegates to the "default" stream, so single-detector
 // deployments keep working unchanged. GET /metrics serves the Prometheus
-// text exposition.
+// text exposition. GET /healthz reports liveness (always 200 while the
+// process serves) and GET /readyz readiness: 503 with the cause once the
+// manager lost durability and degraded to memory-only operation, so
+// orchestrators can route traffic away from a replica that would forget
+// its streams on the next restart.
 //
 // Every non-2xx response carries one structured JSON error envelope,
 //
@@ -123,9 +127,12 @@ func NewWithOptions(det *core.Detector, o Options) *Service {
 		}
 		mgr = manager.New(manager.Options{MaxAlarms: o.MaxAlarms, Registry: o.Registry})
 	}
-	if err := mgr.Adopt(DefaultStream, det); err != nil {
+	if err := mgr.Adopt(DefaultStream, det); err != nil && !errors.Is(err, manager.ErrExists) {
 		panic("serve: adopting the default stream: " + err.Error())
 	}
+	// ErrExists means startup recovery already restored a default stream
+	// from disk; the recovered state (warm detector, alarm history) wins
+	// over the caller's fresh detector.
 	return &Service{mgr: mgr, reg: mgr.Registry(), logger: o.Logger}
 }
 
@@ -141,7 +148,8 @@ func (s *Service) Manager() *manager.Manager { return s.mgr }
 func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
-	case "/ingest", "/status", "/alarms", "/anomalies", "/detect", "/metrics", "/v1/streams":
+	case "/ingest", "/status", "/alarms", "/anomalies", "/detect", "/metrics",
+		"/healthz", "/readyz", "/v1/streams":
 		return p
 	}
 	if rest, ok := strings.CutPrefix(p, "/v1/streams/"); ok {
@@ -180,6 +188,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/anomalies", s.onDefault(s.handleAnomalies))
 	mux.HandleFunc("/detect", s.handleDetect)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/", s.handleNotFound)
 	return obs.Middleware(mux, s.reg, s.logger, routeLabel)
 }
@@ -210,6 +220,37 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Handler().ServeHTTP(w, r)
+}
+
+// HealthResponse is the /healthz and /readyz payload.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Reason explains a not-ready verdict (e.g. why durability degraded).
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleHealthz reports liveness: the process is up and serving requests.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleReadyz reports readiness. A manager that lost durability keeps
+// ingesting from memory but answers 503 here, so orchestrators can shift
+// traffic to a replica whose streams will survive the next restart.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	if degraded, reason := s.mgr.Degraded(); degraded {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded", Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
 // finiteOrZero maps NaN/Inf (e.g. μ before any round) to 0 so the status

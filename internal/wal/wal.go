@@ -1,0 +1,417 @@
+// Package wal implements a checksummed, segmented write-ahead log. The
+// manager keeps one log per stream and appends every ingested column to it
+// before the column touches detector state, so a crash loses at most the
+// records that never finished reaching the disk.
+//
+// On-disk layout: a log is a directory of fixed-name segments
+// (00000001.wal, 00000002.wal, …) written strictly in order. Each record
+// is framed as
+//
+//	uint32  payload length (little endian)
+//	uint32  CRC32-C of the payload
+//	payload = uint64 sequence number | int64 unix-nano timestamp | data
+//
+// A crash can only tear the final frame of the final segment; Open detects
+// the torn tail (short frame, impossible length, or checksum mismatch),
+// truncates the segment back to its last whole record, and discards any
+// segments after the damage, so the log always reopens into a valid prefix
+// of what was appended. Appends rotate to a new segment once the current
+// one exceeds the configured size, keeping truncation scans and retained
+// files bounded.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cad/internal/faultfs"
+)
+
+// SyncPolicy picks when appended records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append — no acknowledged record is
+	// ever lost, at one fsync per column.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per interval; a crash can lose the
+	// records appended since the last sync.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system.
+	SyncNever
+)
+
+const (
+	// headerSize frames every record: length + CRC32-C.
+	headerSize = 8
+	// metaSize prefixes every payload: sequence number + timestamp.
+	metaSize = 16
+	// maxRecordBytes bounds a single payload; larger length fields are
+	// treated as corruption rather than allocated.
+	maxRecordBytes = 1 << 26
+	// DefaultSegmentBytes is the rotation threshold when none is given.
+	DefaultSegmentBytes = 1 << 20
+
+	segSuffix = ".wal"
+)
+
+// ErrClosed reports an append to a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one appended entry, returned in order by Replay.
+type Record struct {
+	// Seq is the caller-assigned, strictly increasing sequence number.
+	Seq uint64
+	// Time is the wall-clock instant recorded at append.
+	Time time.Time
+	// Data is the caller payload.
+	Data []byte
+}
+
+// Options configures a log.
+type Options struct {
+	// FS is the filesystem seam; nil means the real OS.
+	FS faultfs.FS
+	// SegmentBytes rotates segments once they exceed this size
+	// (≤ 0 means DefaultSegmentBytes).
+	SegmentBytes int64
+	// Sync picks the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the maximum fsync spacing under SyncInterval
+	// (≤ 0 means 100ms).
+	SyncInterval time.Duration
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Log is a segmented append-only record log. Not safe for concurrent use;
+// the manager serializes access under each stream's lock.
+type Log struct {
+	dir string
+	fs  faultfs.FS
+	opt Options
+	now func() time.Time
+
+	f        faultfs.File // current segment, nil once closed
+	segIdx   int          // current segment number (1-based)
+	segSize  int64
+	segments []int // existing segment numbers in order, including segIdx
+	lastSeq  uint64
+	lastSync time.Time
+	dirty    bool // unsynced appends outstanding
+}
+
+// segName renders the fixed-width segment file name for index i.
+func segName(i int) string { return fmt.Sprintf("%08d%s", i, segSuffix) }
+
+// segIndex parses a segment file name, reporting whether it is one.
+func segIndex(name string) (int, bool) {
+	base, ok := strings.CutSuffix(name, segSuffix)
+	if !ok || len(base) != 8 {
+		return 0, false
+	}
+	i, err := strconv.Atoi(base)
+	if err != nil || i < 1 {
+		return 0, false
+	}
+	return i, true
+}
+
+// Open scans dir (creating it if needed), repairs any torn tail, and
+// returns a log positioned to append after the last whole record. Records
+// written before the damage are preserved; the torn frame and anything
+// after it are discarded.
+func Open(dir string, o Options) (*Log, error) {
+	if o.FS == nil {
+		o.FS = faultfs.OS()
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	now := o.Now
+	if now == nil {
+		now = time.Now
+	}
+	if err := o.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, fs: o.FS, opt: o, now: now}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// listSegments returns the segment numbers present in the directory, in
+// order.
+func listSegments(fsys faultfs.FS, dir string) ([]int, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan %s: %w", dir, err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if i, ok := segIndex(e.Name()); ok {
+			segs = append(segs, i)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// scan validates every segment in order, truncating at the first invalid
+// frame and deleting any segments past it, and records where appends
+// resume.
+func (l *Log) scan() error {
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		l.segIdx = 1
+		l.segments = []int{1}
+		return nil
+	}
+	for i, seg := range segs {
+		path := filepath.Join(l.dir, segName(seg))
+		raw, err := l.fs.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: scan %s: %w", path, err)
+		}
+		valid, lastSeq, _ := validPrefix(raw)
+		if lastSeq != 0 {
+			l.lastSeq = lastSeq
+		}
+		if valid == int64(len(raw)) {
+			l.segIdx = seg
+			l.segSize = valid
+			continue
+		}
+		// Torn or corrupt frame: keep the whole-record prefix, drop the
+		// rest of this segment and every later one.
+		if err := l.fs.Truncate(path, valid); err != nil {
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		for _, later := range segs[i+1:] {
+			if err := l.fs.Remove(filepath.Join(l.dir, segName(later))); err != nil {
+				return fmt.Errorf("wal: drop segment after torn tail: %w", err)
+			}
+		}
+		l.segIdx = seg
+		l.segSize = valid
+		segs = segs[:i+1]
+		break
+	}
+	l.segments = segs
+	return nil
+}
+
+// validPrefix walks raw frame by frame and returns the byte length of the
+// longest prefix of whole, checksum-valid records, the last record's
+// sequence number (0 when none), and the record count.
+func validPrefix(raw []byte) (n int64, lastSeq uint64, count int) {
+	off := 0
+	for {
+		if len(raw)-off < headerSize {
+			return int64(off), lastSeq, count
+		}
+		size := binary.LittleEndian.Uint32(raw[off:])
+		sum := binary.LittleEndian.Uint32(raw[off+4:])
+		if size < metaSize || size > maxRecordBytes || len(raw)-off-headerSize < int(size) {
+			return int64(off), lastSeq, count
+		}
+		payload := raw[off+headerSize : off+headerSize+int(size)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return int64(off), lastSeq, count
+		}
+		lastSeq = binary.LittleEndian.Uint64(payload)
+		count++
+		off += headerSize + int(size)
+	}
+}
+
+// openSegment opens the current segment for appending.
+func (l *Log) openSegment() error {
+	path := filepath.Join(l.dir, segName(l.segIdx))
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment %s: %w", path, err)
+	}
+	l.f = f
+	return nil
+}
+
+// LastSeq returns the sequence number of the last record on disk (0 when
+// the log is empty).
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Append frames data under seq and t, writes it to the current segment,
+// and applies the sync policy. The record is durable once Append returns
+// under SyncAlways; weaker policies trade the tail for fewer fsyncs.
+func (l *Log) Append(seq uint64, t time.Time, data []byte) error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	payload := make([]byte, metaSize+len(data))
+	binary.LittleEndian.PutUint64(payload, seq)
+	binary.LittleEndian.PutUint64(payload[8:], uint64(t.UnixNano()))
+	copy(payload[metaSize:], data)
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[headerSize:], payload)
+	// One Write call per frame: a crash mid-call tears at most this record.
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.segSize += int64(len(frame))
+	l.lastSeq = seq
+	l.dirty = true
+	if err := l.maybeSync(); err != nil {
+		return err
+	}
+	if l.segSize >= l.opt.SegmentBytes {
+		return l.rotate()
+	}
+	return nil
+}
+
+// maybeSync applies the sync policy after an append.
+func (l *Log) maybeSync() error {
+	switch l.opt.Sync {
+	case SyncAlways:
+		return l.sync()
+	case SyncInterval:
+		if now := l.now(); now.Sub(l.lastSync) >= l.opt.SyncInterval {
+			return l.sync()
+		}
+	}
+	return nil
+}
+
+func (l *Log) sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.lastSync = l.now()
+	l.dirty = false
+	return nil
+}
+
+// Sync forces outstanding appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	if !l.dirty {
+		return nil
+	}
+	return l.sync()
+}
+
+// rotate seals the current segment and starts the next one.
+func (l *Log) rotate() error {
+	if l.dirty && l.opt.Sync != SyncNever {
+		if err := l.sync(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	l.segIdx++
+	l.segSize = 0
+	l.segments = append(l.segments, l.segIdx)
+	return l.openSegment()
+}
+
+// Replay streams every record on disk, oldest first, to fn. Call it after
+// Open and before any Append; fn errors abort the replay.
+func (l *Log) Replay(fn func(Record) error) error {
+	for _, seg := range l.segments {
+		raw, err := l.fs.ReadFile(filepath.Join(l.dir, segName(seg)))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // fresh segment not yet created by an append
+			}
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		off := 0
+		for len(raw)-off >= headerSize {
+			size := int(binary.LittleEndian.Uint32(raw[off:]))
+			payload := raw[off+headerSize : off+headerSize+size]
+			rec := Record{
+				Seq:  binary.LittleEndian.Uint64(payload),
+				Time: time.Unix(0, int64(binary.LittleEndian.Uint64(payload[8:]))),
+				Data: payload[metaSize:],
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			off += headerSize + size
+		}
+	}
+	return nil
+}
+
+// Reset discards every record — used after the covered state has been
+// checkpointed into a snapshot — and starts an empty segment. The last
+// sequence number is retained so appends continue the stream's numbering.
+func (l *Log) Reset() error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	l.f = nil
+	for _, seg := range l.segments {
+		if err := l.fs.Remove(filepath.Join(l.dir, segName(seg))); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+	}
+	l.segIdx = 1
+	l.segSize = 0
+	l.segments = []int{1}
+	l.dirty = false
+	return l.openSegment()
+}
+
+// Close flushes (unless the policy is SyncNever) and closes the log.
+// Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	if l.dirty && l.opt.Sync != SyncNever {
+		if err := l.sync(); err != nil {
+			l.f.Close()
+			l.f = nil
+			return err
+		}
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cad/internal/faultfs"
+)
+
+// fakeClock hands out strictly increasing instants so interval-sync tests
+// are deterministic.
+func fakeClock() func() time.Time {
+	n := int64(0)
+	return func() time.Time {
+		n++
+		return time.Unix(0, n)
+	}
+}
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var recs []Record
+	err := l.Replay(func(r Record) error {
+		data := make([]byte, len(r.Data))
+		copy(data, r.Data)
+		r.Data = data
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := l.Append(uint64(i), time.Unix(0, int64(100+i)), []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq = %d, want 5", got)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		want := Record{Seq: uint64(i + 1), Time: time.Unix(0, int64(101+i)), Data: []byte(fmt.Sprintf("rec-%d", i+1))}
+		if r.Seq != want.Seq || !r.Time.Equal(want.Time) || !bytes.Equal(r.Data, want.Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want)
+		}
+	}
+	// Appends after a reopen continue the numbering on the same files.
+	if err := l2.Append(6, time.Unix(0, 200), []byte("rec-6")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record overflows the threshold and rotates.
+	l, err := Open(dir, Options{SegmentBytes: 1, Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), time.Unix(0, int64(i)), []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three sealed segments plus the empty one rotation opened for the
+	// next append.
+	if len(entries) != 4 {
+		t.Fatalf("%d segments on disk, want 4", len(entries))
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 1, Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if recs := collect(t, l2); len(recs) != 3 || recs[2].Seq != 3 {
+		t.Fatalf("replay across segments = %+v", recs)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	fault := faultfs.New(faultfs.OS())
+	l, err := Open(dir, Options{FS: fault, Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	frameSize := int64(headerSize + metaSize + len(payload))
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), time.Unix(0, int64(i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash 5 bytes into the 4th record's frame.
+	fault.CrashAfterBytes(5)
+	if err := l.Append(4, time.Unix(0, 4), payload); err == nil {
+		t.Fatal("append through the crash point succeeded")
+	}
+	seg := filepath.Join(dir, segName(1))
+	if fi, err := os.Stat(seg); err != nil || fi.Size() != 3*frameSize+5 {
+		t.Fatalf("pre-repair segment size = %v, %v; want %d", fi.Size(), err, 3*frameSize+5)
+	}
+
+	// A restarted process reopens over the real filesystem.
+	l2, err := Open(dir, Options{Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if fi, err := os.Stat(seg); err != nil || fi.Size() != 3*frameSize {
+		t.Fatalf("post-repair segment size = %v, %v; want %d", fi.Size(), err, 3*frameSize)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 3 || recs[2].Seq != 3 {
+		t.Fatalf("replay after torn tail = %d records (last %+v), want the 3 whole ones", len(recs), recs[len(recs)-1])
+	}
+	if got := l2.LastSeq(); got != 3 {
+		t.Fatalf("LastSeq after repair = %d, want 3", got)
+	}
+}
+
+func TestCorruptMiddleDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 1, Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), time.Unix(0, int64(i)), []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in segment 2: its record fails the checksum, so
+	// segment 2 truncates to empty and segment 3 is dropped entirely.
+	seg2 := filepath.Join(dir, segName(2))
+	raw, err := os.ReadFile(seg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+metaSize] ^= 0xff
+	if err := os.WriteFile(seg2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{SegmentBytes: 1, Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("replay after mid-log corruption = %+v, want only record 1", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(3))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("segment 3 still present after damage in segment 2: %v", err)
+	}
+}
+
+func TestResetStartsEmptyKeepsNumbering(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 4; i++ {
+		if err := l.Append(uint64(i), time.Unix(0, int64(i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, l); len(recs) != 0 {
+		t.Fatalf("replay after Reset = %d records, want 0", len(recs))
+	}
+	if got := l.LastSeq(); got != 4 {
+		t.Fatalf("LastSeq after Reset = %d, want 4", got)
+	}
+	if err := l.Append(5, time.Unix(0, 5), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, l); len(recs) != 1 || recs[0].Seq != 5 {
+		t.Fatalf("replay after post-Reset append = %+v", recs)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	fault := faultfs.New(faultfs.OS())
+	l, err := Open(t.TempDir(), Options{FS: fault, Sync: SyncAlways, Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), time.Unix(0, int64(i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fault.Syncs(); got != 3 {
+		t.Fatalf("SyncAlways: %d fsyncs for 3 appends, want 3", got)
+	}
+	l.Close()
+
+	fault = faultfs.New(faultfs.OS())
+	// The fake clock ticks 1ns per call; a huge interval means only the
+	// first append (lastSync zero) syncs.
+	l, err = Open(t.TempDir(), Options{FS: fault, Sync: SyncInterval, SyncInterval: time.Hour, Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), time.Unix(0, int64(i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fault.Syncs(); got != 1 {
+		t.Fatalf("SyncInterval: %d fsyncs, want 1", got)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fault.Syncs(); got != 2 {
+		t.Fatalf("explicit Sync did not flush: %d", got)
+	}
+	l.Close()
+
+	fault = faultfs.New(faultfs.OS())
+	l, err = Open(t.TempDir(), Options{FS: fault, Sync: SyncNever, Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(uint64(i), time.Unix(0, int64(i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	if got := fault.Syncs(); got != 0 {
+		t.Fatalf("SyncNever: %d fsyncs, want 0", got)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, time.Unix(0, 1), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
