@@ -2,10 +2,10 @@ GO ?= go
 
 # ci is the tier-1 gate: formatting, vet, build, the full test suite under
 # the race detector (the serve concurrency tests only mean something with
-# -race), the fault-injection suite, and the pinned-seed crash-recovery
-# equivalence run.
+# -race), the fault-injection suite, the pinned-seed crash-recovery
+# equivalence run, and the alert-delivery suite.
 .PHONY: ci
-ci: fmt vet build race faulttest crashtest
+ci: fmt vet build race faulttest crashtest alerttest
 
 .PHONY: fmt
 fmt:
@@ -46,6 +46,14 @@ CRASH_ITERS ?= 50
 crashtest:
 	CAD_CRASH_SEED=$(CRASH_SEED) CAD_CRASH_ITERS=$(CRASH_ITERS) \
 		$(GO) test -count=1 -run 'TestCrashRecover' ./internal/manager/
+
+# alerttest runs the push-delivery suite: bus fan-out and eviction, webhook
+# retry/breaker behaviour against flaky endpoints, dead-lettering and DLQ
+# drains, and the end-to-end simulator-to-webhook/SSE path.
+.PHONY: alerttest
+alerttest:
+	$(GO) test -count=1 -race ./internal/alert/
+	$(GO) test -count=1 -race -run 'TestAlert|TestSSE|TestSinks|TestAnomaliesPag' ./internal/serve/ ./internal/manager/
 
 .PHONY: bench
 bench:

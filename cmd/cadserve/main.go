@@ -8,6 +8,8 @@
 //	         [-capacity 64] [-idle-ttl 30m] [-snapdir /var/lib/cadserve]
 //	         [-wal /var/lib/cadserve/wal] [-fsync always|interval|never]
 //	         [-fsync-interval 100ms] [-pprof] [-logjson]
+//	         [-webhook https://ops.example/hook] [-webhook-secret s3cret]
+//	         [-alert-queue 256] [-alert-dlq /var/lib/cadserve/dlq]
 //
 // Operators create streams with POST /v1/streams and drive them through
 // /v1/streams/{id}/…; the legacy unversioned routes (/ingest, /status,
@@ -35,6 +37,15 @@
 // "never" (leave it to the OS). If the disk fails while serving, cadserve
 // degrades to memory-only ingest and reports it on GET /readyz.
 //
+// Alerts are pushed as they happen: every server exposes the live SSE feed
+// (GET /v1/streams/{id}/events) and the sink CRUD (POST/GET /v1/sinks,
+// DELETE /v1/sinks/{name}). -webhook registers an HTTP sink named
+// "webhook" at boot; -webhook-secret makes it sign each body into the
+// X-CAD-Signature header. Deliveries retry with exponential backoff behind
+// a per-sink circuit breaker, and with -alert-dlq events that exhaust
+// their retries are dead-lettered to disk and redelivered once on the next
+// boot.
+//
 // The server logs one structured line per request (text to stderr, or JSON
 // with -logjson), enforces read/write timeouts, and shuts down gracefully
 // on SIGINT/SIGTERM, draining in-flight requests.
@@ -55,8 +66,10 @@ import (
 	"time"
 
 	"cad"
+	"cad/internal/alert"
 	"cad/internal/core"
 	"cad/internal/manager"
+	"cad/internal/obs"
 	"cad/internal/serve"
 )
 
@@ -80,6 +93,10 @@ func main() {
 		fsyncIv  = flag.Duration("fsync-interval", 100*time.Millisecond, "max time between fsyncs under -fsync interval")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		logJSON  = flag.Bool("logjson", false, "emit JSON logs instead of text")
+		webhook  = flag.String("webhook", "", "alert webhook URL, registered as sink \"webhook\" ('' disables)")
+		whSecret = flag.String("webhook-secret", "", "shared secret signing webhook bodies (X-CAD-Signature)")
+		alertQ   = flag.Int("alert-queue", 256, "per-sink alert queue capacity")
+		alertDLQ = flag.String("alert-dlq", "", "directory for the alert dead-letter queue ('' keeps failures in metrics only)")
 	)
 	flag.Parse()
 	logger := newLogger(*logJSON)
@@ -87,6 +104,8 @@ func main() {
 		addr: *addr, capacity: *capacity, idleTTL: *idleTTL, snapdir: *snapdir,
 		walDir: *walDir, fsync: *fsync, fsyncIv: *fsyncIv,
 		pprofOn: *pprofOn,
+		webhook: *webhook, webhookSecret: *whSecret,
+		alertQueue: *alertQ, alertDLQ: *alertDLQ,
 	}
 	if err := run(*sensors, *warmup, *cfgFile, *w, *s, *k, *tau, *theta, *approx, opts, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "cadserve: %v\n", err)
@@ -186,10 +205,16 @@ type serverOptions struct {
 	fsync    string
 	fsyncIv  time.Duration
 	pprofOn  bool
+
+	webhook       string
+	webhookSecret string
+	alertQueue    int
+	alertDLQ      string
 }
 
-// newManager builds the stream registry from the service flags.
-func newManager(o serverOptions) *manager.Manager {
+// newManager builds the stream registry from the service flags, publishing
+// detection events onto bus.
+func newManager(o serverOptions, reg *obs.Registry, bus *alert.Bus) *manager.Manager {
 	return manager.New(manager.Options{
 		Capacity:      o.capacity,
 		IdleTTL:       o.idleTTL,
@@ -198,7 +223,32 @@ func newManager(o serverOptions) *manager.Manager {
 		Fsync:         o.fsync,
 		FsyncInterval: o.fsyncIv,
 		MaxAlarms:     1024,
+		Registry:      reg,
+		Alerts:        bus,
 	})
+}
+
+// newBus builds the alert bus and registers the flag-configured sinks. The
+// bus always exists — the SSE feed and sink CRUD work without any flag —
+// and a webhook flag adds the "webhook" sink before the DLQ backlog is
+// drained, so dead letters from the previous run reach it.
+func newBus(o serverOptions, reg *obs.Registry, logger *slog.Logger) (*alert.Bus, error) {
+	bus, err := alert.NewBus(alert.Options{Registry: reg, DLQDir: o.alertDLQ, Logger: logger})
+	if err != nil {
+		return nil, fmt.Errorf("alert dlq: %w", err)
+	}
+	if o.webhook != "" {
+		sink, err := alert.NewWebhookSink(o.webhook, []byte(o.webhookSecret), 0)
+		if err != nil {
+			_ = bus.Close()
+			return nil, err
+		}
+		if err := bus.AddSink("webhook", sink, alert.SinkConfig{Queue: o.alertQueue}); err != nil {
+			_ = bus.Close()
+			return nil, err
+		}
+	}
+	return bus, nil
 }
 
 // newServer assembles the HTTP server around svc: service routes, optional
@@ -248,7 +298,13 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 	if o.fsync != manager.FsyncAlways && o.fsync != manager.FsyncInterval && o.fsync != manager.FsyncNever {
 		return fmt.Errorf("-fsync %q: want always, interval, or never", o.fsync)
 	}
-	mgr := newManager(o)
+	reg := obs.NewRegistry()
+	bus, err := newBus(o, reg, logger)
+	if err != nil {
+		return err
+	}
+	defer bus.Close()
+	mgr := newManager(o, reg, bus)
 	// Recover persisted streams before the service adopts the default
 	// stream, so a recovered default (warm state, alarm history) wins over
 	// the freshly built detector.
@@ -258,7 +314,14 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 		logger.Info("recovery done", "streams", stats.Recovered,
 			"replayed", stats.Replayed, "quarantined", stats.Quarantined)
 	}
-	svc := serve.NewWithOptions(det, serve.Options{Manager: mgr, Logger: logger})
+	// With the sinks registered and recovery done, give the previous run's
+	// dead letters their second chance.
+	if n, err := bus.DrainDLQ(); err != nil {
+		logger.Warn("draining alert dead-letter queue", "err", err)
+	} else if n > 0 {
+		logger.Info("redelivering dead-lettered alerts", "events", n)
+	}
+	svc := serve.NewWithOptions(det, serve.Options{Manager: mgr, Logger: logger, Alerts: bus})
 	srv := newServer(svc, o.addr, o.pprofOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -296,6 +359,12 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 	case <-ctx.Done():
 		stop()
 		logger.Info("shutting down", "reason", "signal")
+		// Close the bus first: open SSE feeds block on it, and Shutdown
+		// cannot drain them until their channels close. Sink queues get one
+		// final delivery attempt per event; failures dead-letter.
+		if err := bus.Close(); err != nil {
+			logger.Warn("closing alert bus", "err", err)
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {

@@ -1,0 +1,81 @@
+package alert
+
+import "time"
+
+// Breaker states, exported as the cad_alert_breaker_state gauge value.
+const (
+	// BreakerClosed: deliveries flow normally.
+	BreakerClosed = 0
+	// BreakerOpen: the sink failed Threshold times in a row; deliveries
+	// wait out the cooldown instead of hammering a dead endpoint.
+	BreakerOpen = 1
+	// BreakerHalfOpen: the cooldown elapsed; the next delivery is a probe.
+	// Success closes the breaker, failure reopens it for another cooldown.
+	BreakerHalfOpen = 2
+)
+
+// BreakerPolicy configures a sink's circuit breaker.
+type BreakerPolicy struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (≤ 0 means 5).
+	Threshold int
+	// Cooldown is how long an open breaker waits before the half-open
+	// probe (≤ 0 means 10s).
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Threshold <= 0 {
+		p.Threshold = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 10 * time.Second
+	}
+	return p
+}
+
+// breaker is a per-sink circuit breaker. It is only touched by the sink's
+// single runner goroutine (state queries from listings go through the
+// runner's atomic gauge), so it needs no lock of its own.
+type breaker struct {
+	pol   BreakerPolicy
+	now   func() time.Time
+	state int
+	fails int
+	until time.Time // when an open breaker may probe
+}
+
+func newBreaker(pol BreakerPolicy, now func() time.Time) *breaker {
+	return &breaker{pol: pol.withDefaults(), now: now}
+}
+
+// wait returns how long the caller must wait before attempting a delivery:
+// zero when the breaker is closed or ready to probe, the remaining
+// cooldown otherwise. Reaching the cooldown boundary transitions
+// open → half-open.
+func (b *breaker) wait() time.Duration {
+	if b.state != BreakerOpen {
+		return 0
+	}
+	if d := b.until.Sub(b.now()); d > 0 {
+		return d
+	}
+	b.state = BreakerHalfOpen
+	return 0
+}
+
+// success records a delivered event: any state collapses back to closed.
+func (b *breaker) success() {
+	b.state = BreakerClosed
+	b.fails = 0
+}
+
+// failure records a failed attempt: a failed half-open probe reopens
+// immediately, and Threshold consecutive failures open a closed breaker.
+func (b *breaker) failure() {
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.pol.Threshold {
+		b.state = BreakerOpen
+		b.until = b.now().Add(b.pol.Cooldown)
+	}
+}

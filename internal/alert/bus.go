@@ -1,0 +1,646 @@
+package alert
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cad/internal/faultfs"
+	"cad/internal/obs"
+)
+
+// Registry errors, distinguished so the HTTP layer can map them onto
+// stable machine-readable codes.
+var (
+	// ErrSinkExists reports an AddSink against a name already registered.
+	ErrSinkExists = errors.New("alert: sink already exists")
+	// ErrSinkNotFound reports an unknown sink name.
+	ErrSinkNotFound = errors.New("alert: sink not found")
+	// ErrClosed reports an operation on a closed bus.
+	ErrClosed = errors.New("alert: bus closed")
+)
+
+// RetryPolicy bounds a sink's delivery attempts per event.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per event, first included (≤ 0
+	// means 5); the event dead-letters after the last failure.
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failure; it doubles per
+	// attempt (≤ 0 means 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (≤ 0 means 5s).
+	MaxBackoff time.Duration
+	// Jitter adds up to this fraction of the backoff as random extra
+	// delay, decorrelating retry storms (0 means the 0.2 default;
+	// negative disables jitter entirely).
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// backoff returns the wait after the attempt-th failure (1-based):
+// exponential from BaseBackoff, capped at MaxBackoff, plus jitter. The
+// result is bounded by MaxBackoff·(1+Jitter) for every attempt.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(rand.Float64() * p.Jitter * float64(d))
+	}
+	return d
+}
+
+// SinkConfig tunes one sink's queue, retries, and breaker.
+type SinkConfig struct {
+	// Queue bounds the sink's in-memory event queue (≤ 0 means 256).
+	Queue int
+	// Policy picks what a full queue does (default DropOldest).
+	Policy OverflowPolicy
+	// Retry bounds per-event delivery attempts.
+	Retry RetryPolicy
+	// Breaker opens the circuit after consecutive failures.
+	Breaker BreakerPolicy
+}
+
+// Options configures a Bus.
+type Options struct {
+	// Registry receives the delivery metrics; nil creates a private one.
+	Registry *obs.Registry
+	// DLQDir enables the disk-backed dead-letter queue; "" keeps
+	// dead-lettered events only in the dropped metric.
+	DLQDir string
+	// FS overrides filesystem access for the DLQ (tests); nil means the
+	// real OS.
+	FS faultfs.FS
+	// Logger receives delivery warnings; nil means slog.Default.
+	Logger *slog.Logger
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Bus fans detection events out to registered sinks and live subscribers.
+// Publish never blocks on a subscriber and only blocks on a sink whose
+// queue uses the Block overflow policy. Safe for concurrent use.
+type Bus struct {
+	reg    *obs.Registry
+	logger *slog.Logger
+	now    func() time.Time
+	dlq    *DLQ
+
+	mu     sync.Mutex
+	seq    uint64
+	sinks  map[string]*sinkRunner
+	subs   map[*Subscription]struct{}
+	closed bool
+
+	// sleepHook, when set (tests), observes every retry/cooldown pause
+	// instead of sleeping wall-clock time.
+	sleepHook func(time.Duration)
+
+	published  func(t Type) *obs.Counter
+	sseClients *obs.Gauge
+	sseEvicted *obs.Counter
+	dlqDrained *obs.Counter
+	dlqDepth   *obs.Gauge
+}
+
+// NewBus builds a bus; with Options.DLQDir it opens (or creates) the
+// dead-letter queue, repairing any torn tail left by a crash.
+func NewBus(o Options) (*Bus, error) {
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	b := &Bus{
+		reg:    o.Registry,
+		logger: o.Logger,
+		now:    o.Now,
+		sinks:  make(map[string]*sinkRunner),
+		subs:   make(map[*Subscription]struct{}),
+		published: func(t Type) *obs.Counter {
+			return o.Registry.Counter("cad_alerts_published_total",
+				"Events published onto the alert bus, by type.",
+				obs.Label{Name: "type", Value: string(t)})
+		},
+		sseClients: o.Registry.Gauge("cad_sse_subscribers",
+			"Live event subscribers (SSE clients) on the alert bus."),
+		sseEvicted: o.Registry.Counter("cad_sse_evicted_total",
+			"Subscribers evicted because their buffer stayed full."),
+		dlqDrained: o.Registry.Counter("cad_alerts_dlq_drained_total",
+			"Dead-lettered events drained back into delivery."),
+		dlqDepth: o.Registry.Gauge("cad_alerts_dlq_records",
+			"Dead-lettered events currently on disk."),
+	}
+	if o.DLQDir != "" {
+		dlq, err := OpenDLQ(o.DLQDir, o.FS)
+		if err != nil {
+			return nil, err
+		}
+		b.dlq = dlq
+		b.dlqDepth.Set(float64(dlq.Len()))
+	}
+	return b, nil
+}
+
+// Registry returns the metrics registry the bus reports into.
+func (b *Bus) Registry() *obs.Registry { return b.reg }
+
+// Publish stamps ev (sequence number, time if zero) and fans it out: one
+// copy per sink queue, one per matching subscriber. Subscribers whose
+// buffer is full are evicted rather than waited on — a slow dashboard must
+// never stall the detection hot path.
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.seq++
+	ev.Seq = b.seq
+	if ev.Time.IsZero() {
+		ev.Time = b.now()
+	}
+	runners := make([]*sinkRunner, 0, len(b.sinks))
+	for _, r := range b.sinks {
+		runners = append(runners, r)
+	}
+	for sub := range b.subs {
+		if sub.stream != "" && sub.stream != ev.Stream {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			delete(b.subs, sub)
+			sub.evicted.Store(true)
+			close(sub.ch)
+			b.sseEvicted.Inc()
+			b.sseClients.Set(float64(len(b.subs)))
+		}
+	}
+	b.mu.Unlock()
+	b.published(ev.Type).Inc()
+	// Queue pushes happen outside the bus lock so one Block-policy sink
+	// cannot stall subscriber fan-out or sink registration. Ordering per
+	// publisher is preserved: the detection path publishes under its
+	// stream lock.
+	for _, r := range runners {
+		r.enqueue(ev)
+	}
+}
+
+// Subscribe registers a live subscriber for one stream's events ("" means
+// every stream, including manager-level events). buffer bounds the
+// client's send queue (≤ 0 means 64); when it overflows the subscriber is
+// evicted and its channel closed. Close the subscription when done.
+func (b *Bus) Subscribe(stream string, buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	sub := &Subscription{bus: b, stream: stream, ch: make(chan Event, buffer)}
+	sub.C = sub.ch
+	b.mu.Lock()
+	if b.closed {
+		close(sub.ch)
+	} else {
+		b.subs[sub] = struct{}{}
+		b.sseClients.Set(float64(len(b.subs)))
+	}
+	b.mu.Unlock()
+	return sub
+}
+
+// Subscription is one live event feed. Receive from C; a closed C means
+// the subscription ended — by Close, bus shutdown, or eviction (check
+// Evicted to tell).
+type Subscription struct {
+	// C streams the subscriber's events.
+	C <-chan Event
+
+	bus     *Bus
+	stream  string
+	ch      chan Event
+	evicted atomic.Bool
+	once    sync.Once
+}
+
+// Evicted reports whether the bus dropped this subscriber for not keeping
+// up.
+func (s *Subscription) Evicted() bool { return s.evicted.Load() }
+
+// Close unsubscribes. The channel is closed; pending buffered events are
+// still receivable.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.bus.mu.Lock()
+		if _, ok := s.bus.subs[s]; ok {
+			delete(s.bus.subs, s)
+			close(s.ch)
+			s.bus.sseClients.Set(float64(len(s.bus.subs)))
+		}
+		s.bus.mu.Unlock()
+	})
+}
+
+// AddSink registers sink under name and starts its delivery runner.
+func (b *Bus) AddSink(name string, sink Sink, cfg SinkConfig) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("alert: sink name %q: want 1–64 characters", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.sinks[name]; ok {
+		return fmt.Errorf("%w: %q", ErrSinkExists, name)
+	}
+	r := newSinkRunner(b, name, sink, cfg)
+	b.sinks[name] = r
+	go r.loop()
+	return nil
+}
+
+// RemoveSink stops the named sink's runner (draining its queue with one
+// final attempt per event) and unregisters it.
+func (b *Bus) RemoveSink(name string) error {
+	b.mu.Lock()
+	r, ok := b.sinks[name]
+	if ok {
+		delete(b.sinks, name)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrSinkNotFound, name)
+	}
+	r.stop()
+	return nil
+}
+
+// SinkStatus describes one registered sink for listings.
+type SinkStatus struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Target string `json:"target"`
+	// Queue is the configured capacity, Depth the events waiting in it.
+	Queue  int    `json:"queue"`
+	Depth  int    `json:"depth"`
+	Policy string `json:"policy"`
+	// Breaker is "closed", "open", or "half-open".
+	Breaker      string `json:"breaker"`
+	Delivered    uint64 `json:"delivered"`
+	Retried      uint64 `json:"retried"`
+	Dropped      uint64 `json:"dropped"`
+	DeadLettered uint64 `json:"deadLettered"`
+}
+
+// Sinks lists the registered sinks sorted by name.
+func (b *Bus) Sinks() []SinkStatus {
+	b.mu.Lock()
+	runners := make([]*sinkRunner, 0, len(b.sinks))
+	for _, r := range b.sinks {
+		runners = append(runners, r)
+	}
+	b.mu.Unlock()
+	out := make([]SinkStatus, 0, len(runners))
+	for _, r := range runners {
+		out = append(out, r.status())
+	}
+	sortStatuses(out)
+	return out
+}
+
+func sortStatuses(xs []SinkStatus) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j].Name < xs[j-1].Name; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// DrainDLQ redelivers every dead-lettered event exactly once: the backlog
+// is consumed from disk (and stays consumed — a crash after the drain
+// cannot replay it) and each record is enqueued to its original sink.
+// Records whose sink is no longer registered are dropped with a warning;
+// an event that fails delivery again dead-letters again as a new record.
+// Returns how many records were re-enqueued.
+func (b *Bus) DrainDLQ() (int, error) {
+	if b.dlq == nil {
+		return 0, nil
+	}
+	recs, bad, err := b.dlq.Drain()
+	if err != nil {
+		return 0, err
+	}
+	if bad > 0 {
+		b.logger.Warn("dead-letter queue had undecodable records", "skipped", bad)
+	}
+	b.dlqDepth.Set(float64(b.dlq.Len()))
+	n := 0
+	for _, rec := range recs {
+		b.mu.Lock()
+		r, ok := b.sinks[rec.Sink]
+		b.mu.Unlock()
+		if !ok {
+			b.logger.Warn("dropping dead letter for unregistered sink",
+				"sink", rec.Sink, "type", rec.Event.Type, "stream", rec.Event.Stream)
+			continue
+		}
+		r.enqueue(rec.Event)
+		b.dlqDrained.Inc()
+		n++
+	}
+	return n, nil
+}
+
+// DLQLen returns the number of dead letters on disk (0 without a DLQ).
+func (b *Bus) DLQLen() int {
+	if b.dlq == nil {
+		return 0
+	}
+	return b.dlq.Len()
+}
+
+// Close shuts the bus down: publishes become no-ops, subscribers' channels
+// close, and every sink runner drains its remaining queue with one final
+// attempt per event (failures dead-letter) before its sink is closed.
+func (b *Bus) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	runners := make([]*sinkRunner, 0, len(b.sinks))
+	for name, r := range b.sinks {
+		runners = append(runners, r)
+		delete(b.sinks, name)
+	}
+	for sub := range b.subs {
+		delete(b.subs, sub)
+		close(sub.ch)
+	}
+	b.sseClients.Set(0)
+	b.mu.Unlock()
+	for _, r := range runners {
+		r.stop()
+	}
+	if b.dlq != nil {
+		return b.dlq.Close()
+	}
+	return nil
+}
+
+// deadLetter persists an event that exhausted its retries.
+func (b *Bus) deadLetter(sink string, ev Event, cause error) {
+	if b.dlq == nil {
+		return
+	}
+	rec := DeadLetter{Sink: sink, Event: ev}
+	if cause != nil {
+		rec.Error = cause.Error()
+	}
+	if err := b.dlq.Append(rec); err != nil {
+		b.logger.Error("dead-letter append failed; event lost",
+			"sink", sink, "type", ev.Type, "stream", ev.Stream, "err", err)
+		return
+	}
+	b.dlqDepth.Set(float64(b.dlq.Len()))
+}
+
+// sinkRunner owns one sink: a bounded queue, a single delivery goroutine,
+// retry/backoff state, and the circuit breaker.
+type sinkRunner struct {
+	bus  *Bus
+	name string
+	sink Sink
+	cfg  SinkConfig
+	q    *queue
+	br   *breaker
+
+	done   chan struct{}
+	exited chan struct{}
+
+	delivered    *obs.Counter
+	retried      *obs.Counter
+	dropped      *obs.Counter
+	deadLettered *obs.Counter
+	latency      *obs.Histogram
+	breakerG     *obs.Gauge
+	brState      atomic.Int32 // mirrors br.state for lock-free status()
+}
+
+func newSinkRunner(b *Bus, name string, sink Sink, cfg SinkConfig) *sinkRunner {
+	cfg.Retry = cfg.Retry.withDefaults()
+	cfg.Breaker = cfg.Breaker.withDefaults()
+	if cfg.Queue <= 0 {
+		cfg.Queue = 256
+	}
+	label := obs.Label{Name: "sink", Value: name}
+	r := &sinkRunner{
+		bus:    b,
+		name:   name,
+		sink:   sink,
+		cfg:    cfg,
+		br:     newBreaker(cfg.Breaker, b.now),
+		done:   make(chan struct{}),
+		exited: make(chan struct{}),
+		delivered: b.reg.Counter("cad_alerts_delivered_total",
+			"Events delivered by a sink.", label),
+		retried: b.reg.Counter("cad_alerts_retried_total",
+			"Delivery attempts retried after a failure.", label),
+		dropped: b.reg.Counter("cad_alerts_dropped_total",
+			"Events dropped by a full queue (drop-oldest policy).", label),
+		deadLettered: b.reg.Counter("cad_alerts_dead_lettered_total",
+			"Events that exhausted their retries and were dead-lettered.", label),
+		latency: b.reg.Histogram("cad_alert_delivery_seconds",
+			"Successful delivery latency per attempt.", nil, label),
+		breakerG: b.reg.Gauge("cad_alert_breaker_state",
+			"Circuit breaker state: 0 closed, 1 open, 2 half-open.", label),
+	}
+	r.q = newQueue(cfg.Queue, cfg.Policy, r.dropped.Inc)
+	return r
+}
+
+func (r *sinkRunner) enqueue(ev Event) { r.q.push(ev) }
+
+// loop is the runner goroutine: pop, deliver (with retries), repeat until
+// the queue is closed and drained.
+func (r *sinkRunner) loop() {
+	defer close(r.exited)
+	for {
+		ev, ok := r.q.pop()
+		if !ok {
+			return
+		}
+		r.deliver(ev)
+	}
+}
+
+// stop closes the queue, waits for the runner to drain it, and closes the
+// sink. Pauses are cut short once done closes, so a stuck endpoint delays
+// shutdown by at most one attempt per remaining event.
+func (r *sinkRunner) stop() {
+	close(r.done)
+	r.q.close()
+	<-r.exited
+	if err := r.sink.Close(); err != nil {
+		r.bus.logger.Warn("closing sink", "sink", r.name, "err", err)
+	}
+}
+
+// stopping reports whether shutdown has begun.
+func (r *sinkRunner) stopping() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// pause sleeps d (through the test hook when set), returning false when
+// shutdown interrupted the sleep.
+func (r *sinkRunner) pause(d time.Duration) bool {
+	if hook := r.bus.sleepHook; hook != nil {
+		hook(d)
+		return !r.stopping()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// setBreakerState publishes the breaker state to the gauge and status.
+func (r *sinkRunner) setBreakerState() {
+	r.brState.Store(int32(r.br.state))
+	r.breakerG.Set(float64(r.br.state))
+}
+
+// deliver pushes one event through the sink with bounded retries. The
+// breaker gates every attempt: while open the runner waits out the
+// cooldown (shutdown cuts the wait short), then probes half-open. After
+// MaxAttempts failures the event is dead-lettered.
+func (r *sinkRunner) deliver(ev Event) {
+	pol := r.cfg.Retry
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		for {
+			w := r.br.wait()
+			r.setBreakerState()
+			if w <= 0 {
+				break
+			}
+			if !r.pause(w) {
+				// Shutdown while the breaker is open: the endpoint is
+				// known bad, dead-letter without another probe.
+				r.dead(ev, lastErr)
+				return
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), attemptTimeout(pol))
+		start := time.Now()
+		err := r.sink.Deliver(ctx, ev)
+		cancel()
+		if err == nil {
+			r.latency.Observe(time.Since(start).Seconds())
+			r.br.success()
+			r.setBreakerState()
+			r.delivered.Inc()
+			return
+		}
+		lastErr = err
+		r.br.failure()
+		r.setBreakerState()
+		if attempt == pol.MaxAttempts || r.stopping() {
+			break
+		}
+		r.retried.Inc()
+		if !r.pause(pol.backoff(attempt)) {
+			break
+		}
+	}
+	r.dead(ev, lastErr)
+}
+
+// attemptTimeout bounds one delivery attempt. Webhook sinks carry their
+// own client timeout; this is the backstop for sinks that do not.
+func attemptTimeout(p RetryPolicy) time.Duration {
+	t := 2 * p.MaxBackoff
+	if t < 10*time.Second {
+		t = 10 * time.Second
+	}
+	return t
+}
+
+func (r *sinkRunner) dead(ev Event, cause error) {
+	r.deadLettered.Inc()
+	r.bus.deadLetter(r.name, ev, cause)
+	r.bus.logger.Warn("alert dead-lettered",
+		"sink", r.name, "type", ev.Type, "stream", ev.Stream, "seq", ev.Seq, "err", cause)
+}
+
+func (r *sinkRunner) status() SinkStatus {
+	st := SinkStatus{
+		Name:         r.name,
+		Kind:         r.sink.Kind(),
+		Target:       r.sink.Target(),
+		Queue:        r.cfg.Queue,
+		Depth:        r.q.depth(),
+		Policy:       r.cfg.Policy.String(),
+		Delivered:    r.delivered.Value(),
+		Retried:      r.retried.Value(),
+		Dropped:      r.dropped.Value(),
+		DeadLettered: r.deadLettered.Value(),
+	}
+	switch r.brState.Load() {
+	case BreakerOpen:
+		st.Breaker = "open"
+	case BreakerHalfOpen:
+		st.Breaker = "half-open"
+	default:
+		st.Breaker = "closed"
+	}
+	return st
+}

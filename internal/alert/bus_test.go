@@ -1,0 +1,308 @@
+package alert
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cad/internal/obs"
+)
+
+// counterValue reads a counter back out of the registry (same name+labels
+// return the same series instance).
+func counterValue(reg *obs.Registry, name, sink string) uint64 {
+	if sink == "" {
+		return reg.Counter(name, "").Value()
+	}
+	return reg.Counter(name, "", obs.Label{Name: "sink", Value: sink}).Value()
+}
+
+// gaugeValue reads a gauge back out of the registry.
+func gaugeValue(reg *obs.Registry, name, sink string) float64 {
+	if sink == "" {
+		return reg.Gauge(name, "").Value()
+	}
+	return reg.Gauge(name, "", obs.Label{Name: "sink", Value: sink}).Value()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	drops := 0
+	q := newQueue(2, DropOldest, func() { drops++ })
+	for i := 1; i <= 4; i++ {
+		if !q.push(Event{Seq: uint64(i)}) {
+			t.Fatalf("push %d refused", i)
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("drops = %d, want 2", drops)
+	}
+	// The two newest events survive.
+	for _, want := range []uint64{3, 4} {
+		ev, ok := q.pop()
+		if !ok || ev.Seq != want {
+			t.Fatalf("pop = (%d, %v), want (%d, true)", ev.Seq, ok, want)
+		}
+	}
+	q.close()
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on closed empty queue reported an event")
+	}
+}
+
+func TestQueueBlockPolicy(t *testing.T) {
+	q := newQueue(1, Block, nil)
+	if !q.push(Event{Seq: 1}) {
+		t.Fatal("first push refused")
+	}
+	unblocked := make(chan struct{})
+	go func() {
+		q.push(Event{Seq: 2}) // must block until the pop below
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("push into a full Block queue did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if ev, ok := q.pop(); !ok || ev.Seq != 1 {
+		t.Fatalf("pop = (%d, %v), want (1, true)", ev.Seq, ok)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(time.Second):
+		t.Fatal("push did not unblock after pop")
+	}
+}
+
+func TestBackoffBounded(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Jitter: 0.5}.withDefaults()
+	limit := time.Duration(float64(p.MaxBackoff) * (1 + p.Jitter))
+	for attempt := 1; attempt <= 30; attempt++ {
+		if d := p.backoff(attempt); d <= 0 || d > limit {
+			t.Fatalf("backoff(%d) = %v, want in (0, %v]", attempt, d, limit)
+		}
+	}
+	// Without jitter the sequence is exactly exponential-then-capped.
+	p.Jitter = -1
+	p = RetryPolicy{BaseBackoff: p.BaseBackoff, MaxBackoff: p.MaxBackoff, MaxAttempts: 5, Jitter: -1}.withDefaults()
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if d := p.backoff(i + 1); d != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	b := newBreaker(BreakerPolicy{Threshold: 2, Cooldown: 10 * time.Second}, now)
+	if w := b.wait(); w != 0 {
+		t.Fatalf("closed breaker wait = %v, want 0", w)
+	}
+	b.failure()
+	if b.state != BreakerClosed {
+		t.Fatalf("one failure opened the breaker (threshold 2)")
+	}
+	b.failure()
+	if b.state != BreakerOpen {
+		t.Fatal("threshold failures did not open the breaker")
+	}
+	if w := b.wait(); w != 10*time.Second {
+		t.Fatalf("open breaker wait = %v, want 10s", w)
+	}
+	clock = clock.Add(10 * time.Second)
+	if w := b.wait(); w != 0 || b.state != BreakerHalfOpen {
+		t.Fatalf("after cooldown: wait = %v, state = %d, want 0, half-open", w, b.state)
+	}
+	b.failure() // failed probe reopens immediately
+	if b.state != BreakerOpen {
+		t.Fatal("failed half-open probe did not reopen the breaker")
+	}
+	clock = clock.Add(10 * time.Second)
+	_ = b.wait()
+	b.success()
+	if b.state != BreakerClosed || b.fails != 0 {
+		t.Fatalf("successful probe left state %d fails %d, want closed 0", b.state, b.fails)
+	}
+}
+
+// recordingSink captures delivered events and fails on command.
+type recordingSink struct {
+	mu     sync.Mutex
+	events []Event
+	fail   error
+}
+
+func (s *recordingSink) setFail(err error) {
+	s.mu.Lock()
+	s.fail = err
+	s.mu.Unlock()
+}
+
+func (s *recordingSink) Deliver(_ context.Context, ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail != nil {
+		return s.fail
+	}
+	s.events = append(s.events, ev)
+	return nil
+}
+
+func (s *recordingSink) delivered() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+func (s *recordingSink) Kind() string   { return "test" }
+func (s *recordingSink) Target() string { return "memory" }
+func (s *recordingSink) Close() error   { return nil }
+
+func TestBusDeliversInOrder(t *testing.T) {
+	b, err := NewBus(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	if err := b.AddSink("rec", sink, SinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Stream: "s", Type: TypeAlarm, Round: i})
+	}
+	waitFor(t, "10 deliveries", func() bool { return len(sink.delivered()) == 10 })
+	for i, ev := range sink.delivered() {
+		if ev.Round != i || ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d = round %d seq %d, want round %d seq %d", i, ev.Round, ev.Seq, i, i+1)
+		}
+		if ev.Time.IsZero() {
+			t.Fatalf("event %d has a zero time", i)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Publishes after close are silent no-ops.
+	b.Publish(Event{Stream: "s", Type: TypeAlarm})
+	if got := len(sink.delivered()); got != 10 {
+		t.Fatalf("post-close publish delivered (%d events)", got)
+	}
+}
+
+func TestSubscribeFanOutAndEviction(t *testing.T) {
+	b, err := NewBus(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	fast := b.Subscribe("s", 16)
+	slow := b.Subscribe("s", 2) // never read → must be evicted
+	other := b.Subscribe("else", 16)
+	for i := 0; i < 8; i++ {
+		b.Publish(Event{Stream: "s", Type: TypeAlarm, Round: i})
+	}
+	// The fast subscriber sees everything, in order.
+	for i := 0; i < 8; i++ {
+		select {
+		case ev := <-fast.C:
+			if ev.Round != i {
+				t.Fatalf("fast got round %d, want %d", ev.Round, i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("fast subscriber missing event %d", i)
+		}
+	}
+	waitFor(t, "slow eviction", slow.Evicted)
+	// The evicted channel still holds its buffered prefix, then closes.
+	n := 0
+	for range slow.C {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("slow subscriber drained %d buffered events, want 2", n)
+	}
+	if got := counterValue(b.reg, "cad_sse_evicted_total", ""); got != 1 {
+		t.Fatalf("cad_sse_evicted_total = %d, want 1", got)
+	}
+	// Stream filter: the "else" subscriber saw nothing.
+	select {
+	case ev := <-other.C:
+		t.Fatalf("subscriber for stream else got event for %q", ev.Stream)
+	default:
+	}
+	other.Close()
+	if _, ok := <-other.C; ok {
+		t.Fatal("closed subscription channel still open")
+	}
+	if other.Evicted() {
+		t.Fatal("Close marked the subscription evicted")
+	}
+}
+
+func TestRemoveSinkDrains(t *testing.T) {
+	b, err := NewBus(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sink := &recordingSink{}
+	if err := b.AddSink("rec", sink, SinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSink("rec", sink, SinkConfig{}); err == nil {
+		t.Fatal("duplicate AddSink succeeded")
+	}
+	b.Publish(Event{Stream: "s", Type: TypeAlarm})
+	if err := b.RemoveSink("rec"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.delivered()); got != 1 {
+		t.Fatalf("RemoveSink drained %d events, want 1", got)
+	}
+	if err := b.RemoveSink("rec"); err == nil {
+		t.Fatal("second RemoveSink succeeded")
+	}
+	if got := len(b.Sinks()); got != 0 {
+		t.Fatalf("Sinks() lists %d after removal, want 0", got)
+	}
+}
+
+func TestDedupKey(t *testing.T) {
+	a := Event{Stream: "s", AnomalyID: 3, Type: TypeAnomalyOpened, Seq: 7}
+	b := Event{Stream: "s", AnomalyID: 3, Type: TypeAnomalyOpened, Seq: 9}
+	if a.DedupKey() != b.DedupKey() {
+		t.Fatalf("redelivered event changed dedup key: %q vs %q", a.DedupKey(), b.DedupKey())
+	}
+	c := Event{Stream: "s", AnomalyID: 3, Type: TypeAnomalyClosed}
+	if a.DedupKey() == c.DedupKey() {
+		t.Fatal("different transitions share a dedup key")
+	}
+	if a.DedupKey() != "s,3,anomaly_opened" {
+		t.Fatalf("dedup key = %q", a.DedupKey())
+	}
+}
+
+func ExampleEvent_DedupKey() {
+	ev := Event{Stream: "plant-a", AnomalyID: 12, Type: TypeAnomalyOpened}
+	fmt.Println(ev.DedupKey())
+	// Output: plant-a,12,anomaly_opened
+}

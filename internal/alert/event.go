@@ -1,0 +1,90 @@
+// Package alert is the push-based delivery layer of the CAD service: an
+// anomaly event bus fed from the per-stream detection path, fanned out to
+// pluggable sinks (HTTP webhook, NDJSON file, slog) and to live SSE
+// subscribers. The paper's whole point is the head start — Ahead rewards
+// raising the alarm before the labeled anomaly — and a pull-only API wastes
+// that head start until someone polls; this package closes the gap between
+// detection and notification.
+//
+// Delivery is at-least-once: every event carries a dedup key
+// (stream, anomalyId, type) consumers can use to drop replays. Each sink
+// owns a bounded in-memory queue with an explicit overflow policy (block or
+// drop-oldest), bounded retries with exponential backoff and jitter, and a
+// circuit breaker that opens after consecutive failures and probes
+// half-open after a cooldown. Events that exhaust their retries land in a
+// disk-backed dead-letter queue (the WAL record framing from internal/wal)
+// and are redelivered exactly one drain at a time on the next restart.
+package alert
+
+import (
+	"fmt"
+	"time"
+)
+
+// Type classifies an event. The anomaly lifecycle types mirror the
+// tracker's state machine: one anomaly_opened when the first abnormal
+// round starts an anomaly, anomaly_updated for every further abnormal
+// round, one anomaly_closed when a normal round ends it.
+type Type string
+
+const (
+	// TypeAlarm is one abnormal detection round (a raw alarm).
+	TypeAlarm Type = "alarm"
+	// TypeAnomalyOpened marks the first abnormal round of a new anomaly.
+	TypeAnomalyOpened Type = "anomaly_opened"
+	// TypeAnomalyUpdated marks a further abnormal round of an open anomaly.
+	TypeAnomalyUpdated Type = "anomaly_updated"
+	// TypeAnomalyClosed marks the normal round that ended an anomaly; the
+	// event carries the assembled anomaly (span, score, root-cause order).
+	TypeAnomalyClosed Type = "anomaly_closed"
+	// TypeDurabilityDegraded marks the manager losing durability and
+	// falling back to memory-only operation.
+	TypeDurabilityDegraded Type = "durability_degraded"
+)
+
+// Event is one bus message — the JSON payload webhooks POST and SSE
+// subscribers stream. Zero-valued fields are omitted, so an alarm event
+// carries round/score/sensors while a degraded event carries only the
+// reason.
+type Event struct {
+	// Seq is the bus-assigned, strictly increasing delivery number.
+	Seq uint64 `json:"seq"`
+	// Stream is the emitting stream's id ("" for manager-level events).
+	Stream string `json:"stream,omitempty"`
+	// Type classifies the event.
+	Type Type `json:"type"`
+	// Time is the event's wall-clock instant (the ingested column's
+	// arrival for detection events).
+	Time time.Time `json:"time"`
+	// AnomalyID numbers anomalies per stream, starting at 1; it ties the
+	// opened/updated/closed transitions of one anomaly together and is
+	// part of the dedup key.
+	AnomalyID int `json:"anomalyId,omitempty"`
+	// Round is the detection round that produced the event.
+	Round int `json:"round,omitempty"`
+	// Tick is the stream's ingest counter at the event.
+	Tick int `json:"tick,omitempty"`
+	// Score is the normalized deviation |n_r − μ| / σ (peak score for
+	// anomaly_closed).
+	Score float64 `json:"score,omitempty"`
+	// Variations is n_r at the alarm round.
+	Variations int `json:"variations,omitempty"`
+	// Sensors are the outlier sensors (root-cause order for
+	// anomaly_closed).
+	Sensors []int `json:"sensors,omitempty"`
+	// Start and End delimit a closed anomaly's covered points [Start, End).
+	Start int `json:"start,omitempty"`
+	End   int `json:"end,omitempty"`
+	// Reason explains a durability_degraded event.
+	Reason string `json:"reason,omitempty"`
+}
+
+// DedupKey identifies an event's logical transition. At-least-once
+// delivery means a consumer can see the same transition twice (a retried
+// webhook whose first attempt succeeded after the timeout, a drained
+// dead-letter record that had in fact arrived); dropping repeated keys
+// makes processing effectively exactly-once. Seq is deliberately excluded:
+// a redelivered event keeps its key but may be re-sequenced.
+func (e Event) DedupKey() string {
+	return fmt.Sprintf("%s,%d,%s", e.Stream, e.AnomalyID, e.Type)
+}

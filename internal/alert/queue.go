@@ -1,0 +1,109 @@
+package alert
+
+import "sync"
+
+// OverflowPolicy picks what a full sink queue does with the next event.
+type OverflowPolicy int
+
+const (
+	// DropOldest evicts the oldest queued event to admit the new one, so
+	// the publisher (the detection hot path) never blocks. Drops are
+	// surfaced through cad_alerts_dropped_total.
+	DropOldest OverflowPolicy = iota
+	// Block makes the publisher wait for queue space — lossless, at the
+	// price of backpressure into the ingest path.
+	Block
+)
+
+// String renders the policy for sink listings.
+func (p OverflowPolicy) String() string {
+	if p == Block {
+		return "block"
+	}
+	return "drop-oldest"
+}
+
+// queue is a bounded FIFO ring of events with an explicit overflow policy.
+// One publisher side (the bus) and one consumer side (the sink runner);
+// safe for concurrent use.
+type queue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []Event
+	head     int // index of the oldest event
+	n        int // events queued
+	policy   OverflowPolicy
+	closed   bool
+	onDrop   func() // counts DropOldest evictions; never nil
+}
+
+func newQueue(capacity int, policy OverflowPolicy, onDrop func()) *queue {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if onDrop == nil {
+		onDrop = func() {}
+	}
+	q := &queue{buf: make([]Event, capacity), policy: policy, onDrop: onDrop}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// push enqueues ev, applying the overflow policy when full. It reports
+// whether the event was admitted (false only for a closed queue).
+func (q *queue) push(ev Event) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == len(q.buf) && !q.closed {
+		if q.policy == DropOldest {
+			q.head = (q.head + 1) % len(q.buf)
+			q.n--
+			q.onDrop()
+			break
+		}
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = ev
+	q.n++
+	q.notEmpty.Signal()
+	return true
+}
+
+// pop blocks until an event is available or the queue is closed and empty.
+func (q *queue) pop() (Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		return Event{}, false
+	}
+	ev := q.buf[q.head]
+	q.buf[q.head] = Event{} // drop the reference for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.notFull.Signal()
+	return ev, true
+}
+
+// depth returns the number of queued events.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// close stops admissions; queued events remain poppable until drained.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}

@@ -1,0 +1,197 @@
+package alert
+
+import (
+	"bytes"
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"os"
+	"sync"
+	"time"
+
+	"cad/internal/faultfs"
+)
+
+// Sink delivers one event to its destination. Deliver is called by the
+// sink's single runner goroutine, one event at a time; a non-nil error
+// triggers the retry/backoff/dead-letter machinery. ctx carries the
+// per-attempt deadline.
+type Sink interface {
+	// Deliver sends ev. It must respect ctx's deadline.
+	Deliver(ctx context.Context, ev Event) error
+	// Kind names the sink type ("webhook", "file", "slog") for listings.
+	Kind() string
+	// Target describes the destination (URL, path) for listings.
+	Target() string
+	// Close releases resources once the runner has drained.
+	Close() error
+}
+
+// SignatureHeader carries the hex HMAC-SHA256 of the webhook body,
+// prefixed "sha256=", computed with the sink's shared secret. Receivers
+// recompute it over the raw body and compare with hmac.Equal.
+const SignatureHeader = "X-CAD-Signature"
+
+// EventHeader carries the event type so receivers can route without
+// parsing the body.
+const EventHeader = "X-CAD-Event"
+
+// Sign computes the SignatureHeader value for body under secret — exported
+// so receiver-side code and tests share one definition.
+func Sign(secret, body []byte) string {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(body)
+	return "sha256=" + hex.EncodeToString(mac.Sum(nil))
+}
+
+// WebhookSink POSTs each event as a JSON body to a fixed URL. A 2xx
+// response is a delivery; anything else (including transport errors and
+// per-attempt timeouts) is a retryable failure.
+type WebhookSink struct {
+	url    string
+	secret []byte
+	client *http.Client
+}
+
+// NewWebhookSink validates rawURL and builds a webhook sink. secret, when
+// non-empty, enables the X-CAD-Signature HMAC header. timeout bounds each
+// delivery attempt (≤ 0 means 5s).
+func NewWebhookSink(rawURL string, secret []byte, timeout time.Duration) (*WebhookSink, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("alert: webhook URL %q: want an absolute http(s) URL", rawURL)
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &WebhookSink{
+		url:    rawURL,
+		secret: secret,
+		client: &http.Client{Timeout: timeout},
+	}, nil
+}
+
+func (s *WebhookSink) Kind() string   { return "webhook" }
+func (s *WebhookSink) Target() string { return s.url }
+func (s *WebhookSink) Close() error   { return nil }
+
+func (s *WebhookSink) Deliver(ctx context.Context, ev Event) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("alert: encode event: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(EventHeader, string(ev.Type))
+	if len(s.secret) > 0 {
+		req.Header.Set(SignatureHeader, Sign(s.secret, body))
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain so the connection is reusable, but never unboundedly.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("alert: webhook %s: status %d", s.url, resp.StatusCode)
+	}
+	return nil
+}
+
+// FileSink appends each event as one NDJSON line. The file is opened
+// lazily on the first delivery and kept open; writes go through the
+// faultfs seam so the delivery path is fault-injectable like the
+// durability layer.
+type FileSink struct {
+	path string
+	fs   faultfs.FS
+
+	mu sync.Mutex
+	f  faultfs.File
+}
+
+// NewFileSink builds an NDJSON file sink. fsys nil means the real OS.
+func NewFileSink(path string, fsys faultfs.FS) (*FileSink, error) {
+	if path == "" {
+		return nil, fmt.Errorf("alert: file sink needs a path")
+	}
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	return &FileSink{path: path, fs: fsys}, nil
+}
+
+func (s *FileSink) Kind() string   { return "file" }
+func (s *FileSink) Target() string { return s.path }
+
+func (s *FileSink) Deliver(_ context.Context, ev Event) error {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("alert: encode event: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		f, err := s.fs.OpenFile(s.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.f = f
+	}
+	if _, err := s.f.Write(line); err != nil {
+		// Reopen on the next attempt: the descriptor may be poisoned.
+		_ = s.f.Close()
+		s.f = nil
+		return err
+	}
+	return nil
+}
+
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// SlogSink logs each event through a structured logger — the zero-config
+// sink that makes alerts visible without any external receiver.
+type SlogSink struct {
+	logger *slog.Logger
+}
+
+// NewSlogSink builds a logging sink; a nil logger uses slog.Default.
+func NewSlogSink(logger *slog.Logger) *SlogSink {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &SlogSink{logger: logger}
+}
+
+func (s *SlogSink) Kind() string   { return "slog" }
+func (s *SlogSink) Target() string { return "log" }
+func (s *SlogSink) Close() error   { return nil }
+
+func (s *SlogSink) Deliver(_ context.Context, ev Event) error {
+	s.logger.Info("cad alert",
+		"type", ev.Type, "stream", ev.Stream, "seq", ev.Seq,
+		"anomalyId", ev.AnomalyID, "round", ev.Round, "score", ev.Score,
+		"sensors", ev.Sensors, "reason", ev.Reason)
+	return nil
+}

@@ -1,0 +1,92 @@
+package manager
+
+import (
+	"time"
+
+	"cad/internal/alert"
+	"cad/internal/core"
+)
+
+// emitRound advances the stream's anomaly numbering for one completed
+// detection round and publishes the resulting alert events: the lifecycle
+// transitions (opened on the first abnormal round, updated on every
+// further one, closed when a normal round drains the assembled anomaly)
+// plus a raw alarm event per abnormal round. The numbering always runs —
+// it is persisted state, and a replayed stream must reach the same
+// anomalySeq as the original run. Publishing is skipped without a bus and
+// muted during WAL replay: the original run already notified, and
+// at-least-once delivery does not license re-announcing every historic
+// anomaly on each restart. Caller holds st.mu; Bus.Publish never blocks
+// on a sink queue while holding bus-internal locks.
+func (m *Manager) emitRound(st *stream, rep core.RoundReport, finished []core.Anomaly, t time.Time) {
+	emit := m.alerts != nil && !st.muted
+	if emit && t.IsZero() {
+		t = m.now()
+	}
+	for _, a := range finished {
+		id := st.openID
+		if id == 0 {
+			// The opening round predates anomaly numbering (a snapshot from
+			// an older version); number it now so the closed event still
+			// carries a usable dedup key.
+			st.anomalySeq++
+			id = st.anomalySeq
+		}
+		st.openID = 0
+		if !emit {
+			continue
+		}
+		m.alerts.Publish(alert.Event{
+			Stream:    st.id,
+			Type:      alert.TypeAnomalyClosed,
+			Time:      t,
+			AnomalyID: id,
+			Round:     a.LastRound,
+			Tick:      st.tick,
+			Score:     a.Score,
+			Sensors:   a.RootCauses(),
+			Start:     a.Start,
+			End:       a.End,
+		})
+	}
+	if !rep.Abnormal {
+		return
+	}
+	typ := alert.TypeAnomalyUpdated
+	if st.openID == 0 {
+		st.anomalySeq++
+		st.openID = st.anomalySeq
+		typ = alert.TypeAnomalyOpened
+	}
+	if !emit {
+		return
+	}
+	ev := alert.Event{
+		Stream:     st.id,
+		Type:       typ,
+		Time:       t,
+		AnomalyID:  st.openID,
+		Round:      rep.Round,
+		Tick:       st.tick,
+		Score:      rep.Score,
+		Variations: rep.Variations,
+		Sensors:    rep.Outliers,
+	}
+	m.alerts.Publish(ev)
+	ev.Type = alert.TypeAlarm
+	m.alerts.Publish(ev)
+}
+
+// emitDegraded publishes the durability_degraded transition. Called once
+// per manager lifetime (degrade latches the reason).
+func (m *Manager) emitDegraded(id, reason string) {
+	if m.alerts == nil {
+		return
+	}
+	m.alerts.Publish(alert.Event{
+		Stream: id,
+		Type:   alert.TypeDurabilityDegraded,
+		Time:   m.now(),
+		Reason: reason,
+	})
+}

@@ -73,15 +73,20 @@ func (m *Manager) dropDurability(st *stream) {
 }
 
 // degrade records that durability was lost. Ingest keeps serving from
-// memory; the gauge and /readyz surface the problem to the operator.
+// memory; the gauge, /readyz and a one-shot durability_degraded alert
+// surface the problem to the operator.
 func (m *Manager) degrade(id string, err error) {
 	m.mu.Lock()
-	if m.degradedReason == "" {
+	first := m.degradedReason == ""
+	if first {
 		m.degradedReason = fmt.Sprintf("stream %s: %v", id, err)
 	}
 	m.mu.Unlock()
 	m.degraded.Store(true)
 	m.degradedG.Set(1)
+	if first {
+		m.emitDegraded(id, err.Error())
+	}
 }
 
 // encodeColumn packs one column as little-endian float64s — the WAL record
@@ -162,6 +167,11 @@ func (m *Manager) replayWAL(st *stream) (int, error) {
 	base := st.streamer.Seq()
 	sensors := st.det.Sensors()
 	replayed := 0
+	// Mute alert emission for the replay: the original run already
+	// published these transitions, and re-announcing a stream's whole
+	// anomaly history on every restart would drown real alerts.
+	st.muted = true
+	defer func() { st.muted = false }()
 	err = l.Replay(func(rec wal.Record) error {
 		if rec.Seq <= base {
 			return nil // already covered by the snapshot

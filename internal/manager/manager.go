@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cad/internal/alert"
 	"cad/internal/core"
 	"cad/internal/faultfs"
 	"cad/internal/obs"
@@ -123,6 +124,14 @@ type Options struct {
 	// FS overrides filesystem access for all snapshot and WAL I/O so
 	// tests can inject faults; nil means the real OS.
 	FS faultfs.FS
+
+	// Alerts, when non-nil, receives push events from the detection path:
+	// one alarm per abnormal round, anomaly opened/updated/closed
+	// transitions, and durability_degraded. Emission happens under the
+	// stream lock, so per-stream event order matches round order; WAL
+	// replay during recovery re-applies columns silently (the original
+	// run already emitted them).
+	Alerts *alert.Bus
 }
 
 // Fsync policy names accepted by Options.Fsync.
@@ -135,10 +144,11 @@ const (
 // Manager is a bounded registry of named CAD streams. Safe for concurrent
 // use; operations on distinct streams run in parallel.
 type Manager struct {
-	opt Options
-	reg *obs.Registry
-	now func() time.Time
-	fs  faultfs.FS
+	opt    Options
+	reg    *obs.Registry
+	now    func() time.Time
+	fs     faultfs.FS
+	alerts *alert.Bus
 
 	mu             sync.Mutex
 	streams        map[string]*stream
@@ -187,6 +197,15 @@ type stream struct {
 	// checkpoint. Both guarded by mu.
 	wal     *wal.Log
 	walRecs int
+
+	// anomalySeq numbers the stream's anomalies (the alert dedup key's
+	// anomalyId); openID is the id of the anomaly in progress, 0 when
+	// none. Persisted in snapshots so a restored stream keeps its
+	// numbering. muted suppresses event emission during WAL replay.
+	// All guarded by mu.
+	anomalySeq int
+	openID     int
+	muted      bool
 }
 
 // New builds a manager. The zero Options value works: 64 resident streams,
@@ -228,6 +247,7 @@ func New(o Options) *Manager {
 		reg:     o.Registry,
 		now:     now,
 		fs:      o.FS,
+		alerts:  o.Alerts,
 		streams: make(map[string]*stream),
 		resident: o.Registry.Gauge("cad_streams_resident",
 			"Streams currently resident in the manager registry."),

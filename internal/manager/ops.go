@@ -83,11 +83,12 @@ func (m *Manager) IngestBatch(id string, cols [][]float64) ([]IngestResult, erro
 }
 
 // applyColumn pushes one validated column through the stream's detector
-// pipeline — streamer, round tracker, alarm ring. It is the single apply
-// path shared by live ingest and WAL replay, so a replayed stream marches
-// through the exact state sequence of the original run. A zero t means
-// "stamp alarms lazily with the current clock" (non-durable mode, where no
-// WAL record fixes the arrival time). Caller holds st.mu.
+// pipeline — streamer, round tracker, alarm ring, alert emission. It is
+// the single apply path shared by live ingest and WAL replay, so a
+// replayed stream marches through the exact state sequence of the original
+// run (replay mutes emission: the original run already notified). A zero t
+// means "stamp alarms lazily with the current clock" (non-durable mode,
+// where no WAL record fixes the arrival time). Caller holds st.mu.
 func (m *Manager) applyColumn(st *stream, col []float64, t time.Time) (IngestResult, error) {
 	rep, done, err := st.streamer.Push(col)
 	if err != nil {
@@ -100,7 +101,8 @@ func (m *Manager) applyColumn(st *stream, col []float64, t time.Time) (IngestRes
 		res.RoundCompleted = true
 		res.Report = rep
 		st.tracker.Push(rep)
-		if finished := st.tracker.Drain(); len(finished) > 0 {
+		finished := st.tracker.Drain()
+		if len(finished) > 0 {
 			st.anomalies = append(st.anomalies, finished...)
 			if len(st.anomalies) > st.maxAlarm {
 				st.anomalies = st.anomalies[len(st.anomalies)-st.maxAlarm:]
@@ -122,6 +124,7 @@ func (m *Manager) applyColumn(st *stream, col []float64, t time.Time) (IngestRes
 				st.alarms = st.alarms[len(st.alarms)-st.maxAlarm:]
 			}
 		}
+		m.emitRound(st, rep, finished, t)
 	}
 	return res, nil
 }
@@ -213,15 +216,31 @@ func (m *Manager) Alarms(id string, limit, offset int) ([]Alarm, error) {
 	return out, nil
 }
 
-// Anomalies returns the stream's completed anomalies (oldest first) and
-// whether one is in progress right now.
-func (m *Manager) Anomalies(id string) ([]core.Anomaly, bool, error) {
+// Anomalies returns up to limit completed anomalies (oldest first) and
+// whether one is in progress right now. Paging mirrors Alarms: offset
+// skips the offset most recent anomalies, limit is capped at the ring
+// size, and limit ≤ 0 means the full ring.
+func (m *Manager) Anomalies(id string, limit, offset int) ([]core.Anomaly, bool, error) {
 	st, err := m.acquire(id)
 	if err != nil {
 		return nil, false, err
 	}
 	defer st.mu.Unlock()
-	out := make([]core.Anomaly, len(st.anomalies))
-	copy(out, st.anomalies)
+	if limit <= 0 || limit > st.maxAlarm {
+		limit = st.maxAlarm
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	end := len(st.anomalies) - offset
+	if end < 0 {
+		end = 0
+	}
+	start := end - limit
+	if start < 0 {
+		start = 0
+	}
+	out := make([]core.Anomaly, end-start)
+	copy(out, st.anomalies[start:end])
 	return out, st.tracker.Open(), nil
 }

@@ -58,6 +58,12 @@ type persistedStream struct {
 	Alarms    []Alarm
 	Anomalies []core.Anomaly
 	Created   time.Time
+	// AnomalySeq and OpenID carry the stream's alert numbering across
+	// eviction and restart so dedup keys stay stable. gob tolerates their
+	// absence in older snapshots (they decode as zero), so the envelope
+	// version is unchanged.
+	AnomalySeq int
+	OpenID     int
 }
 
 const streamSnapVersion = 2
@@ -103,15 +109,17 @@ func (m *Manager) writeSnapshot(st *stream) error {
 		return err
 	}
 	env := persistedStream{
-		Version:   streamSnapVersion,
-		ID:        st.id,
-		Streamer:  streamer.Bytes(),
-		Tracker:   tracker.Bytes(),
-		Tick:      st.tick,
-		Rounds:    st.rounds,
-		Alarms:    st.alarms,
-		Anomalies: st.anomalies,
-		Created:   st.created,
+		Version:    streamSnapVersion,
+		ID:         st.id,
+		Streamer:   streamer.Bytes(),
+		Tracker:    tracker.Bytes(),
+		Tick:       st.tick,
+		Rounds:     st.rounds,
+		Alarms:     st.alarms,
+		Anomalies:  st.anomalies,
+		Created:    st.created,
+		AnomalySeq: st.anomalySeq,
+		OpenID:     st.openID,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
@@ -266,16 +274,18 @@ func (m *Manager) restore(id string) (*stream, int, error) {
 		return nil, 0, fmt.Errorf("manager: restore %s: %w", id, err)
 	}
 	st := &stream{
-		id:        id,
-		det:       streamer.Detector(),
-		streamer:  streamer,
-		tracker:   tracker,
-		tick:      env.Tick,
-		rounds:    env.Rounds,
-		alarms:    env.Alarms,
-		anomalies: env.Anomalies,
-		maxAlarm:  m.opt.MaxAlarms,
-		created:   env.Created,
+		id:         id,
+		det:        streamer.Detector(),
+		streamer:   streamer,
+		tracker:    tracker,
+		tick:       env.Tick,
+		rounds:     env.Rounds,
+		alarms:     env.Alarms,
+		anomalies:  env.Anomalies,
+		maxAlarm:   m.opt.MaxAlarms,
+		created:    env.Created,
+		anomalySeq: env.AnomalySeq,
+		openID:     env.OpenID,
 	}
 	st.lastUsed.Store(m.now().UnixNano())
 	st.det.SetObserver(newDetectorMetrics(m.reg, id))

@@ -30,6 +30,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers (SSE) can flush and move write deadlines through the
+// instrumentation.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Middleware wraps next with per-endpoint instrumentation:
 //
 //	http_requests_total{path,method,code}     counter

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cad/internal/alert"
+	"cad/internal/manager"
+	"cad/internal/obs"
+)
+
+// newAlertService builds a service whose manager publishes into a fresh
+// alert bus wired through the HTTP layer.
+func newAlertService(t *testing.T, busOpts alert.Options) (*Service, *alert.Bus) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	busOpts.Registry = reg
+	bus, err := alert.NewBus(busOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bus.Close() })
+	mgr := manager.New(manager.Options{MaxAlarms: 64, Registry: reg, Alerts: bus})
+	svc := NewWithOptions(testDetector(t), Options{Manager: mgr, Alerts: bus})
+	return svc, bus
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// sseClient reads one SSE feed, decoding each data: line into an Event.
+type sseClient struct {
+	mu     sync.Mutex
+	events []alert.Event
+	resp   *http.Response
+}
+
+func dialSSE(t *testing.T, url string) *sseClient {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("SSE dial: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+	c := &sseClient{resp: resp}
+	t.Cleanup(func() { resp.Body.Close() })
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev alert.Event
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) != nil {
+				continue
+			}
+			c.mu.Lock()
+			c.events = append(c.events, ev)
+			c.mu.Unlock()
+		}
+	}()
+	return c
+}
+
+func (c *sseClient) snapshot() []alert.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]alert.Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+func (c *sseClient) find(typ alert.Type) (alert.Event, bool) {
+	for _, ev := range c.snapshot() {
+		if ev.Type == typ {
+			return ev, true
+		}
+	}
+	return alert.Event{}, false
+}
+
+// blockedWriter is a ResponseWriter whose Write blocks until the gate
+// opens — a client that stopped reading, without depending on OS socket
+// buffer sizes.
+type blockedWriter struct {
+	gate   chan struct{}
+	header http.Header
+}
+
+func newBlockedWriter() *blockedWriter {
+	return &blockedWriter{gate: make(chan struct{}), header: http.Header{}}
+}
+
+func (w *blockedWriter) Header() http.Header { return w.header }
+func (w *blockedWriter) WriteHeader(int)     {}
+func (w *blockedWriter) Flush()              {}
+func (w *blockedWriter) Write(p []byte) (int, error) {
+	<-w.gate
+	return len(p), nil
+}
+
+// TestSSEFeedAndSlowClientEviction subscribes a healthy client and a stuck
+// one, then floods events: the healthy client must see every event in
+// order, the stuck one must be evicted, and the publisher (the detection
+// hot path) must never block on either.
+func TestSSEFeedAndSlowClientEviction(t *testing.T) {
+	svc, bus := newAlertService(t, alert.Options{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	// Closing the bus ends the SSE handlers; it must happen before
+	// ts.Close, which waits for in-flight requests.
+	defer bus.Close()
+
+	fast := dialSSE(t, ts.URL+"/v1/streams/default/events")
+
+	// The stuck client drives the real handler against a writer that never
+	// completes a write, so its subscription buffer must fill and evict.
+	slow := newBlockedWriter()
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(slow.gate) }) }
+	defer openGate()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		req := httptest.NewRequest(http.MethodGet, "/v1/streams/default/events", nil).WithContext(ctx)
+		svc.handleEvents(slow, req, "default")
+	}()
+	waitFor(t, "both subscribers", func() bool {
+		return svc.reg.Gauge("cad_sse_subscribers", "").Value() == 2
+	})
+
+	// sseBuffer plus slack, so the stuck client must overflow. Publishing is
+	// paced to the fast client's reads — the stuck one never drains at all,
+	// so it still fills and evicts — and each Publish is individually timed:
+	// the detection hot path must never wait on a subscriber.
+	const n = 200
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		bus.Publish(alert.Event{Stream: "default", Type: alert.TypeAlarm, Round: i})
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("Publish took %v with a stuck subscriber", d)
+		}
+		waitFor(t, "fast client catching up", func() bool { return len(fast.snapshot()) > i })
+	}
+	for i, ev := range fast.snapshot() {
+		if ev.Round != i {
+			t.Fatalf("fast client event %d has round %d; feed out of order", i, ev.Round)
+		}
+	}
+	if got := svc.reg.Counter("cad_sse_evicted_total", "").Value(); got != 1 {
+		t.Fatalf("cad_sse_evicted_total = %d, want 1", got)
+	}
+	// The evicted handler unwinds on its own once the writer unblocks.
+	openGate()
+	select {
+	case <-slowDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("evicted handler did not exit")
+	}
+
+	// Unknown stream: a clean 404, not an empty feed.
+	resp, err := http.Get(ts.URL + "/v1/streams/ghost/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events for unknown stream: status %d", resp.StatusCode)
+	}
+}
+
+func TestSinksCRUD(t *testing.T) {
+	svc, _ := newAlertService(t, alert.Options{})
+	h := svc.Handler()
+
+	// Invalid definitions.
+	wantEnvelope(t, postJSON(t, h, "/v1/sinks", CreateSinkRequest{Name: "x", Type: "carrier-pigeon"}),
+		http.StatusBadRequest, CodeBadSink)
+	wantEnvelope(t, postJSON(t, h, "/v1/sinks", CreateSinkRequest{Name: "x", Type: "webhook", URL: "not a url"}),
+		http.StatusBadRequest, CodeBadSink)
+	wantEnvelope(t, postJSON(t, h, "/v1/sinks", CreateSinkRequest{Name: "x", Type: "file"}),
+		http.StatusBadRequest, CodeBadSink)
+	wantEnvelope(t, postJSON(t, h, "/v1/sinks", CreateSinkRequest{Name: "x", Type: "slog", Policy: "panic"}),
+		http.StatusBadRequest, CodeBadSink)
+
+	// Create, duplicate, list, delete.
+	rec := postJSON(t, h, "/v1/sinks", CreateSinkRequest{Name: "log", Type: "slog"})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create sink = %d: %s", rec.Code, rec.Body)
+	}
+	var created alert.SinkStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil || created.Name != "log" || created.Kind != "slog" {
+		t.Fatalf("created sink payload %s (%v)", rec.Body, err)
+	}
+	wantEnvelope(t, postJSON(t, h, "/v1/sinks", CreateSinkRequest{Name: "log", Type: "slog"}),
+		http.StatusConflict, CodeSinkExists)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/sinks", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var list SinkListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list.Sinks) != 1 {
+		t.Fatalf("sink list = %s (%v)", rec.Body, err)
+	}
+
+	req = httptest.NewRequest(http.MethodDelete, "/v1/sinks/log", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete sink = %d: %s", rec.Code, rec.Body)
+	}
+	req = httptest.NewRequest(http.MethodDelete, "/v1/sinks/log", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	wantEnvelope(t, rec, http.StatusNotFound, CodeSinkNotFound)
+}
+
+// TestAlertRoutesNeedBus checks the push-delivery routes are cleanly absent
+// on services built without an alert bus.
+func TestAlertRoutesNeedBus(t *testing.T) {
+	svc := New(testDetector(t), 10)
+	h := svc.Handler()
+	for _, path := range []string{"/v1/sinks", "/v1/streams/default/events"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		wantEnvelope(t, rec, http.StatusNotFound, CodeNotFound)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	svc := New(testDetector(t), 10)
+	h := svc.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/version", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/version = %d", rec.Code)
+	}
+	var v VersionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Version == "" || v.GoVersion == "" {
+		t.Fatalf("version payload incomplete: %+v", v)
+	}
+	// The stream listing advertises the same build in a header.
+	req = httptest.NewRequest(http.MethodGet, "/v1/streams", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-CAD-Version"); !strings.HasPrefix(got, v.Version) {
+		t.Fatalf("X-CAD-Version = %q, want prefix %q", got, v.Version)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/version", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	wantEnvelope(t, rec, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+}
+
+// TestAnomaliesPagination mirrors the /alarms paging contract on
+// /anomalies, including the error codes.
+func TestAnomaliesPagination(t *testing.T) {
+	det := testDetector(t)
+	svc := New(det, 10)
+	h := svc.Handler()
+	rng := rand.New(rand.NewSource(5))
+	// Two separate fault windows, so at least two anomalies complete.
+	for tick := 0; tick < 900; tick++ {
+		broken := (tick >= 300 && tick < 400) || (tick >= 600 && tick < 700)
+		rec := postJSON(t, h, "/ingest", IngestRequest{Readings: column(rng, tick, broken)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tick %d: %d", tick, rec.Code)
+		}
+	}
+	get := func(query string) AnomaliesResponse {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/v1/streams/default/anomalies"+query, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("anomalies%s = %d: %s", query, rec.Code, rec.Body)
+		}
+		var resp AnomaliesResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	all := get("").Anomalies
+	if len(all) < 2 {
+		t.Fatalf("%d anomalies, want ≥ 2 to page over", len(all))
+	}
+	if one := get("?limit=1").Anomalies; len(one) != 1 || one[0].LastRound != all[len(all)-1].LastRound {
+		t.Fatalf("limit=1 = %+v, want the newest anomaly", one)
+	}
+	if off := get(fmt.Sprintf("?limit=1&offset=%d", len(all)-1)).Anomalies; len(off) != 1 || off[0].LastRound != all[0].LastRound {
+		t.Fatalf("last page = %+v, want the oldest anomaly", off)
+	}
+	// Same error codes as /alarms.
+	for _, query := range []string{"?limit=0", "?limit=-1", "?limit=x", "?offset=-2", "?offset=x"} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/streams/default/anomalies"+query, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		wantEnvelope(t, rec, http.StatusBadRequest, CodeBadQuery)
+	}
+}

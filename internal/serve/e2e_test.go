@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cad/internal/alert"
+	"cad/internal/obs"
+)
+
+// webhookRecorder is the e2e receiving end: it captures every delivery
+// (body plus signature headers) and can be "killed" mid-run by flipping
+// failing, after which it answers 500 until revived.
+type webhookRecorder struct {
+	failing atomic.Bool
+
+	mu       sync.Mutex
+	requests []webhookRequest
+}
+
+type webhookRequest struct {
+	body      []byte
+	signature string
+	eventType string
+}
+
+func (r *webhookRecorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r.failing.Load() {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	r.mu.Lock()
+	r.requests = append(r.requests, webhookRequest{
+		body:      body,
+		signature: req.Header.Get(alert.SignatureHeader),
+		eventType: req.Header.Get(alert.EventHeader),
+	})
+	r.mu.Unlock()
+}
+
+func (r *webhookRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.requests)
+}
+
+func (r *webhookRecorder) snapshot() []webhookRequest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]webhookRequest, len(r.requests))
+	copy(out, r.requests)
+	return out
+}
+
+// fastSinkConfig keeps retries and breaker cooldowns in the millisecond
+// range so dead-lettering happens within test time.
+func fastSinkConfig() alert.SinkConfig {
+	return alert.SinkConfig{
+		Retry:   alert.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Jitter: -1},
+		Breaker: alert.BreakerPolicy{Threshold: 3, Cooldown: time.Millisecond},
+	}
+}
+
+// TestAlertDeliveryEndToEnd walks the full acceptance path: a simulated
+// sensor fault must reach both a webhook (with a verifiable HMAC
+// signature) and a live SSE subscriber while the anomaly is still open;
+// killing the webhook mid-run dead-letters the remaining events; and a
+// restarted delivery pipeline drains the DLQ exactly once.
+func TestAlertDeliveryEndToEnd(t *testing.T) {
+	secret := []byte("e2e-secret")
+	hook := &webhookRecorder{}
+	whSrv := httptest.NewServer(hook)
+	defer whSrv.Close()
+
+	dlqDir := t.TempDir()
+	svc, bus := newAlertService(t, alert.Options{DLQDir: dlqDir})
+	sink, err := alert.NewWebhookSink(whSrv.URL, secret, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.AddSink("hook", sink, fastSinkConfig()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	// Closing the bus ends the SSE handler; it must happen before ts.Close,
+	// which waits for in-flight requests. Idempotent with the mid-test
+	// Close below.
+	defer bus.Close()
+	sse := dialSSE(t, ts.URL+"/v1/streams/default/events")
+
+	// Drive the simulator: sensors 0 and 1 decouple from tick 200 until
+	// tick 340, long enough that plenty of alarms land after the webhook
+	// dies at the open transition.
+	rng := rand.New(rand.NewSource(7))
+	ingest := func(tick int) {
+		t.Helper()
+		broken := tick >= 200 && tick < 340
+		rec := postJSON(t, svc.Handler(), "/ingest", IngestRequest{Readings: column(rng, tick, broken)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("tick %d: %d: %s", tick, rec.Code, rec.Body)
+		}
+	}
+
+	// A direct bus subscription is synchronous with Publish, so draining it
+	// after each tick gives exact ground truth on what the detector has
+	// announced. Ingestion stops the moment an anomaly opens — the closing
+	// round is never ingested, so the anomaly is genuinely still open while
+	// the push channels are checked.
+	truth := bus.Subscribe("default", 8192)
+	defer truth.Close()
+	var published []alert.Event
+	drainTruth := func() {
+		for {
+			select {
+			case ev := <-truth.C:
+				published = append(published, ev)
+			default:
+				return
+			}
+		}
+	}
+	var opened alert.Event
+	tick := 0
+	for ; tick < 340; tick++ {
+		ingest(tick)
+		drainTruth()
+		for _, ev := range published {
+			if ev.Type == alert.TypeAnomalyOpened {
+				opened = ev
+			}
+		}
+		if opened.AnomalyID != 0 {
+			break
+		}
+	}
+	if opened.AnomalyID == 0 {
+		t.Fatal("no anomaly opened during the fault window")
+	}
+	for _, ev := range published {
+		if ev.Type == alert.TypeAnomalyClosed && ev.AnomalyID == opened.AnomalyID {
+			t.Fatal("anomaly closed before ingestion paused")
+		}
+	}
+	// The early-detection point: the SSE subscriber hears about the
+	// anomaly while it is still open.
+	waitFor(t, "anomaly_opened on the SSE feed", func() bool {
+		ev, ok := sse.find(alert.TypeAnomalyOpened)
+		return ok && ev.AnomalyID == opened.AnomalyID
+	})
+
+	// The webhook got the same alert, signed.
+	waitFor(t, "webhook delivery", func() bool { return hook.count() > 0 })
+	for i, req := range hook.snapshot() {
+		if want := alert.Sign(secret, req.body); req.signature != want {
+			t.Fatalf("webhook request %d: signature %q, want %q", i, req.signature, want)
+		}
+		var ev alert.Event
+		if err := json.Unmarshal(req.body, &ev); err != nil {
+			t.Fatalf("webhook request %d: bad body %s: %v", i, req.body, err)
+		}
+		if ev.Stream != "default" || string(ev.Type) != req.eventType {
+			t.Fatalf("webhook request %d: payload %+v vs %s header %q", i, ev, alert.EventHeader, req.eventType)
+		}
+	}
+
+	// Kill the webhook mid-anomaly: everything from here on must
+	// dead-letter instead of vanishing.
+	hook.failing.Store(true)
+	for tick++; tick < 400; tick++ {
+		ingest(tick)
+	}
+	waitFor(t, "SSE anomaly_closed", func() bool {
+		ev, ok := sse.find(alert.TypeAnomalyClosed)
+		return ok && ev.AnomalyID == opened.AnomalyID
+	})
+	waitFor(t, "dead letters on disk", func() bool { return bus.DLQLen() > 0 })
+	if err := bus.Close(); err != nil { // final-attempt drain still fails; more dead letters
+		t.Fatal(err)
+	}
+
+	// Restart delivery: a fresh bus over the same DLQ directory, webhook
+	// healthy again. The backlog drains exactly once.
+	hook.failing.Store(false)
+	before := hook.count()
+	reg2 := obs.NewRegistry()
+	bus2, err := alert.NewBus(alert.Options{Registry: reg2, DLQDir: dlqDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bus2.Close()
+	sink2, err := alert.NewWebhookSink(whSrv.URL, secret, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus2.AddSink("hook", sink2, fastSinkConfig()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := bus2.DrainDLQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("DrainDLQ re-enqueued nothing")
+	}
+	delivered := reg2.Counter("cad_alerts_delivered_total", "", obs.Label{Name: "sink", Value: "hook"})
+	waitFor(t, "DLQ backlog redelivered", func() bool { return delivered.Value() == uint64(n) })
+	if got := hook.count() - before; got != n {
+		t.Fatalf("webhook saw %d redeliveries for %d drained records", got, n)
+	}
+	if again, err := bus2.DrainDLQ(); err != nil || again != 0 {
+		t.Fatalf("second drain = (%d, %v), want (0, nil): backlog must drain exactly once", again, err)
+	}
+	if bus2.DLQLen() != 0 {
+		t.Fatalf("%d dead letters left after a clean drain", bus2.DLQLen())
+	}
+}

@@ -26,6 +26,13 @@ const (
 	CodeBadQuery = "bad_query"
 	// CodeBadStreamID reports a syntactically invalid stream id.
 	CodeBadStreamID = "bad_stream_id"
+	// CodeBadSink reports an invalid sink definition (unknown type, bad
+	// URL, missing path, bad policy).
+	CodeBadSink = "bad_sink"
+	// CodeSinkExists reports a sink registration against a taken name.
+	CodeSinkExists = "sink_exists"
+	// CodeSinkNotFound reports an unknown sink name.
+	CodeSinkNotFound = "sink_not_found"
 	// CodeBatchTooLarge reports an NDJSON ingest batch over the column cap.
 	CodeBatchTooLarge = "batch_too_large"
 	// CodeStreamNotFound reports an unknown stream id.

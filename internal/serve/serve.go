@@ -14,8 +14,17 @@
 //	GET    /v1/streams/{id}               alias of …/status           → stream health
 //	GET    /v1/streams/{id}/status                                    → stream health
 //	GET    /v1/streams/{id}/alarms?limit=N&offset=M                   → recent abnormal rounds (offset pages backwards)
-//	GET    /v1/streams/{id}/anomalies                                 → assembled anomalies
+//	GET    /v1/streams/{id}/anomalies?limit=N&offset=M                → assembled anomalies (same paging as /alarms)
+//	GET    /v1/streams/{id}/events                                    → live SSE feed of alert events
 //	DELETE /v1/streams/{id}                                           → remove the stream and its snapshot
+//	POST   /v1/sinks                      {"name","type",…}           → register an alert sink (201)
+//	GET    /v1/sinks                                                  → registered sinks with delivery stats
+//	DELETE /v1/sinks/{name}                                           → unregister a sink (drains its queue)
+//	GET    /version                                                   → build identity (module version, VCS revision)
+//
+// The SSE and sink routes answer 404 unless the service was built with an
+// alert bus (Options.Alerts); GET /v1/streams also reports the build in an
+// X-CAD-Version header.
 //
 // Legacy unversioned routes (/ingest, /status, /alarms, /anomalies,
 // /detect) are thin delegates to the "default" stream, so single-detector
@@ -31,9 +40,9 @@
 //	{"error": {"code": "stream_not_found", "message": "…"}}
 //
 // with stable machine-readable codes (bad_json, bad_readings, bad_csv,
-// bad_config, bad_query, bad_stream_id, batch_too_large, stream_not_found,
-// stream_exists, capacity_exhausted, method_not_allowed, not_found,
-// internal).
+// bad_config, bad_query, bad_stream_id, bad_sink, batch_too_large,
+// stream_not_found, stream_exists, sink_exists, sink_not_found,
+// capacity_exhausted, method_not_allowed, not_found, internal).
 //
 // Stream lifecycle: a created stream is resident until the registry hits
 // its capacity bound or the stream sits idle past the TTL; it is then
@@ -66,6 +75,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cad/internal/alert"
 	"cad/internal/core"
 	"cad/internal/manager"
 	"cad/internal/mts"
@@ -91,6 +101,7 @@ type Service struct {
 	mgr    *manager.Manager
 	reg    *obs.Registry
 	logger *slog.Logger
+	alerts *alert.Bus
 }
 
 // Options configures optional service dependencies.
@@ -107,6 +118,10 @@ type Options struct {
 	Registry *obs.Registry
 	// Logger, when non-nil, gets one structured line per HTTP request.
 	Logger *slog.Logger
+	// Alerts, when non-nil, enables the push-delivery routes: the SSE
+	// event feed and the sink CRUD. Pass the same bus the manager
+	// publishes into.
+	Alerts *alert.Bus
 }
 
 // New wraps det (already warmed up, if desired) as the default stream of a
@@ -133,7 +148,7 @@ func NewWithOptions(det *core.Detector, o Options) *Service {
 	// ErrExists means startup recovery already restored a default stream
 	// from disk; the recovered state (warm detector, alarm history) wins
 	// over the caller's fresh detector.
-	return &Service{mgr: mgr, reg: mgr.Registry(), logger: o.Logger}
+	return &Service{mgr: mgr, reg: mgr.Registry(), logger: o.Logger, alerts: o.Alerts}
 }
 
 // Registry returns the metrics registry the service reports into.
@@ -149,8 +164,14 @@ func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
 	case "/ingest", "/status", "/alarms", "/anomalies", "/detect", "/metrics",
-		"/healthz", "/readyz", "/v1/streams":
+		"/healthz", "/readyz", "/version", "/v1/streams", "/v1/sinks":
 		return p
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/sinks/"); ok {
+		if rest != "" && !strings.Contains(rest, "/") {
+			return "/v1/sinks/{name}"
+		}
+		return "other"
 	}
 	if rest, ok := strings.CutPrefix(p, "/v1/streams/"); ok {
 		i := strings.IndexByte(rest, '/')
@@ -161,7 +182,7 @@ func routeLabel(r *http.Request) string {
 			return "other"
 		}
 		switch action := rest[i:]; action {
-		case "/ingest", "/status", "/alarms", "/anomalies":
+		case "/ingest", "/status", "/alarms", "/anomalies", "/events":
 			return "/v1/streams/{id}" + action
 		}
 	}
@@ -181,6 +202,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/streams/{id}/status", s.byID(s.handleStatus))
 	mux.HandleFunc("/v1/streams/{id}/alarms", s.byID(s.handleAlarms))
 	mux.HandleFunc("/v1/streams/{id}/anomalies", s.byID(s.handleAnomalies))
+	mux.HandleFunc("/v1/streams/{id}/events", s.byID(s.handleEvents))
+	mux.HandleFunc("/v1/sinks", s.handleSinks)
+	mux.HandleFunc("/v1/sinks/{name}", s.handleSink)
 	// Legacy single-stream routes: thin delegates to the default stream.
 	mux.HandleFunc("/ingest", s.onDefault(s.handleIngest))
 	mux.HandleFunc("/status", s.onDefault(s.handleStatus))
@@ -190,6 +214,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/version", s.handleVersion)
 	mux.HandleFunc("/", s.handleNotFound)
 	return obs.Middleware(mux, s.reg, s.logger, routeLabel)
 }
@@ -287,6 +312,7 @@ func (s *Service) handleStreams(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.handleCreateStream(w, r)
 	case http.MethodGet:
+		w.Header().Set("X-CAD-Version", versionHeader())
 		writeJSON(w, http.StatusOK, StreamListResponse{Streams: s.mgr.List()})
 	default:
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST required")
@@ -521,13 +547,25 @@ type AnomaliesResponse struct {
 }
 
 // handleAnomalies serves the completed streaming anomalies assembled by the
-// stream's tracker, newest last.
+// stream's tracker, newest last. Paging matches /alarms: ?limit= bounds the
+// page size (default 50, capped at the ring size; 0 is rejected) and
+// ?offset= skips the N most recent anomalies.
 func (s *Service) handleAnomalies(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
 		return
 	}
-	anomalies, open, err := s.mgr.Anomalies(id)
+	limit, err := parseCountParam(r, "limit", 50)
+	if err != nil || limit < 1 {
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad limit %q: want a positive integer", r.URL.Query().Get("limit"))
+		return
+	}
+	offset, err := parseCountParam(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad offset %q: want a non-negative integer", r.URL.Query().Get("offset"))
+		return
+	}
+	anomalies, open, err := s.mgr.Anomalies(id, limit, offset)
 	if err != nil {
 		writeStreamError(w, err)
 		return
