@@ -5,7 +5,7 @@ GO ?= go
 # -race), the fault-injection suite, the pinned-seed crash-recovery
 # equivalence run, and the alert-delivery suite.
 .PHONY: ci
-ci: fmt vet build race faulttest crashtest alerttest
+ci: fmt vet build race faulttest crashtest alerttest benchsmoke
 
 .PHONY: fmt
 fmt:
@@ -24,9 +24,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The experiments package legitimately needs >10 min under -race on a
+# single-core box; the explicit timeout keeps slow CI runners from tripping
+# Go's default 10-minute per-package limit.
 .PHONY: race
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # faulttest runs the fault-injection suite: the filesystem seam, the WAL's
 # torn-tail repair, and the manager's degraded-mode and quarantine paths.
@@ -59,3 +62,18 @@ alerttest:
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/
 	$(GO) test -run XXX -bench BenchmarkManagerIngest -benchmem ./internal/manager/
+
+# benchsmoke runs every benchmark exactly once so they can't rot; it makes
+# no timing claims (use `make bench` or `make bench-record` for numbers).
+.PHONY: benchsmoke
+benchsmoke:
+	$(GO) test -run XXX -bench . -benchtime=1x ./internal/core/ ./internal/manager/ \
+		./internal/tsg/ ./internal/stats/ ./internal/louvain/
+
+# bench-record measures batch vs incremental ingest at n=100/500/1000 and
+# rewrites the committed baseline. Commit the diff alongside perf changes so
+# speedup claims are reviewable:
+#   make bench-record && git diff BENCH_ingest.json
+.PHONY: bench-record
+bench-record:
+	$(GO) run ./cmd/benchrecord -out BENCH_ingest.json

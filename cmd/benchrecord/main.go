@@ -1,0 +1,202 @@
+// Command benchrecord measures the streaming ingest hot path — batch
+// recompute vs the incremental pipeline — and records the result as a JSON
+// baseline checked into the repository (BENCH_ingest.json).
+//
+// Unlike `go test -bench`, the output is a stable machine-readable file, so
+// successive baselines can be diffed in review and CI can smoke-run the same
+// loop. For every sensor count it streams an identical simulated series
+// through two detectors that differ only in Config.Incremental and reports
+// rounds/sec, ns/round, and allocs/round.
+//
+// Usage:
+//
+//	benchrecord -out BENCH_ingest.json
+//	benchrecord -sizes 100,500 -rounds 40 -out /dev/stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cad/internal/core"
+	"cad/internal/mts"
+	"cad/internal/simulator"
+)
+
+// Case is one (sensor count, mode) measurement.
+type Case struct {
+	Sensors        int     `json:"sensors"`
+	Mode           string  `json:"mode"` // "batch" or "incremental"
+	Rounds         int     `json:"rounds"`
+	RoundsPerSec   float64 `json:"roundsPerSec"`
+	NsPerRound     int64   `json:"nsPerRound"`
+	AllocsPerRound int64   `json:"allocsPerRound"`
+	// SpeedupVsBatch is the incremental row's rounds/sec over the batch
+	// row's at the same sensor count; zero on batch rows.
+	SpeedupVsBatch float64 `json:"speedupVsBatch,omitempty"`
+}
+
+// Baseline is the file format of BENCH_ingest.json.
+type Baseline struct {
+	Generated    string `json:"generated"`
+	GoVersion    string `json:"goVersion"`
+	GOARCH       string `json:"goarch"`
+	Window       int    `json:"window"`
+	Stride       int    `json:"stride"`
+	K            int    `json:"k"`
+	RefreshEvery int    `json:"refreshEvery"`
+	Cases        []Case `json:"cases"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_ingest.json", "output path")
+		sizes  = flag.String("sizes", "100,500,1000", "comma-separated sensor counts")
+		rounds = flag.Int("rounds", 20, "measured detection rounds per case")
+	)
+	flag.Parse()
+
+	cfg := benchConfig(false)
+	base := Baseline{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOARCH:       runtime.GOARCH,
+		Window:       cfg.Window.W,
+		Stride:       cfg.Window.S,
+		K:            cfg.K,
+		RefreshEvery: 64,
+	}
+
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatalf("bad -sizes entry %q: %v", s, err)
+		}
+		series, err := dataset(n, cfg, *rounds)
+		if err != nil {
+			fatalf("dataset n=%d: %v", n, err)
+		}
+		batch, err := measure(series, benchConfig(false), *rounds)
+		if err != nil {
+			fatalf("batch n=%d: %v", n, err)
+		}
+		batch.Sensors, batch.Mode = n, "batch"
+		inc, err := measure(series, benchConfig(true), *rounds)
+		if err != nil {
+			fatalf("incremental n=%d: %v", n, err)
+		}
+		inc.Sensors, inc.Mode = n, "incremental"
+		inc.SpeedupVsBatch = round2(inc.RoundsPerSec / batch.RoundsPerSec)
+		base.Cases = append(base.Cases, batch, inc)
+		fmt.Fprintf(os.Stderr, "n=%d: batch %.1f rounds/s, incremental %.1f rounds/s (%.1fx)\n",
+			n, batch.RoundsPerSec, inc.RoundsPerSec, inc.SpeedupVsBatch)
+	}
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+}
+
+// benchConfig is the fixed detector configuration both modes run under;
+// only the Incremental flag differs between the two measurements.
+func benchConfig(incremental bool) core.Config {
+	return core.Config{
+		Window: mts.Windowing{W: 64, S: 4}, K: 10, Tau: 0.4, Theta: 0.2,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8,
+		RCMode: core.RCSliding, RCHorizon: 8,
+		Incremental: incremental, RefreshEvery: 64,
+	}
+}
+
+// dataset generates a deterministic clean series long enough for warm-up
+// plus the measured rounds.
+func dataset(n int, cfg core.Config, rounds int) (*mts.MTS, error) {
+	length := cfg.Window.W + (warmupRounds+rounds+1)*cfg.Window.S
+	gen, err := simulator.New(simulator.Config{
+		Seed: 7, Sensors: n, Communities: intMax(2, n/25), Length: length,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gen.Clean(), nil
+}
+
+const warmupRounds = 3
+
+// measure streams the series through a fresh detector and times the pushes
+// that complete `rounds` detection rounds, after warm-up rounds that pay
+// one-time costs (first window fill, lazy allocations) outside the clock.
+func measure(series *mts.MTS, cfg core.Config, rounds int) (Case, error) {
+	det, err := core.NewDetector(series.Sensors(), cfg)
+	if err != nil {
+		return Case{}, err
+	}
+	sr := core.NewStreamer(det)
+	col := make([]float64, series.Sensors())
+	tick := 0
+	push := func() (bool, error) {
+		series.Column(tick, col)
+		tick++
+		_, done, err := sr.Push(col)
+		return done, err
+	}
+	for done := 0; done < warmupRounds; {
+		ok, err := push()
+		if err != nil {
+			return Case{}, err
+		}
+		if ok {
+			done++
+		}
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startMallocs := ms.Mallocs
+	start := time.Now()
+	for done := 0; done < rounds; {
+		ok, err := push()
+		if err != nil {
+			return Case{}, err
+		}
+		if ok {
+			done++
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+
+	return Case{
+		Rounds:         rounds,
+		RoundsPerSec:   round2(float64(rounds) / elapsed.Seconds()),
+		NsPerRound:     elapsed.Nanoseconds() / int64(rounds),
+		AllocsPerRound: int64(ms.Mallocs-startMallocs) / int64(rounds),
+	}, nil
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchrecord: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -99,6 +99,18 @@ type Config struct {
 	// ApproxSeed drives the HNSW level draws when ApproxTSG is set; with a
 	// fixed seed detection remains deterministic.
 	ApproxSeed int64
+	// Incremental switches the Streamer's round pipeline to the incremental
+	// hot path: the correlation matrix is maintained with O(n²) rank-one
+	// updates per column instead of the O(n²·w) per-round recompute, the TSG
+	// is repaired in place, and Louvain warm-starts from the previous
+	// round's partition. Exact mode only (incompatible with ApproxTSG);
+	// batch Detect/WarmUp are unaffected. Off by default.
+	Incremental bool
+	// RefreshEvery is the incremental path's exact-refresh cadence: every
+	// RefreshEvery rounds the correlation sums are recomputed from the raw
+	// window, discarding accumulated floating-point drift. Zero means the
+	// default of 64. Ignored unless Incremental is set.
+	RefreshEvery int
 	// DisableVariationRule switches the abnormal-round criterion from the
 	// 3σ rule on n_r to a fixed count |O_r| ≥ FixedXi (ablation of §IV-E's
 	// discussion).
@@ -170,6 +182,12 @@ func (c Config) Validate(n int) error {
 	}
 	if c.DisableVariationRule && c.FixedXi < 1 {
 		return fmt.Errorf("%w: FixedXi=%d must be ≥ 1", ErrBadConfig, c.FixedXi)
+	}
+	if c.Incremental && c.ApproxTSG {
+		return fmt.Errorf("%w: Incremental and ApproxTSG are mutually exclusive", ErrBadConfig)
+	}
+	if c.RefreshEvery < 0 {
+		return fmt.Errorf("%w: RefreshEvery=%d must be ≥ 0", ErrBadConfig, c.RefreshEvery)
 	}
 	return nil
 }

@@ -39,6 +39,8 @@ type configJSON struct {
 	RCAlpha              float64       `json:"rcAlpha"`
 	ApproxTSG            bool          `json:"approxTSG"`
 	ApproxSeed           int64         `json:"approxSeed"`
+	Incremental          bool          `json:"incremental"`
+	RefreshEvery         int           `json:"refreshEvery"`
 	DisableVariationRule bool          `json:"disableVariationRule"`
 	FixedXi              int           `json:"fixedXi"`
 }
@@ -64,6 +66,8 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		RCAlpha:              c.RCAlpha,
 		ApproxTSG:            c.ApproxTSG,
 		ApproxSeed:           c.ApproxSeed,
+		Incremental:          c.Incremental,
+		RefreshEvery:         c.RefreshEvery,
 		DisableVariationRule: c.DisableVariationRule,
 		FixedXi:              c.FixedXi,
 	})
@@ -97,6 +101,8 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	c.RCAlpha = aux.RCAlpha
 	c.ApproxTSG = aux.ApproxTSG
 	c.ApproxSeed = aux.ApproxSeed
+	c.Incremental = aux.Incremental
+	c.RefreshEvery = aux.RefreshEvery
 	c.DisableVariationRule = aux.DisableVariationRule
 	c.FixedXi = aux.FixedXi
 	return nil

@@ -65,6 +65,13 @@ type RoundReport struct {
 	Abnormal bool
 	// Communities is the number of Louvain communities found.
 	Communities int
+	// WindowEnd is the 1-based index just past the last time point of this
+	// round's window, in the coordinates of the series being processed. For
+	// batch Detect it equals Window.Bounds(Round).to; for a Streamer it
+	// counts actually-consumed columns, which can run ahead of the nominal
+	// round cadence when a transient round failure forced a retry with the
+	// window slid further. Zero in reports predating this field.
+	WindowEnd int
 }
 
 // Result is the output of Detector.Detect.
@@ -90,6 +97,12 @@ type Detector struct {
 	cfg     Config
 	n       int
 	builder tsg.Builder
+
+	// incTSG maintains the TSG across rounds on the incremental path
+	// (ProcessCorr). Lazily created; never persisted — its state is a pure
+	// function of the correlation matrix, so the first repair after a
+	// restore rebuilds it exactly.
+	incTSG *tsg.Incremental
 
 	round    int // rounds processed so far (warm-up included)
 	havePrev bool
@@ -261,6 +274,7 @@ func (d *Detector) assemble(t *mts.MTS, R int, nextReport func(r int) (RoundRepo
 			return nil, fmt.Errorf("cad: round %d: %w", r, err)
 		}
 		rep.Round = r
+		_, rep.WindowEnd = d.cfg.Window.Bounds(r)
 		res.Rounds = append(res.Rounds, rep)
 
 		if rep.Abnormal {
@@ -315,6 +329,7 @@ func (d *Detector) ProcessWindow(win *mts.MTS) (RoundReport, error) {
 	}
 	rep, err := d.step(win)
 	rep.Round = d.round - 1
+	_, rep.WindowEnd = d.cfg.Window.Bounds(rep.Round)
 	return rep, err
 }
 
@@ -371,6 +386,58 @@ func (d *Detector) partition(win *mts.MTS) (louvain.Partition, StageTimings, err
 	}
 	start = time.Now()
 	part := louvain.Communities(g)
+	st.Louvain = time.Since(start)
+	return part, st, nil
+}
+
+// ProcessCorr advances the detector by one round from a precomputed
+// correlation matrix — the incremental hot path used by Streamer when
+// Config.Incremental is set. The TSG is repaired in place rather than
+// rebuilt, and community detection warm-starts from the previous round's
+// partition. dirty is forwarded to tsg.Incremental.Repair (nil means treat
+// everything as changed, which is always safe).
+func (d *Detector) ProcessCorr(corr [][]float64, dirty []bool) (RoundReport, error) {
+	if len(corr) != d.n {
+		return RoundReport{}, fmt.Errorf("%w: correlation matrix has %d rows, detector expects %d", ErrBadConfig, len(corr), d.n)
+	}
+	part, st, err := d.partitionIncremental(corr, dirty)
+	if err != nil {
+		return RoundReport{}, err
+	}
+	rep := d.observedAdvance(part, st)
+	rep.Round = d.round - 1
+	_, rep.WindowEnd = d.cfg.Window.Bounds(rep.Round)
+	return rep, nil
+}
+
+// partitionIncremental is partition's counterpart on the incremental path:
+// dirty-edge TSG repair followed by warm-started Louvain.
+func (d *Detector) partitionIncremental(corr [][]float64, dirty []bool) (louvain.Partition, StageTimings, error) {
+	var st StageTimings
+	start := time.Now()
+	if d.incTSG == nil {
+		inc, err := tsg.NewIncremental(d.builder, d.n)
+		if err != nil {
+			return louvain.Partition{}, st, err
+		}
+		d.incTSG = inc
+		dirty = nil // first repair populates the graph from scratch
+	}
+	structural := d.incTSG.Repair(corr, dirty)
+	st.TSGBuild = time.Since(start)
+	start = time.Now()
+	var part louvain.Partition
+	if d.havePrev && structural == 0 {
+		// The edge set is unchanged since the previous round (weights may
+		// have wiggled), so the previous partition is a strong seed:
+		// CommunitiesSeeded verifies it is still a local optimum in one
+		// cheap pass and reruns cold the moment anything moves. Rounds
+		// that churn edges — anomalies — always take the cold path, which
+		// keeps decisions aligned with the batch pipeline.
+		part = louvain.CommunitiesSeeded(d.incTSG.Graph(), d.prevPart)
+	} else {
+		part = louvain.Communities(d.incTSG.Graph())
+	}
 	st.Louvain = time.Since(start)
 	return part, st, nil
 }

@@ -23,6 +23,20 @@ type persistedStreamer struct {
 	Pending  int
 	Started  bool
 	Seq      uint64
+	// Base offsets Seq into detector round coordinates for WindowEnd
+	// stamping. Added after version 2 shipped; gob decodes it as zero from
+	// older snapshots, which is correct for them (they predate warmed-up
+	// streamer support for WindowEnd entirely).
+	Base int
+	// The incremental correlation accumulator, present iff the config runs
+	// the incremental path. The drifted live sums are persisted verbatim —
+	// recomputing them on load would diverge from an uninterrupted run at
+	// the last few ulps, breaking bit-identical replay.
+	HasAcc   bool
+	AccRef   []float64
+	AccSX    []float64
+	AccSXY   []float64
+	AccCount int
 }
 
 // streamerPersistVersion is 2 since the sequence number joined the format;
@@ -47,6 +61,11 @@ func (s *Streamer) SaveState(w io.Writer) error {
 		Pending:  s.pending,
 		Started:  s.started,
 		Seq:      s.seq,
+		Base:     s.base,
+	}
+	if s.acc != nil {
+		st.HasAcc = true
+		st.AccRef, st.AccSX, st.AccSXY, st.AccCount = s.acc.State()
 	}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("cad: save streamer: %w", err)
@@ -83,6 +102,13 @@ func LoadStreamer(r io.Reader) (*Streamer, error) {
 	s.pending = st.Pending
 	s.started = st.Started
 	s.seq = st.Seq
+	s.base = st.Base
+	if st.HasAcc != (s.acc != nil) {
+		return nil, fmt.Errorf("%w: streamer snapshot accumulator presence %v, config says %v", ErrBadConfig, st.HasAcc, s.acc != nil)
+	}
+	if st.HasAcc && !s.acc.SetState(st.AccRef, st.AccSX, st.AccSXY, st.AccCount) {
+		return nil, fmt.Errorf("%w: streamer snapshot accumulator shape mismatch", ErrBadConfig)
+	}
 	return s, nil
 }
 
@@ -97,6 +123,10 @@ type persistedTracker struct {
 	OnsetSensors []int
 	OnsetRounds  []int
 	Done         []Anomaly
+	// Actual window ends of the open anomaly (see Tracker). Decoded as zero
+	// from older snapshots, which finish() treats as "fall back to the
+	// nominal round cadence".
+	FirstEnd, LastEnd int
 }
 
 const trackerPersistVersion = 1
@@ -113,6 +143,7 @@ func (tr *Tracker) SaveState(w io.Writer) error {
 	if tr.open != nil {
 		st.HasOpen = true
 		st.Open = *tr.open
+		st.FirstEnd, st.LastEnd = tr.firstEnd, tr.lastEnd
 		for v, r := range tr.onsets {
 			st.OnsetSensors = append(st.OnsetSensors, v)
 			st.OnsetRounds = append(st.OnsetRounds, r)
@@ -144,6 +175,7 @@ func LoadTracker(r io.Reader) (*Tracker, error) {
 		for i, v := range st.OnsetSensors {
 			tr.onsets[v] = st.OnsetRounds[i]
 		}
+		tr.firstEnd, tr.lastEnd = st.FirstEnd, st.LastEnd
 	}
 	return tr, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"cad/internal/mts"
+	"cad/internal/stats"
 )
 
 // Streamer feeds a Detector one time point at a time, emitting a RoundReport
@@ -35,8 +36,20 @@ type Streamer struct {
 	// is the replay cursor of the manager's write-ahead log: a WAL record
 	// numbered at or below seq is already reflected in this state.
 	seq uint64
+	// base offsets seq into the detector's round-numbering coordinates for
+	// WindowEnd stamping: a detector warmed up on R rounds starts the
+	// stream R·S columns "into" its own timeline.
+	base int
+	// acc maintains the sliding correlation sums on the incremental path
+	// (Config.Incremental); nil in batch mode. oldCol is scratch holding
+	// the column evicted from the ring by the current Push.
+	acc          *stats.SlidingCorr
+	oldCol       []float64
+	refreshEvery int
 	// process runs one round; tests replace it to inject round failures.
 	process func(*mts.MTS) (RoundReport, error)
+	// processCorr is process's incremental-path counterpart.
+	processCorr func(corr [][]float64, dirty []bool) (RoundReport, error)
 }
 
 // NewStreamer wraps det for streaming ingestion. The detector may already be
@@ -48,7 +61,23 @@ func NewStreamer(det *Detector) *Streamer {
 	for i := range ring {
 		ring[i] = backing[i*w : (i+1)*w]
 	}
-	return &Streamer{det: det, ring: ring, win: mts.Zeros(n, w), process: det.ProcessWindow}
+	s := &Streamer{
+		det:     det,
+		ring:    ring,
+		win:     mts.Zeros(n, w),
+		base:    det.round * det.cfg.Window.S,
+		process: det.ProcessWindow,
+	}
+	if det.cfg.Incremental {
+		s.acc = stats.NewSlidingCorr(n, w)
+		s.oldCol = make([]float64, n)
+		s.refreshEvery = det.cfg.RefreshEvery
+		if s.refreshEvery <= 0 {
+			s.refreshEvery = 64
+		}
+		s.processCorr = det.ProcessCorr
+	}
+	return s
 }
 
 // Detector returns the wrapped detector.
@@ -83,6 +112,14 @@ func (s *Streamer) Push(col []float64) (rep RoundReport, ok bool, err error) {
 		}
 	}
 	w, step := s.det.cfg.Window.W, s.det.cfg.Window.S
+	wasFull := s.filled == w
+	if s.acc != nil && wasFull {
+		// Capture the evicted column before it is overwritten; the
+		// accumulator needs it to subtract the leaving contribution.
+		for i := range s.oldCol {
+			s.oldCol[i] = s.ring[i][s.pos]
+		}
+	}
 	for i, v := range col {
 		s.ring[i][s.pos] = v
 	}
@@ -92,6 +129,13 @@ func (s *Streamer) Push(col []float64) (rep RoundReport, ok bool, err error) {
 	}
 	s.pending++
 	s.seq++
+	if s.acc != nil {
+		if wasFull {
+			s.acc.Slide(col, s.oldCol)
+		} else {
+			s.acc.Push(col)
+		}
+	}
 	need := w
 	if s.started {
 		need = step
@@ -99,7 +143,18 @@ func (s *Streamer) Push(col []float64) (rep RoundReport, ok bool, err error) {
 	if s.filled < w || s.pending < need {
 		return RoundReport{}, false, nil
 	}
-	rep, err = s.process(s.window())
+	if s.acc != nil {
+		// Periodic exact refresh bounds the accumulator's floating-point
+		// drift. The cadence keys off the persisted round counter, so a
+		// restored streamer refreshes at exactly the same rounds a
+		// never-interrupted one would — required for bit-identical replay.
+		if s.det.round%s.refreshEvery == 0 {
+			s.acc.Refresh(s.window().Rows())
+		}
+		rep, err = s.processCorr(s.acc.Corr(), nil)
+	} else {
+		rep, err = s.process(s.window())
+	}
 	if err != nil {
 		// Leave pending/started untouched so the round is retried on the
 		// next push instead of being silently dropped.
@@ -107,6 +162,10 @@ func (s *Streamer) Push(col []float64) (rep RoundReport, ok bool, err error) {
 	}
 	s.pending = 0
 	s.started = true
+	// Stamp the actual window end: the number of columns truly consumed.
+	// After failed-round retries this runs ahead of the nominal cadence
+	// Bounds(round).to, keeping downstream time attribution honest.
+	rep.WindowEnd = s.base + int(s.seq)
 	return rep, true, nil
 }
 

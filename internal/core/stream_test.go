@@ -185,31 +185,171 @@ func TestStreamerInvalidPushLeavesStateIntact(t *testing.T) {
 	}
 }
 
-// BenchmarkStreamerPush measures the full streaming hot path: ring write,
-// occasional window materialization, and round processing.
-func BenchmarkStreamerPush(b *testing.B) {
-	for _, n := range []int{12, 48} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			cfg := testConfig()
-			cfg.Window = mts.Windowing{W: 200, S: 4}
-			cfg.K = 3
-			det, err := NewDetector(n, cfg)
-			if err != nil {
-				b.Fatal(err)
+// TestStreamerRetryKeepsTimeAttribution is the regression test for the
+// pointSpan drift after failed-round retries: each retry slides the window
+// one extra column, so an anomaly's time span must follow the actual
+// consumed columns (RoundReport.WindowEnd), not the nominal cadence
+// Bounds(round). Before the fix the Tracker attributed anomalies to ticks
+// that drifted one column earlier per preceding failure.
+func TestStreamerRetryKeepsTimeAttribution(t *testing.T) {
+	series := synth(16, 3, 4, 500, []int{1, 6}, 200, 320)
+	cfg := testConfig() // w=40, s=4
+
+	// Reference run, no failures.
+	refDet, err := NewDetector(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReps, err := NewStreamer(refDet).PushSeries(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTr := NewTracker(cfg)
+	for _, rep := range refReps {
+		refTr.Push(rep)
+	}
+	refTr.Flush()
+	refAnoms := refTr.Drain()
+	if len(refAnoms) == 0 {
+		t.Fatal("test has no power: reference run found no anomalies")
+	}
+
+	// Faulty run: rounds 3, 4, and 10 each fail twice before succeeding,
+	// so by the anomaly region the stream runs 6 columns ahead of the
+	// nominal cadence.
+	det, err := NewDetector(12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamer(det)
+	errBoom := errors.New("boom")
+	fails := map[int]int{3: 2, 4: 2, 10: 2}
+	attempt := 0
+	real := sr.process
+	sr.process = func(win *mts.MTS) (RoundReport, error) {
+		rounds := det.Rounds()
+		if fails[rounds] > 0 {
+			fails[rounds]--
+			attempt++
+			return RoundReport{}, errBoom
+		}
+		return real(win)
+	}
+	tr := NewTracker(cfg)
+	col := make([]float64, 12)
+	var reps []RoundReport
+	for p := 0; p < series.Len(); p++ {
+		series.Column(p, col)
+		rep, ok, err := sr.Push(col)
+		if err != nil {
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("tick %d: %v", p+1, err)
 			}
-			sr := NewStreamer(det)
-			series := synth(15, n/4, 4, 1200, nil, -1, -1)
-			cols := make([][]float64, series.Len())
-			for p := range cols {
-				cols[p] = series.Column(p, nil)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := sr.Push(cols[i%len(cols)]); err != nil {
-					b.Fatal(err)
+			continue
+		}
+		if ok {
+			reps = append(reps, rep)
+			tr.Push(rep)
+		}
+	}
+	tr.Flush()
+	anoms := tr.Drain()
+	if attempt != 6 {
+		t.Fatalf("injected %d failures, want 6", attempt)
+	}
+	if len(anoms) == 0 {
+		t.Fatal("faulty run found no anomalies")
+	}
+
+	// Every report's WindowEnd must be the actual 1-based tick the round
+	// completed at, so the sequence is strictly increasing and the whole
+	// run sits 6 ticks past the nominal Bounds cadence.
+	for i, rep := range reps {
+		if rep.WindowEnd <= 0 {
+			t.Fatalf("report %d has no WindowEnd", i)
+		}
+		if i > 0 && rep.WindowEnd <= reps[i-1].WindowEnd {
+			t.Fatalf("WindowEnd not increasing at report %d: %d then %d",
+				i, reps[i-1].WindowEnd, rep.WindowEnd)
+		}
+		if _, nominal := cfg.Window.Bounds(rep.Round); rep.Round > 10 && rep.WindowEnd != nominal+6 {
+			t.Fatalf("report %d (round %d): WindowEnd %d, nominal end %d — expected 6-tick retry drift",
+				i, rep.Round, rep.WindowEnd, nominal)
+		}
+	}
+
+	// Time attribution must follow the actual window ends. Re-derive the
+	// expected spans straight from the report stream: consecutive abnormal
+	// reports form one anomaly spanning (firstEnd − step, lastEnd]. Under
+	// the old Bounds-based attribution every span after the retries would
+	// land 6 ticks early.
+	type span struct{ start, end int }
+	var wantSpans []span
+	openStart := -1
+	lastEnd := 0
+	for _, rep := range reps {
+		if rep.Abnormal {
+			if openStart < 0 {
+				openStart = rep.WindowEnd - cfg.Window.S
+				if openStart < 0 {
+					openStart = 0
 				}
 			}
-		})
+			lastEnd = rep.WindowEnd
+			continue
+		}
+		if openStart >= 0 {
+			wantSpans = append(wantSpans, span{openStart, lastEnd})
+			openStart = -1
+		}
+	}
+	if openStart >= 0 {
+		wantSpans = append(wantSpans, span{openStart, lastEnd})
+	}
+	if len(anoms) != len(wantSpans) {
+		t.Fatalf("tracker produced %d anomalies, report stream implies %d", len(anoms), len(wantSpans))
+	}
+	for i, a := range anoms {
+		if a.Start != wantSpans[i].start || a.End != wantSpans[i].end {
+			t.Errorf("anomaly %d span [%d, %d], want [%d, %d] from actual window ends",
+				i, a.Start, a.End, wantSpans[i].start, wantSpans[i].end)
+		}
+		if a.End > series.Len() {
+			t.Errorf("anomaly %d End %d beyond consumed columns %d", i, a.End, series.Len())
+		}
+	}
+}
+
+// BenchmarkStreamerPush measures the full streaming hot path: ring write,
+// occasional window materialization, and round processing — for both the
+// batch-recompute pipeline and the incremental one (the cmd/benchrecord
+// baseline measures the same comparison at larger sensor counts).
+func BenchmarkStreamerPush(b *testing.B) {
+	for _, n := range []int{12, 48} {
+		for _, mode := range []string{"batch", "incremental"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				cfg := testConfig()
+				cfg.Window = mts.Windowing{W: 200, S: 4}
+				cfg.K = 3
+				cfg.Incremental = mode == "incremental"
+				det, err := NewDetector(n, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sr := NewStreamer(det)
+				series := synth(15, n/4, 4, 1200, nil, -1, -1)
+				cols := make([][]float64, series.Len())
+				for p := range cols {
+					cols[p] = series.Column(p, nil)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sr.Push(cols[i%len(cols)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

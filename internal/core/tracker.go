@@ -18,6 +18,12 @@ type Tracker struct {
 	step   int
 	open   *Anomaly
 	onsets map[int]int
+	// firstEnd/lastEnd record the open anomaly's actual window ends from
+	// RoundReport.WindowEnd. After failed-round retries a streamer's
+	// windows run ahead of the nominal cadence, so trusting
+	// Bounds(round) alone would drift the time attribution. Zero means
+	// the feeding reports predate WindowEnd; finish falls back to Bounds.
+	firstEnd, lastEnd int
 	// Completed anomalies not yet drained.
 	done []Anomaly
 }
@@ -35,8 +41,10 @@ func (tr *Tracker) Push(rep RoundReport) {
 		if tr.open == nil {
 			tr.open = &Anomaly{FirstRound: rep.Round, LastRound: rep.Round, Score: rep.Score}
 			tr.onsets = make(map[int]int)
+			tr.firstEnd = rep.WindowEnd
 		}
 		tr.open.LastRound = rep.Round
+		tr.lastEnd = rep.WindowEnd
 		if rep.Score > tr.open.Score {
 			tr.open.Score = rep.Score
 		}
@@ -85,12 +93,20 @@ func (tr *Tracker) finish() Anomaly {
 	}
 	// Mirror Detector.pointSpan: each abnormal round implicates the final
 	// step of its window, so the anomaly spans from the first round's new
-	// points to the last round's window end.
-	_, firstEnd := tr.wd.Bounds(a.FirstRound)
+	// points to the last round's window end. Prefer the actual window ends
+	// the reports carried; fall back to the nominal cadence for reports
+	// (or restored snapshots) that predate WindowEnd.
+	firstEnd, lastEnd := tr.firstEnd, tr.lastEnd
+	if firstEnd == 0 {
+		_, firstEnd = tr.wd.Bounds(a.FirstRound)
+	}
+	if lastEnd == 0 {
+		_, lastEnd = tr.wd.Bounds(a.LastRound)
+	}
 	a.Start = firstEnd - tr.step
 	if a.Start < 0 {
 		a.Start = 0
 	}
-	_, a.End = tr.wd.Bounds(a.LastRound)
+	a.End = lastEnd
 	return *a
 }

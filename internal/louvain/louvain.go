@@ -79,6 +79,57 @@ func fromTSG(g *tsg.Graph) *weightedGraph {
 // optimization. Edgeless graphs (or all-zero weights) yield singleton
 // communities.
 func Communities(g *tsg.Graph) Partition {
+	return communities(g)
+}
+
+// CommunitiesSeeded warm-starts community detection from a previous
+// partition: it runs one local-moving pass seeded with the previous
+// assignment, and if no vertex moves — the common case when the graph
+// changed only slightly between rounds — the seed is still a local optimum
+// and is returned directly, skipping the full multi-level rebuild. The
+// moment any vertex does move, the warm path is abandoned and the whole
+// optimization reruns cold, so structural change is handled exactly as
+// Communities would.
+//
+// Two details keep the fast path honest. Vertices the current graph
+// isolates (degree zero) are split out of their seeded communities first:
+// cold-start leaves them as singletons, and keeping them grouped would
+// fabricate co-appearance for sensors that lost all their correlations —
+// exactly the ones anomaly detection must notice. And on an unchanged graph
+// the result provably equals Communities: either the cold partition is
+// vertex-level stable (no moves, seed returned as-is) or it is not (moves
+// happen, cold rerun returns it).
+//
+// A seed of the wrong size (or empty) falls back to a cold start.
+func CommunitiesSeeded(g *tsg.Graph, seed Partition) Partition {
+	n := g.N()
+	if len(seed.Of) != n || seed.Count <= 0 || n == 0 {
+		return communities(g)
+	}
+	wg := fromTSG(g)
+	if wg.total2m == 0 {
+		return singletons(n)
+	}
+	seedOf := make([]int, n)
+	next := seed.Count
+	for v := 0; v < n; v++ {
+		if wg.degree[v] == 0 {
+			seedOf[v] = next // isolated: force a fresh singleton community
+			next++
+		} else {
+			seedOf[v] = seed.Of[v]
+		}
+	}
+	// Recompact ids into [0, n) — the split above can push them past n.
+	seedOf = canonicalize(seedOf).Of
+	comm, moved := onePass(wg, seedOf)
+	if !moved {
+		return canonicalize(comm)
+	}
+	return communities(g)
+}
+
+func communities(g *tsg.Graph) Partition {
 	n := g.N()
 	if n == 0 {
 		return Partition{Of: nil, Count: 0}
@@ -96,7 +147,7 @@ func Communities(g *tsg.Graph) Partition {
 	}
 
 	for {
-		comm, moved := onePass(wg)
+		comm, moved := onePass(wg, nil)
 		if !moved {
 			// Map aggregated communities back to original vertices.
 			of := make([]int, n)
@@ -127,14 +178,22 @@ func singletons(n int) Partition {
 
 // onePass runs local moving until no vertex improves modularity, returning
 // the compacted community assignment of the aggregated graph and whether any
-// move happened at all.
-func onePass(wg *weightedGraph) (comm []int, movedAny bool) {
+// move happened at all. A non-nil seedOf (length n, ids in [0,n)) replaces
+// the singleton starting assignment.
+func onePass(wg *weightedGraph, seedOf []int) (comm []int, movedAny bool) {
 	n := wg.n
 	comm = make([]int, n)
 	commDegree := make([]float64, n) // Σ degree of members
-	for i := 0; i < n; i++ {
-		comm[i] = i
-		commDegree[i] = wg.degree[i]
+	if seedOf != nil {
+		for i := 0; i < n; i++ {
+			comm[i] = seedOf[i]
+			commDegree[seedOf[i]] += wg.degree[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			comm[i] = i
+			commDegree[i] = wg.degree[i]
+		}
 	}
 	twoM := wg.total2m
 	neighW := make(map[int]float64, 16)

@@ -64,21 +64,39 @@ func sameAlarms(t *testing.T, label string, got, want []Alarm) {
 // mid-window and warm-up state — of a process that never crashed. Alarms
 // replayed from the WAL keep their original arrival timestamps.
 //
+// The incremental subtest runs the same protocol with Config.Incremental
+// set, so the crash points also land inside the sliding-sum accumulator's
+// lifetime — recovery must restore the drifted running sums verbatim for
+// the post-restart rounds to stay bit-identical (RefreshEvery=8 makes the
+// crash window span several exact-refresh boundaries).
+//
 // CAD_CRASH_SEED and CAD_CRASH_ITERS override the default seed and
 // iteration count (make crashtest pins them).
 func TestCrashRecoverEquivalence(t *testing.T) {
+	t.Run("batch", func(t *testing.T) {
+		crashRecoverEquivalence(t, testConfig())
+	})
+	t.Run("incremental", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.Incremental = true
+		cfg.RefreshEvery = 8
+		crashRecoverEquivalence(t, cfg)
+	})
+}
+
+func crashRecoverEquivalence(t *testing.T, cfg core.Config) {
 	const ticks = 260
 	seed := crashEnv("CAD_CRASH_SEED", 1)
 	iters := int(crashEnv("CAD_CRASH_ITERS", 6))
 	cols := makeCols(seed, ticks)
-	want := driveStreamer(t, cols)
+	want := driveStreamerCfg(t, cfg, cols)
 
 	// Reference run: a durable manager that never crashes, driven with the
 	// same clock-call pattern (create, then one column per batch) as the
 	// crashing runs, so WAL timestamps — and with them alarm times — line
 	// up bit-identically.
 	ref := New(durableOptions(t.TempDir()))
-	if _, err := ref.Create("plant", 8, testConfig()); err != nil {
+	if _, err := ref.Create("plant", 8, cfg); err != nil {
 		t.Fatal(err)
 	}
 	for _, col := range cols {
@@ -101,7 +119,7 @@ func TestCrashRecoverEquivalence(t *testing.T) {
 		o := durableOptions(t.TempDir())
 		o.FS = sizing
 		m := New(o)
-		if _, err := m.Create("plant", 8, testConfig()); err != nil {
+		if _, err := m.Create("plant", 8, cfg); err != nil {
 			t.Fatal(err)
 		}
 		for _, col := range cols {
@@ -129,7 +147,7 @@ func TestCrashRecoverEquivalence(t *testing.T) {
 		o.FS = fault
 		m1 := New(o)
 		pushed := 0
-		if _, err := m1.Create("plant", 8, testConfig()); err != nil {
+		if _, err := m1.Create("plant", 8, cfg); err != nil {
 			t.Fatalf("iter %d (budget %d): Create: %v", iter, budget, err)
 		}
 		for _, col := range cols {
@@ -155,7 +173,7 @@ func TestCrashRecoverEquivalence(t *testing.T) {
 				t.Fatalf("iter %d (budget %d): recovered Status: %v", iter, budget, err)
 			}
 			k = st.Ticks
-		} else if _, err := m2.Create("plant", 8, testConfig()); err != nil {
+		} else if _, err := m2.Create("plant", 8, cfg); err != nil {
 			// Crashed before the first checkpoint completed: nothing usable
 			// was persisted, but the id must stay recreatable.
 			t.Fatalf("iter %d (budget %d): recreate after %+v: %v", iter, budget, stats, err)

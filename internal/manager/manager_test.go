@@ -128,7 +128,15 @@ func TestIngestValidation(t *testing.T) {
 // completed round reports — the ground truth the manager must reproduce.
 func driveStreamer(t *testing.T, cols [][]float64) []core.RoundReport {
 	t.Helper()
-	det, err := core.NewDetector(8, testConfig())
+	return driveStreamerCfg(t, testConfig(), cols)
+}
+
+// driveStreamerCfg is driveStreamer with an explicit detector config, used
+// by tests that compare durable runs against both batch and incremental
+// pipelines.
+func driveStreamerCfg(t *testing.T, cfg core.Config, cols [][]float64) []core.RoundReport {
+	t.Helper()
+	det, err := core.NewDetector(8, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,219 @@
+package stats
+
+import "math"
+
+// slidingConstEps is the relative threshold below which a sensor's summed
+// variance is treated as zero. Maintaining variances as w·Σx² − (Σx)² leaves
+// ulp-sized residue on constant rows (the exact cancellation PearsonMatrix
+// gets from centering first), so constancy is decided against the magnitude
+// of the terms being cancelled rather than against absolute zero.
+const slidingConstEps = 1e-12
+
+// SlidingCorr maintains the pairwise Pearson correlation matrix of n sensors
+// over a sliding window of up to w columns with O(n²) work per column — the
+// rank-one alternative to recomputing PearsonMatrix at O(n²·w) per round.
+// It keeps running sums Σd per sensor and Σd_i·d_j per sensor pair of the
+// deviations d = x − ref, where ref is a fixed per-sensor reference value
+// (Pearson correlation is shift-invariant, and shifting defeats the
+// catastrophic cancellation a raw-sum formulation suffers on data with a
+// large offset). Correlations are derived on demand in Corr.
+//
+// Floating-point drift accumulates in the sums as columns slide through, at
+// roughly one ulp per update. Callers bound it by calling Refresh
+// periodically (the Streamer refreshes every Config.RefreshEvery rounds),
+// which recomputes the sums exactly and re-anchors ref to the current
+// window; between refreshes the derived correlations stay within ~1e-12 of
+// the exact two-pass values, comfortably inside the 1e-9 contract the
+// incremental detection path tests against.
+//
+// A SlidingCorr is not safe for concurrent use.
+type SlidingCorr struct {
+	n, w  int
+	count int       // columns currently summed (≤ w)
+	ref   []float64 // per-sensor shift, anchored at first Push and each Refresh
+	sx    []float64 // Σ (x_i − ref_i) per sensor
+	sxy   []float64 // Σ d_i·d_j, n×n row-major, upper triangle incl. diagonal
+	// corr is the materialized matrix Corr returns, reused across calls.
+	corr  [][]float64
+	cells []float64
+	inv   []float64 // scratch: 1/√(count·Σd² − (Σd)²) per sensor, 0 if constant
+	dev   []float64 // scratch: one column of deviations
+	dev2  []float64
+}
+
+// NewSlidingCorr returns an empty accumulator for n sensors and window w.
+func NewSlidingCorr(n, w int) *SlidingCorr {
+	c := &SlidingCorr{
+		n:     n,
+		w:     w,
+		ref:   make([]float64, n),
+		sx:    make([]float64, n),
+		sxy:   make([]float64, n*n),
+		corr:  make([][]float64, n),
+		cells: make([]float64, n*n),
+		inv:   make([]float64, n),
+		dev:   make([]float64, n),
+		dev2:  make([]float64, n),
+	}
+	for i := range c.corr {
+		c.corr[i] = c.cells[i*n : (i+1)*n]
+	}
+	return c
+}
+
+// Sensors returns n.
+func (c *SlidingCorr) Sensors() int { return c.n }
+
+// Window returns the configured window length w.
+func (c *SlidingCorr) Window() int { return c.w }
+
+// Count returns the number of columns currently contributing to the sums.
+func (c *SlidingCorr) Count() int { return c.count }
+
+// Push adds one column while the window is still filling (Count < Window).
+// Once full, use Slide instead so the oldest column leaves as the new one
+// enters. The very first column becomes the shift reference.
+func (c *SlidingCorr) Push(col []float64) {
+	n := c.n
+	if c.count == 0 {
+		copy(c.ref, col)
+	}
+	d := c.dev
+	for i := 0; i < n; i++ {
+		d[i] = col[i] - c.ref[i]
+	}
+	for i := 0; i < n; i++ {
+		di := d[i]
+		c.sx[i] += di
+		row := c.sxy[i*n:]
+		for j := i; j < n; j++ {
+			row[j] += di * d[j]
+		}
+	}
+	if c.count < c.w {
+		c.count++
+	}
+}
+
+// Slide applies one rank-one window step: newCol enters the window, oldCol
+// (the evicted column, in the same sensor order) leaves it. The window must
+// be full.
+func (c *SlidingCorr) Slide(newCol, oldCol []float64) {
+	n := c.n
+	dn, do := c.dev, c.dev2
+	for i := 0; i < n; i++ {
+		dn[i] = newCol[i] - c.ref[i]
+		do[i] = oldCol[i] - c.ref[i]
+	}
+	for i := 0; i < n; i++ {
+		ni, oi := dn[i], do[i]
+		c.sx[i] += ni - oi
+		row := c.sxy[i*n:]
+		for j := i; j < n; j++ {
+			row[j] += ni*dn[j] - oi*do[j]
+		}
+	}
+}
+
+// Refresh recomputes the sums exactly from the window's current rows,
+// discarding any drift the incremental updates accumulated, and re-anchors
+// the shift reference to the window's first column. rows[i] must be sensor
+// i's current window values in time order.
+func (c *SlidingCorr) Refresh(rows [][]float64) {
+	n := c.n
+	c.count = 0
+	if n > 0 {
+		c.count = len(rows[0])
+	}
+	for i := 0; i < n; i++ {
+		if len(rows[i]) > 0 {
+			c.ref[i] = rows[i][0]
+		} else {
+			c.ref[i] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		ri, refI := rows[i], c.ref[i]
+		var s float64
+		for _, x := range ri {
+			s += x - refI
+		}
+		c.sx[i] = s
+		row := c.sxy[i*n:]
+		for j := i; j < n; j++ {
+			rj, refJ := rows[j], c.ref[j]
+			var dot float64
+			for t := range ri {
+				dot += (ri[t] - refI) * (rj[t] - refJ)
+			}
+			row[j] = dot
+		}
+	}
+}
+
+// Corr derives the Pearson correlation matrix from the current sums, with
+// the same conventions as PearsonMatrix: entries are clamped to [-1, 1],
+// constant (zero-variance) rows are all zero including the diagonal, and
+// every other diagonal entry is 1. The returned matrix is owned by the
+// accumulator and overwritten by the next call.
+func (c *SlidingCorr) Corr() [][]float64 {
+	n := c.n
+	w := float64(c.count)
+	for i := 0; i < n; i++ {
+		ss := c.sxy[i*n+i]
+		v := w*ss - c.sx[i]*c.sx[i]
+		// Relative constancy test: v is the difference of the two
+		// magnitude terms, so residue ~ulp·scale means a constant row.
+		if scale := w*ss + c.sx[i]*c.sx[i]; v <= slidingConstEps*scale {
+			c.inv[i] = 0
+		} else {
+			c.inv[i] = 1 / math.Sqrt(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ci := c.corr[i]
+		if c.inv[i] == 0 {
+			for j := range ci {
+				ci[j] = 0
+				c.corr[j][i] = 0
+			}
+			continue
+		}
+		ci[i] = 1
+		for j := i + 1; j < n; j++ {
+			var r float64
+			if c.inv[j] != 0 {
+				r = (w*c.sxy[i*n+j] - c.sx[i]*c.sx[j]) * c.inv[i] * c.inv[j]
+				if r > 1 {
+					r = 1
+				} else if r < -1 {
+					r = -1
+				}
+			}
+			ci[j] = r
+			c.corr[j][i] = r
+		}
+	}
+	return c.corr
+}
+
+// State exposes the accumulator's internals for persistence: the shift
+// reference, the per-sensor deviation sums, the pair-sum triangle, and the
+// column count. The returned slices alias internal storage; callers must
+// copy or encode them before mutating the accumulator.
+func (c *SlidingCorr) State() (ref, sx, sxy []float64, count int) {
+	return c.ref, c.sx, c.sxy, c.count
+}
+
+// SetState restores the accumulator from persisted internals. It reports
+// whether the slice shapes matched; on false the accumulator is unchanged.
+func (c *SlidingCorr) SetState(ref, sx, sxy []float64, count int) bool {
+	if len(ref) != c.n || len(sx) != c.n || len(sxy) != c.n*c.n || count < 0 || count > c.w {
+		return false
+	}
+	copy(c.ref, ref)
+	copy(c.sx, sx)
+	copy(c.sxy, sxy)
+	c.count = count
+	return true
+}

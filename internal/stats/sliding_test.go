@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// windowRows returns the current window (last w columns of cols) as rows,
+// the layout PearsonMatrix takes.
+func windowRows(cols [][]float64, n, w int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, w)
+	}
+	start := len(cols) - w
+	for t := 0; t < w; t++ {
+		for i := 0; i < n; i++ {
+			rows[i][t] = cols[start+t][i]
+		}
+	}
+	return rows
+}
+
+func maxAbsDiff(a, b [][]float64) float64 {
+	var m float64
+	for i := range a {
+		for j := range a[i] {
+			if d := math.Abs(a[i][j] - b[i][j]); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+func TestSlidingCorrMatchesPearsonMatrix(t *testing.T) {
+	const (
+		n, w   = 7, 24
+		steps  = 300
+		maxErr = 1e-9
+	)
+	rng := rand.New(rand.NewSource(42))
+	c := NewSlidingCorr(n, w)
+	var cols [][]float64
+	newCol := func() []float64 {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = 10*rng.NormFloat64() + float64(i)
+		}
+		// Sensor 3 is constant throughout; sensor 5 nearly tracks sensor 0.
+		col[3] = 2.5
+		col[5] = col[0] + 0.01*rng.NormFloat64()
+		return col
+	}
+	for t := 0; t < w; t++ {
+		col := newCol()
+		cols = append(cols, col)
+		c.Push(col)
+	}
+	for s := 0; s < steps; s++ {
+		col := newCol()
+		old := cols[len(cols)-w]
+		cols = append(cols, col)
+		c.Slide(col, old)
+
+		got := c.Corr()
+		want, err := PearsonMatrix(windowRows(cols, n, w))
+		if err != nil {
+			t.Fatalf("step %d: PearsonMatrix: %v", s, err)
+		}
+		if d := maxAbsDiff(got, want); d > maxErr {
+			t.Fatalf("step %d: max |diff| = %g > %g", s, d, maxErr)
+		}
+		for j := 0; j < n; j++ {
+			if got[3][j] != 0 || got[j][3] != 0 {
+				t.Fatalf("step %d: constant sensor row/col not zeroed at j=%d", s, j)
+			}
+		}
+	}
+}
+
+func TestSlidingCorrRefreshDiscardsDrift(t *testing.T) {
+	const n, w = 4, 16
+	rng := rand.New(rand.NewSource(7))
+	c := NewSlidingCorr(n, w)
+	var cols [][]float64
+	for t := 0; t < w+200; t++ {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = 1e6 + rng.NormFloat64() // large offset stresses cancellation
+		}
+		cols = append(cols, col)
+		if t < w {
+			c.Push(col)
+		} else {
+			c.Slide(col, cols[t-w])
+		}
+	}
+	rows := windowRows(cols, n, w)
+	c.Refresh(rows)
+	got := c.Corr()
+	want, err := PearsonMatrix(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After an exact refresh the two formulations differ only by the
+	// one-pass vs two-pass evaluation of the same window, not by drift.
+	if d := maxAbsDiff(got, want); d > 1e-6 {
+		t.Fatalf("post-refresh max |diff| = %g", d)
+	}
+	if c.Count() != w {
+		t.Fatalf("Count() = %d, want %d", c.Count(), w)
+	}
+}
+
+func TestSlidingCorrPartialWindow(t *testing.T) {
+	const n, w = 3, 10
+	c := NewSlidingCorr(n, w)
+	cols := [][]float64{
+		{1, 2, 5}, {2, 4, 5}, {3, 5, 5}, {4, 9, 5},
+	}
+	for _, col := range cols {
+		c.Push(col)
+	}
+	if c.Count() != len(cols) {
+		t.Fatalf("Count() = %d, want %d", c.Count(), len(cols))
+	}
+	got := c.Corr()
+	want, err := PearsonMatrix(windowRows(cols, n, len(cols)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("partial-window max |diff| = %g", d)
+	}
+}
+
+func TestSlidingCorrStateRoundTrip(t *testing.T) {
+	const n, w = 5, 12
+	rng := rand.New(rand.NewSource(11))
+	c := NewSlidingCorr(n, w)
+	var cols [][]float64
+	for t := 0; t < w+30; t++ {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+		cols = append(cols, col)
+		if t < w {
+			c.Push(col)
+		} else {
+			c.Slide(col, cols[t-w])
+		}
+	}
+	ref, sx, sxy, count := c.State()
+	refCopy := append([]float64(nil), ref...)
+	sxCopy := append([]float64(nil), sx...)
+	sxyCopy := append([]float64(nil), sxy...)
+
+	d := NewSlidingCorr(n, w)
+	if !d.SetState(refCopy, sxCopy, sxyCopy, count) {
+		t.Fatal("SetState rejected matching shapes")
+	}
+	a, b := c.Corr(), d.Corr()
+	if diff := maxAbsDiff(a, b); diff != 0 {
+		t.Fatalf("restored accumulator diverges: %g", diff)
+	}
+	if d.SetState(refCopy, sxCopy[:n-1], sxyCopy, count) {
+		t.Fatal("SetState accepted wrong sx length")
+	}
+	if d.SetState(refCopy, sxCopy, sxyCopy, w+1) {
+		t.Fatal("SetState accepted count > window")
+	}
+}

@@ -125,6 +125,59 @@ func TestBuildApproxAllConstant(t *testing.T) {
 	}
 }
 
+// TestBuildApproxConstantRowsMatchExact is the regression test for the
+// constant-row k-NN hazard: a standardized constant row is the zero vector,
+// which sits at correlation distance 1 from everything — if inserted into
+// the HNSW index it could still fill k-NN result slots for vertices with
+// fewer than k genuinely correlated neighbors. The exact and approx
+// builders must agree that constant rows are isolated, on a window where
+// one sparse vertex has only a single real correlate (so any leaked
+// zero-vector neighbor would surface as a spurious edge).
+func TestBuildApproxConstantRowsMatchExact(t *testing.T) {
+	const w = 64
+	m := groupedMTS(9, 2, 4, w)
+	// Sensors 2, 5, 6 go constant at different levels.
+	for _, s := range []int{2, 5, 6} {
+		row := m.Row(s)
+		for t := range row {
+			row[t] = float64(3 + s)
+		}
+	}
+	// Sensor 7's only strong correlate is sensor 4: overwrite it with
+	// sensor 4's negated values plus noise, leaving it weakly related to
+	// everything else. With k=3 its remaining slots are exactly where a
+	// zero vector could sneak in.
+	rng := rand.New(rand.NewSource(77))
+	src := m.Row(4)
+	dst := m.Row(7)
+	for t := range dst {
+		dst[t] = -src[t] + 0.02*rng.NormFloat64()
+	}
+	b := Builder{K: 3, Tau: 0.3}
+	exact, err := b.Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := b.BuildApprox(m, ApproxConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{2, 5, 6} {
+		if d := exact.Degree(s); d != 0 {
+			t.Errorf("exact: constant sensor %d has degree %d", s, d)
+		}
+		if d := approx.Degree(s); d != 0 {
+			t.Errorf("approx: constant sensor %d has degree %d", s, d)
+		}
+	}
+	// No approx edge may touch a constant sensor, and the sparse vertex
+	// must keep its one genuine correlate in both graphs.
+	if !exact.HasEdge(4, 7) || !approx.HasEdge(4, 7) {
+		t.Errorf("sparse vertex lost its real correlate: exact %v approx %v",
+			exact.HasEdge(4, 7), approx.HasEdge(4, 7))
+	}
+}
+
 func TestBuildApproxValidation(t *testing.T) {
 	m := groupedMTS(7, 2, 3, 32)
 	if _, err := (Builder{K: 0, Tau: 0.3}).BuildApprox(m, ApproxConfig{}); err == nil {

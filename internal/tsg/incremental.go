@@ -1,0 +1,287 @@
+package tsg
+
+import (
+	"math"
+	"sort"
+)
+
+// edge is one k-NN candidate: neighbor id and signed correlation.
+type edge struct {
+	v int
+	w float64
+}
+
+// rankBefore orders candidates the way fromCorrelation sorts them: by
+// |correlation| descending, ties toward the lower vertex id. The incremental
+// repairer must select under exactly this order to stay bit-identical with
+// the batch builder.
+func rankBefore(aw float64, av int, bw float64, bv int) bool {
+	aa, ab := math.Abs(aw), math.Abs(bw)
+	if aa != ab {
+		return aa > ab
+	}
+	return av < bv
+}
+
+// Incremental maintains a TSG across a sliding sequence of correlation
+// matrices, repairing only the edges that can actually have changed instead
+// of rebuilding the graph (and its adjacency maps) from scratch every round.
+//
+// The maintained invariant is exact: after every Repair the graph equals
+// Builder.FromCorrelation(corr) edge for edge and weight for weight. The
+// saving comes from two places: vertices whose k-NN selection provably did
+// not change are skipped entirely (see the dirty contract on Repair), and
+// for the rest the top-k candidates are found by partial selection instead
+// of a full sort, with the surviving edges written into the long-lived
+// graph via SetEdge/RemoveEdge.
+//
+// An Incremental is not safe for concurrent use.
+type Incremental struct {
+	b    Builder
+	n    int
+	g    *Graph
+	init bool
+
+	// byID[u] is u's current top-K candidate list sorted by neighbor id
+	// (weights included, pre-τ-pruning). kthW/kthV is the rank-K boundary
+	// candidate deciding whether an improved outsider enters the top-K.
+	byID [][]edge
+	kthW []float64
+	kthV []int
+
+	// Scratch reused across rounds.
+	cand    []edge
+	need    []bool
+	staged  [][]edge // newly selected byID lists for repaired vertices
+	dirtyIx []int
+}
+
+// NewIncremental returns an incremental builder over n vertices with an
+// empty graph; the first Repair populates it fully.
+func NewIncremental(b Builder, n int) (*Incremental, error) {
+	if err := b.Validate(n); err != nil {
+		return nil, err
+	}
+	return &Incremental{
+		b:      b,
+		n:      n,
+		g:      NewGraph(n),
+		byID:   make([][]edge, n),
+		kthW:   make([]float64, n),
+		kthV:   make([]int, n),
+		cand:   make([]edge, 0, n-1),
+		need:   make([]bool, n),
+		staged: make([][]edge, n),
+	}, nil
+}
+
+// Graph returns the maintained graph. It is mutated in place by Repair;
+// callers must not modify it.
+func (inc *Incremental) Graph() *Graph { return inc.g }
+
+// Repair brings the maintained graph to Builder.FromCorrelation(corr).
+// corr must be the full n×n symmetric correlation matrix. It returns the
+// number of structural changes applied — edges inserted or removed, not
+// counting weight-only updates — which callers use to decide whether the
+// graph's topology is stable enough for warm-started community detection.
+//
+// dirty is the caller's promise about what changed since the previous
+// Repair: dirty[i] == false asserts sensor i's window data — and therefore
+// every corr entry involving i — is unchanged. A nil dirty (or the first
+// call) treats everything as changed. Over-marking is always safe;
+// under-marking breaks the equivalence invariant.
+func (inc *Incremental) Repair(corr [][]float64, dirty []bool) (structural int) {
+	n := inc.n
+	inc.dirtyIx = inc.dirtyIx[:0]
+	all := !inc.init || dirty == nil || len(dirty) != n
+	if !all {
+		for j, d := range dirty {
+			if d {
+				inc.dirtyIx = append(inc.dirtyIx, j)
+			}
+		}
+		if len(inc.dirtyIx) == 0 {
+			return 0 // nothing changed, graph already exact
+		}
+	}
+	for u := 0; u < n; u++ {
+		if all {
+			inc.need[u] = true
+			continue
+		}
+		inc.need[u] = dirty[u] || inc.touched(u, corr)
+	}
+
+	// Phase A: recompute the top-K of every vertex that needs it. Staged
+	// so phase B can consult each endpoint's up-to-date selection.
+	for u := 0; u < n; u++ {
+		if inc.need[u] {
+			inc.staged[u] = inc.selectFor(u, corr)
+		}
+	}
+
+	// Phase B: apply edge diffs. An undirected edge (u,v) exists iff at
+	// least one endpoint selects the other with |w| ≥ τ, so removal needs
+	// both endpoints' current view while insertion needs only one.
+	tau := inc.b.Tau
+	for u := 0; u < n; u++ {
+		if !inc.need[u] {
+			continue
+		}
+		for _, e := range inc.byID[u] {
+			if math.Abs(e.w) < tau {
+				continue
+			}
+			if !wants(inc.staged[u], e.v, tau) && !wants(inc.current(e.v), u, tau) {
+				if inc.g.HasEdge(u, e.v) {
+					structural++
+				}
+				inc.g.RemoveEdge(u, e.v)
+			}
+		}
+		for _, e := range inc.staged[u] {
+			if math.Abs(e.w) >= tau {
+				if !inc.g.HasEdge(u, e.v) {
+					structural++
+				}
+				inc.g.SetEdge(u, e.v, e.w)
+			}
+		}
+	}
+
+	// Phase C: commit the staged selections. The swap keeps the old list's
+	// backing array around for the next round's staging.
+	for u := 0; u < n; u++ {
+		if !inc.need[u] {
+			continue
+		}
+		inc.byID[u], inc.staged[u] = inc.staged[u], inc.byID[u]
+		inc.commitBoundary(u)
+	}
+	inc.init = true
+	return structural
+}
+
+// current returns v's selection as of this Repair: the staged list when v
+// was recomputed this round, its committed list otherwise.
+func (inc *Incremental) current(v int) []edge {
+	if inc.need[v] {
+		return inc.staged[v]
+	}
+	return inc.byID[v]
+}
+
+// wants reports whether the id-sorted selection list keeps v as a τ-passing
+// neighbor.
+func wants(list []edge, v int, tau float64) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i].v >= v })
+	return i < len(list) && list[i].v == v && math.Abs(list[i].w) >= tau
+}
+
+// touched reports whether any dirty sensor can change clean vertex u's
+// top-K selection: either it already sits in u's top-K (its weight changed,
+// which can reorder the list or cross τ), or its new correlation now ranks
+// at or above u's rank-K boundary.
+func (inc *Incremental) touched(u int, corr [][]float64) bool {
+	row := corr[u]
+	for _, j := range inc.dirtyIx {
+		if j == u {
+			continue
+		}
+		if wantsAny(inc.byID[u], j) {
+			return true
+		}
+		if rankBefore(row[j], j, inc.kthW[u], inc.kthV[u]) {
+			return true
+		}
+	}
+	return false
+}
+
+// wantsAny reports membership in the id-sorted selection regardless of τ.
+func wantsAny(list []edge, v int) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i].v >= v })
+	return i < len(list) && list[i].v == v
+}
+
+// selectFor computes u's top-K candidates under the batch builder's exact
+// order and returns them sorted by neighbor id, reusing u's retired staging
+// buffer to keep the steady state allocation-free.
+func (inc *Incremental) selectFor(u int, corr [][]float64) []edge {
+	n, k := inc.n, inc.b.K
+	cand := inc.cand[:0]
+	row := corr[u]
+	for v := 0; v < n; v++ {
+		if v != u {
+			cand = append(cand, edge{v, row[v]})
+		}
+	}
+	inc.cand = cand
+	topK(cand, k)
+	sel := inc.staged[u][:0]
+	if cap(sel) < k {
+		sel = make([]edge, 0, k)
+	}
+	sel = append(sel, cand[:k]...)
+	sort.Slice(sel, func(i, j int) bool { return sel[i].v < sel[j].v })
+	return sel
+}
+
+// commitBoundary recomputes the rank-K boundary of u's committed selection.
+func (inc *Incremental) commitBoundary(u int) {
+	list := inc.byID[u]
+	first := true
+	for _, e := range list {
+		if first || rankBefore(inc.kthW[u], inc.kthV[u], e.w, e.v) {
+			inc.kthW[u], inc.kthV[u] = e.w, e.v
+			first = false
+		}
+	}
+}
+
+// topK partially selects the k rank-first candidates into cand[:k] using
+// quickselect under rankBefore. The comparator is a strict total order, so
+// the selected set is unique regardless of pivot choices.
+func topK(cand []edge, k int) {
+	if k >= len(cand) {
+		return
+	}
+	lo, hi := 0, len(cand)-1
+	for lo < hi {
+		p := partitionRank(cand, lo, hi)
+		switch {
+		case p == k-1:
+			return
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+// partitionRank is a Hoare-style partition with a median-of-three pivot
+// under rankBefore, returning the pivot's final index.
+func partitionRank(cand []edge, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if rankBefore(cand[mid].w, cand[mid].v, cand[lo].w, cand[lo].v) {
+		cand[lo], cand[mid] = cand[mid], cand[lo]
+	}
+	if rankBefore(cand[hi].w, cand[hi].v, cand[lo].w, cand[lo].v) {
+		cand[lo], cand[hi] = cand[hi], cand[lo]
+	}
+	if rankBefore(cand[hi].w, cand[hi].v, cand[mid].w, cand[mid].v) {
+		cand[mid], cand[hi] = cand[hi], cand[mid]
+	}
+	pivot := cand[mid]
+	cand[mid], cand[hi-1] = cand[hi-1], cand[mid]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if rankBefore(cand[j].w, cand[j].v, pivot.w, pivot.v) {
+			cand[i], cand[j] = cand[j], cand[i]
+			i++
+		}
+	}
+	cand[i], cand[hi-1] = cand[hi-1], cand[i]
+	return i
+}

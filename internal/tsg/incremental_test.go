@@ -1,0 +1,187 @@
+package tsg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randCorr returns a random symmetric matrix with unit diagonal and entries
+// in [-1, 1], quantized so exact ties between |entries| actually occur.
+func randCorr(rng *rand.Rand, n int, quant float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 2*rng.Float64() - 1
+			if quant > 0 {
+				v = math.Round(v/quant) * quant
+			}
+			m[i][j], m[j][i] = v, v
+		}
+	}
+	return m
+}
+
+// perturbSensors changes every correlation involving each chosen sensor and
+// returns the dirty mask.
+func perturbSensors(rng *rand.Rand, corr [][]float64, count int, quant float64) []bool {
+	n := len(corr)
+	dirty := make([]bool, n)
+	for c := 0; c < count; c++ {
+		s := rng.Intn(n)
+		dirty[s] = true
+		for j := 0; j < n; j++ {
+			if j == s {
+				continue
+			}
+			v := 2*rng.Float64() - 1
+			if quant > 0 {
+				v = math.Round(v/quant) * quant
+			}
+			corr[s][j], corr[j][s] = v, v
+		}
+	}
+	return dirty
+}
+
+func sameGraph(a, b *Graph) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("vertex count %d vs %d", a.N(), b.N())
+	}
+	if a.Edges() != b.Edges() {
+		return fmt.Errorf("edge count %d vs %d", a.Edges(), b.Edges())
+	}
+	for u := 0; u < a.N(); u++ {
+		for _, v := range a.NeighborsSorted(u) {
+			wa, _ := a.Weight(u, v)
+			wb, ok := b.Weight(u, v)
+			if !ok {
+				return fmt.Errorf("edge (%d,%d) missing", u, v)
+			}
+			if wa != wb {
+				return fmt.Errorf("edge (%d,%d) weight %v vs %v", u, v, wa, wb)
+			}
+		}
+	}
+	return nil
+}
+
+func TestIncrementalMatchesBatchRandomized(t *testing.T) {
+	cases := []struct {
+		n, k  int
+		tau   float64
+		quant float64
+	}{
+		{n: 20, k: 4, tau: 0.3, quant: 0},
+		{n: 20, k: 4, tau: 0, quant: 0},     // τ=0: no pruning
+		{n: 16, k: 5, tau: 0.4, quant: 0.2}, // coarse quantization: many exact ties
+		{n: 30, k: 29, tau: 0.5, quant: 0},  // k = n-1: everything is a candidate
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("n%d_k%d_tau%v_q%v", tc.n, tc.k, tc.tau, tc.quant), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(tc.n)*1000 + int64(tc.k)))
+			b := Builder{K: tc.k, Tau: tc.tau}
+			inc, err := NewIncremental(b, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corr := randCorr(rng, tc.n, tc.quant)
+			inc.Repair(corr, nil)
+			for step := 0; step < 60; step++ {
+				var dirty []bool
+				switch step % 4 {
+				case 0:
+					dirty = perturbSensors(rng, corr, 1, tc.quant)
+				case 1:
+					dirty = perturbSensors(rng, corr, 3, tc.quant)
+				case 2:
+					dirty = make([]bool, tc.n) // nothing changed
+				case 3:
+					perturbSensors(rng, corr, 2, tc.quant)
+					dirty = nil // all-dirty fallback
+				}
+				inc.Repair(corr, dirty)
+				want, err := b.FromCorrelation(corr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sameGraph(inc.Graph(), want); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		})
+	}
+}
+
+func TestIncrementalConstantRows(t *testing.T) {
+	const n, k = 10, 3
+	rng := rand.New(rand.NewSource(99))
+	b := Builder{K: k, Tau: 0.25}
+	inc, err := NewIncremental(b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := randCorr(rng, n, 0)
+	// Sensor 4 goes constant: PearsonMatrix zeroes its whole row/column
+	// including the diagonal.
+	for j := 0; j < n; j++ {
+		corr[4][j], corr[j][4] = 0, 0
+	}
+	inc.Repair(corr, nil)
+	want, _ := b.FromCorrelation(corr)
+	if err := sameGraph(inc.Graph(), want); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Graph().Degree(4) != 0 {
+		t.Fatalf("constant sensor has degree %d, want 0", inc.Graph().Degree(4))
+	}
+	// It comes back to life: only sensor 4 is dirty.
+	for j := 0; j < n; j++ {
+		if j == 4 {
+			corr[4][4] = 1
+			continue
+		}
+		v := 2*rng.Float64() - 1
+		corr[4][j], corr[j][4] = v, v
+	}
+	dirty := make([]bool, n)
+	dirty[4] = true
+	inc.Repair(corr, dirty)
+	want, _ = b.FromCorrelation(corr)
+	if err := sameGraph(inc.Graph(), want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalRejectsBadBuilder(t *testing.T) {
+	if _, err := NewIncremental(Builder{K: 0, Tau: 0.5}, 5); err == nil {
+		t.Fatal("NewIncremental accepted k=0")
+	}
+	if _, err := NewIncremental(Builder{K: 5, Tau: 0.5}, 5); err == nil {
+		t.Fatal("NewIncremental accepted k=n")
+	}
+}
+
+func TestIncrementalCleanRepairIsNoop(t *testing.T) {
+	const n, k = 12, 4
+	rng := rand.New(rand.NewSource(5))
+	b := Builder{K: k, Tau: 0.3}
+	inc, _ := NewIncremental(b, n)
+	corr := randCorr(rng, n, 0)
+	inc.Repair(corr, nil)
+	before := inc.Graph().Edges()
+	inc.Repair(corr, make([]bool, n))
+	if inc.Graph().Edges() != before {
+		t.Fatalf("clean repair changed edges: %d vs %d", inc.Graph().Edges(), before)
+	}
+	want, _ := b.FromCorrelation(corr)
+	if err := sameGraph(inc.Graph(), want); err != nil {
+		t.Fatal(err)
+	}
+}
