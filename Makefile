@@ -3,9 +3,10 @@ GO ?= go
 # ci is the tier-1 gate: formatting, vet, build, the full test suite under
 # the race detector (the serve concurrency tests only mean something with
 # -race), the fault-injection suite, the pinned-seed crash-recovery
-# equivalence run, and the alert-delivery suite.
+# equivalence run, the alert-delivery suite, and the scenario-corpus
+# quality gate.
 .PHONY: ci
-ci: fmt vet build race faulttest crashtest alerttest benchsmoke
+ci: fmt vet build race faulttest crashtest alerttest benchsmoke scenariotest
 
 .PHONY: fmt
 fmt:
@@ -70,10 +71,27 @@ benchsmoke:
 	$(GO) test -run XXX -bench . -benchtime=1x ./internal/core/ ./internal/manager/ \
 		./internal/tsg/ ./internal/stats/ ./internal/louvain/
 
-# bench-record measures batch vs incremental ingest at n=100/500/1000 and
-# rewrites the committed baseline. Commit the diff alongside perf changes so
-# speedup claims are reviewable:
+# bench-record measures batch vs incremental vs manager(-wal) ingest at
+# n=100/500/1000 and rewrites the committed baseline. Commit the diff
+# alongside perf changes so speedup claims are reviewable:
 #   make bench-record && git diff BENCH_ingest.json
 .PHONY: bench-record
 bench-record:
 	$(GO) run ./cmd/benchrecord -out BENCH_ingest.json
+
+# scenariotest is the detection-quality gate: a fast, pinned-seed subset of
+# the scenario corpus re-runs the gate config from BENCH_scenarios.json and
+# fails if any scenario's DPA-F1 drops below its committed floor. It also
+# schema-checks the artifact, so a hand-edited or truncated baseline fails
+# too.
+.PHONY: scenariotest
+scenariotest:
+	$(GO) test -count=1 -run 'TestCommittedMatrix|TestScenarioFloors' ./internal/scenario/
+
+# scenario-record re-runs the full scenario × config evaluation matrix and
+# rewrites the committed quality baseline (floors included). Commit the diff
+# alongside detector changes so quality shifts are reviewable:
+#   make scenario-record && git diff BENCH_scenarios.json
+.PHONY: scenario-record
+scenario-record:
+	$(GO) run ./cmd/cadeval -out BENCH_scenarios.json

@@ -6,7 +6,11 @@
 // successive baselines can be diffed in review and CI can smoke-run the same
 // loop. For every sensor count it streams an identical simulated series
 // through two detectors that differ only in Config.Incremental and reports
-// rounds/sec, ns/round, and allocs/round.
+// rounds/sec, ns/round, and allocs/round. Two manager-level rows ride along
+// per size — the incremental config behind manager.Ingest, without and with
+// a write-ahead log — so the cost of the service layers (locking, alarm
+// rings, durability) above the raw detector is part of the same committed
+// trajectory.
 //
 // Usage:
 //
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"cad/internal/core"
+	"cad/internal/manager"
 	"cad/internal/mts"
 	"cad/internal/simulator"
 )
@@ -32,7 +37,7 @@ import (
 // Case is one (sensor count, mode) measurement.
 type Case struct {
 	Sensors        int     `json:"sensors"`
-	Mode           string  `json:"mode"` // "batch" or "incremental"
+	Mode           string  `json:"mode"` // "batch", "incremental", "manager", "manager-wal"
 	Rounds         int     `json:"rounds"`
 	RoundsPerSec   float64 `json:"roundsPerSec"`
 	NsPerRound     int64   `json:"nsPerRound"`
@@ -93,9 +98,26 @@ func main() {
 		}
 		inc.Sensors, inc.Mode = n, "incremental"
 		inc.SpeedupVsBatch = round2(inc.RoundsPerSec / batch.RoundsPerSec)
-		base.Cases = append(base.Cases, batch, inc)
-		fmt.Fprintf(os.Stderr, "n=%d: batch %.1f rounds/s, incremental %.1f rounds/s (%.1fx)\n",
-			n, batch.RoundsPerSec, inc.RoundsPerSec, inc.SpeedupVsBatch)
+		mgr, err := measureManager(series, benchConfig(true), *rounds, "")
+		if err != nil {
+			fatalf("manager n=%d: %v", n, err)
+		}
+		mgr.Sensors, mgr.Mode = n, "manager"
+		mgr.SpeedupVsBatch = round2(mgr.RoundsPerSec / batch.RoundsPerSec)
+		walDir, err := os.MkdirTemp("", "benchrecord-wal-")
+		if err != nil {
+			fatalf("wal dir: %v", err)
+		}
+		mgrWAL, err := measureManager(series, benchConfig(true), *rounds, walDir)
+		os.RemoveAll(walDir)
+		if err != nil {
+			fatalf("manager-wal n=%d: %v", n, err)
+		}
+		mgrWAL.Sensors, mgrWAL.Mode = n, "manager-wal"
+		mgrWAL.SpeedupVsBatch = round2(mgrWAL.RoundsPerSec / batch.RoundsPerSec)
+		base.Cases = append(base.Cases, batch, inc, mgr, mgrWAL)
+		fmt.Fprintf(os.Stderr, "n=%d: batch %.1f rounds/s, incremental %.1f rounds/s (%.1fx), manager %.1f, manager-wal %.1f\n",
+			n, batch.RoundsPerSec, inc.RoundsPerSec, inc.SpeedupVsBatch, mgr.RoundsPerSec, mgrWAL.RoundsPerSec)
 	}
 
 	buf, err := json.MarshalIndent(base, "", "  ")
@@ -150,6 +172,63 @@ func measure(series *mts.MTS, cfg core.Config, rounds int) (Case, error) {
 		tick++
 		_, done, err := sr.Push(col)
 		return done, err
+	}
+	for done := 0; done < warmupRounds; {
+		ok, err := push()
+		if err != nil {
+			return Case{}, err
+		}
+		if ok {
+			done++
+		}
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startMallocs := ms.Mallocs
+	start := time.Now()
+	for done := 0; done < rounds; {
+		ok, err := push()
+		if err != nil {
+			return Case{}, err
+		}
+		if ok {
+			done++
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+
+	return Case{
+		Rounds:         rounds,
+		RoundsPerSec:   round2(float64(rounds) / elapsed.Seconds()),
+		NsPerRound:     elapsed.Nanoseconds() / int64(rounds),
+		AllocsPerRound: int64(ms.Mallocs-startMallocs) / int64(rounds),
+	}, nil
+}
+
+// measureManager mirrors measure through the manager's ingest path: the
+// same series, the same detector config, but every column passes the
+// registry lock, alarm rings, and — when walDir is non-empty — a per-stream
+// write-ahead log (interval fsync, the recommended production policy).
+func measureManager(series *mts.MTS, cfg core.Config, rounds int, walDir string) (Case, error) {
+	opts := manager.Options{Capacity: 1, MaxAlarms: 64}
+	if walDir != "" {
+		opts.WALDir = walDir
+		opts.Fsync = manager.FsyncInterval
+	}
+	m := manager.New(opts)
+	const id = "bench"
+	if _, err := m.Create(id, series.Sensors(), cfg); err != nil {
+		return Case{}, err
+	}
+	col := make([]float64, series.Sensors())
+	tick := 0
+	push := func() (bool, error) {
+		series.Column(tick, col)
+		tick++
+		res, err := m.Ingest(id, col)
+		return res.RoundCompleted, err
 	}
 	for done := 0; done < warmupRounds; {
 		ok, err := push()

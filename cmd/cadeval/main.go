@@ -1,0 +1,147 @@
+// Command cadeval runs the scenario × config evaluation matrix and records
+// the result as a JSON baseline checked into the repository
+// (BENCH_scenarios.json) — the quality counterpart of benchrecord's
+// BENCH_ingest.json speed baseline.
+//
+// Every corpus scenario (internal/scenario) is streamed through every
+// detector config variant; each cell reports DaE quality metrics (DPA-F1,
+// Ahead/Miss vs the batch reference, detection delay, false-alarm rate,
+// sensor-localization F1) plus rounds/sec. All quality metrics are
+// deterministic under the scenarios' pinned seeds; only roundsPerSec varies
+// between machines. The artifact also records a per-scenario DPA-F1 floor
+// (the gate config's score minus slack) that `make scenariotest` asserts
+// against, so a detector change that silently degrades a failure mode fails
+// CI until the floor is consciously re-recorded.
+//
+// Usage:
+//
+//	cadeval -out BENCH_scenarios.json
+//	cadeval -scenarios crash-loop,oom-kill -configs batch,incremental -out /dev/stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"cad/internal/scenario"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_scenarios.json", "output path")
+		only    = flag.String("scenarios", "", "comma-separated scenario filter (default: full corpus)")
+		configs = flag.String("configs", "", "comma-separated config filter (default: full grid)")
+		gate    = flag.String("gate", "incremental", "config variant whose DPA-F1 sets each scenario's committed floor")
+		slack   = flag.Float64("slack", 0.10, "floor slack subtracted from the gate DPA-F1")
+	)
+	flag.Parse()
+
+	scenarios, err := pickScenarios(*only)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	variants, err := pickVariants(*configs, *gate)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	m, err := scenario.Run(scenarios, variants)
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	if err := m.SetFloors(*gate, *slack); err != nil {
+		fatalf("floors: %v", err)
+	}
+	m.Generated = time.Now().UTC().Format(time.RFC3339)
+	m.GoVersion = runtime.Version()
+	m.GOARCH = runtime.GOARCH
+	if err := m.Validate(len(scenarios), len(variants)); err != nil {
+		fatalf("self-check: %v", err)
+	}
+
+	printSummary(m)
+
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+}
+
+// pickScenarios resolves the -scenarios filter against the corpus.
+func pickScenarios(filter string) ([]scenario.Scenario, error) {
+	if filter == "" {
+		return scenario.Corpus(), nil
+	}
+	var out []scenario.Scenario
+	for _, name := range strings.Split(filter, ",") {
+		s, ok := scenario.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q", name)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// pickVariants resolves the -configs filter against the grid, keeping grid
+// order (the first kept variant is the Ahead/Miss reference) and requiring
+// the gate variant to survive the filter.
+func pickVariants(filter, gate string) ([]scenario.ConfigVariant, error) {
+	all := scenario.Variants()
+	if filter == "" {
+		return all, nil
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(filter, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	var out []scenario.ConfigVariant
+	for _, v := range all {
+		if want[v.Name] {
+			out = append(out, v)
+			delete(want, v.Name)
+		}
+	}
+	for name := range want {
+		return nil, fmt.Errorf("unknown config %q", name)
+	}
+	hasGate := false
+	for _, v := range out {
+		hasGate = hasGate || v.Name == gate
+	}
+	if !hasGate {
+		return nil, fmt.Errorf("config filter drops the gate variant %q", gate)
+	}
+	return out, nil
+}
+
+// printSummary renders the matrix as a DPA-F1 table on stderr.
+func printSummary(m *scenario.Matrix) {
+	fmt.Fprintf(os.Stderr, "%-26s", "scenario \\ config")
+	for _, v := range m.Configs {
+		fmt.Fprintf(os.Stderr, " %13s", v.Name)
+	}
+	fmt.Fprintf(os.Stderr, " %6s\n", "floor")
+	for _, s := range m.Scenarios {
+		fmt.Fprintf(os.Stderr, "%-26s", s.Name)
+		for _, v := range m.Configs {
+			c, _ := s.Cell(v.Name)
+			fmt.Fprintf(os.Stderr, " %13.2f", c.DPAF1)
+		}
+		fmt.Fprintf(os.Stderr, " %6.2f\n", s.Floor)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cadeval: "+format+"\n", args...)
+	os.Exit(1)
+}

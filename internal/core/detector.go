@@ -427,19 +427,37 @@ func (d *Detector) partitionIncremental(corr [][]float64, dirty []bool) (louvain
 	st.TSGBuild = time.Since(start)
 	start = time.Now()
 	var part louvain.Partition
-	if d.havePrev && structural == 0 {
+	if d.havePrev && structural == 0 && !d.anyOutlier() {
 		// The edge set is unchanged since the previous round (weights may
 		// have wiggled), so the previous partition is a strong seed:
 		// CommunitiesSeeded verifies it is still a local optimum in one
 		// cheap pass and reruns cold the moment anything moves. Rounds
 		// that churn edges — anomalies — always take the cold path, which
-		// keeps decisions aligned with the batch pipeline.
+		// keeps decisions aligned with the batch pipeline. The outlier-set
+		// guard covers the remaining hazard: while an anomaly is in flight
+		// the weights swing hard enough that the seed and a cold start can
+		// be *different* vertex-stable local optima even on an identical
+		// edge set (a regime tear holds the k-NN sets still for a round
+		// while the boundary weights keep moving), so any round entered
+		// with a non-empty outlier set runs cold too.
 		part = louvain.CommunitiesSeeded(d.incTSG.Graph(), d.prevPart)
 	} else {
 		part = louvain.Communities(d.incTSG.Graph())
 	}
 	st.Louvain = time.Since(start)
 	return part, st, nil
+}
+
+// anyOutlier reports whether the previous round left a non-empty outlier
+// set O_{r−1} — the incremental path's signal that an anomaly is in flight
+// and community detection must run cold.
+func (d *Detector) anyOutlier() bool {
+	for _, o := range d.outlier {
+		if o {
+			return true
+		}
+	}
+	return false
 }
 
 // step runs Algorithm 1 (OutlierDetection) for one window and applies the

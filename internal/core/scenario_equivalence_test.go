@@ -1,0 +1,118 @@
+package core_test
+
+// Scenario-driven decision equivalence: incremental_test.go proves the
+// batch ↔ incremental contract on synthetic and random-simulator data; this
+// suite re-proves it on every named corpus scenario — real failure shapes
+// (restart loops, saturation, staggered cascades, regime tears), not just
+// random anomaly mixes. It lives in package core_test because the corpus
+// itself imports core.
+
+import (
+	"reflect"
+	"testing"
+
+	"cad/internal/core"
+	"cad/internal/scenario"
+)
+
+// replay streams the instance through a fresh detector under cfg and
+// returns the per-round reports plus the tracker's assembled anomalies.
+func replay(t *testing.T, inst *scenario.Instance, cfg core.Config) ([]core.RoundReport, []core.Anomaly) {
+	t.Helper()
+	det, err := core.NewDetector(inst.Sensors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := core.NewStreamer(det)
+	tr := core.NewTracker(cfg)
+	reps, err := sr.PushSeries(inst.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		tr.Push(rep)
+	}
+	tr.Flush()
+	return reps, tr.Drain()
+}
+
+func TestScenarioBatchIncrementalEquivalence(t *testing.T) {
+	base := scenario.BaseConfig()
+	inc := base
+	inc.Incremental = true
+	inc.RefreshEvery = 7 // off the round cadence on purpose
+
+	anyAbnormal := false
+	for _, s := range scenario.Corpus() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			inst, err := s.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bReps, bAnoms := replay(t, inst, base)
+			iReps, iAnoms := replay(t, inst, inc)
+
+			if len(bReps) != len(iReps) {
+				t.Fatalf("batch emitted %d rounds, incremental %d", len(bReps), len(iReps))
+			}
+			for i := range bReps {
+				if iReps[i].Abnormal != bReps[i].Abnormal {
+					t.Errorf("round %d: abnormal %v, batch %v", i, iReps[i].Abnormal, bReps[i].Abnormal)
+				}
+				if !reflect.DeepEqual(iReps[i].Outliers, bReps[i].Outliers) {
+					t.Errorf("round %d: outliers %v, batch %v", i, iReps[i].Outliers, bReps[i].Outliers)
+				}
+				if iReps[i].Variations != bReps[i].Variations {
+					t.Errorf("round %d: variations %d, batch %d", i, iReps[i].Variations, bReps[i].Variations)
+				}
+				if iReps[i].WindowEnd != bReps[i].WindowEnd {
+					t.Errorf("round %d: windowEnd %d, batch %d", i, iReps[i].WindowEnd, bReps[i].WindowEnd)
+				}
+				if bReps[i].Abnormal {
+					anyAbnormal = true
+				}
+			}
+			// Identical round decisions must assemble into identical
+			// anomaly records.
+			if !reflect.DeepEqual(bAnoms, iAnoms) {
+				t.Errorf("anomalies differ:\nbatch       %+v\nincremental %+v", bAnoms, iAnoms)
+			}
+		})
+	}
+	if !anyAbnormal {
+		t.Fatal("suite has no power: no scenario produced an abnormal round")
+	}
+}
+
+// TestScenarioRefreshCadenceInvariance: the exact-refresh cadence is an
+// internal performance knob; decisions must not depend on it.
+func TestScenarioRefreshCadenceInvariance(t *testing.T) {
+	s, ok := scenario.ByName("cascading-backend-timeout")
+	if !ok {
+		t.Fatal("cascading-backend-timeout missing from corpus")
+	}
+	inst, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []core.RoundReport
+	for i, every := range []int{0, 1, 16, 97} {
+		cfg := scenario.BaseConfig()
+		cfg.Incremental = true
+		cfg.RefreshEvery = every
+		reps, _ := replay(t, inst, cfg)
+		if i == 0 {
+			ref = reps
+			continue
+		}
+		if len(reps) != len(ref) {
+			t.Fatalf("refreshEvery=%d: %d rounds vs %d", every, len(reps), len(ref))
+		}
+		for r := range reps {
+			if reps[r].Abnormal != ref[r].Abnormal || !reflect.DeepEqual(reps[r].Outliers, ref[r].Outliers) {
+				t.Errorf("refreshEvery=%d round %d: decisions diverge", every, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package eval
+
+// delay.go provides the aggregate detection-delay and false-alarm measures
+// the scenario evaluation matrix reports per cell, built on the per-segment
+// primitives of relative.go. The paper's case study (Figure 7) reports raw
+// delays; the matrix needs them summarized so one number per
+// scenario × config can be tracked across commits.
+
+// DelaySummary aggregates the per-segment detection delays of one
+// prediction against one ground truth.
+type DelaySummary struct {
+	// Detected and Total count ground-truth anomalies hit vs all.
+	Detected, Total int
+	// MeanDelay and MaxDelay are over the detected anomalies only, in time
+	// points from the anomaly's onset to the first predicted point. Both
+	// are 0 when nothing was detected.
+	MeanDelay, MaxDelay float64
+}
+
+// SummarizeDelays folds the output of DetectionDelay (−1 = missed) into a
+// DelaySummary.
+func SummarizeDelays(delays []int) DelaySummary {
+	s := DelaySummary{Total: len(delays)}
+	sum := 0
+	for _, d := range delays {
+		if d < 0 {
+			continue
+		}
+		s.Detected++
+		sum += d
+		if fd := float64(d); fd > s.MaxDelay {
+			s.MaxDelay = fd
+		}
+	}
+	if s.Detected > 0 {
+		s.MeanDelay = float64(sum) / float64(s.Detected)
+	}
+	return s
+}
+
+// Delays is DetectionDelay + SummarizeDelays in one call.
+func Delays(pred, truth []bool) (DelaySummary, error) {
+	d, err := DetectionDelay(pred, truth)
+	if err != nil {
+		return DelaySummary{}, err
+	}
+	return SummarizeDelays(d), nil
+}
+
+// FalseAlarmRate is the fraction of normal time points the raw (unadjusted)
+// predictions flag — the FPR of pred against truth. Point adjustment
+// deliberately inflates recall, so false alarms must always be measured on
+// the raw predictions.
+func FalseAlarmRate(pred, truth []bool) (float64, error) {
+	c, err := Count(pred, truth)
+	if err != nil {
+		return 0, err
+	}
+	return c.FPR(), nil
+}
+
+// OnsetHit reports whether a detection at time point `at` counts as hitting
+// the anomaly segment under the DaE view: at or after the onset (earlier
+// points belong to a different alarm) and before the segment ends plus the
+// given slack (a detection trailing the fault by more than slack points is
+// a late coincidence, not a hit).
+func OnsetHit(seg Segment, at, slack int) bool {
+	return at >= seg.Start && at < seg.End+slack
+}

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeDelays(t *testing.T) {
+	s := SummarizeDelays([]int{0, 4, -1, 8})
+	if s.Total != 4 || s.Detected != 3 {
+		t.Fatalf("detected/total = %d/%d", s.Detected, s.Total)
+	}
+	if s.MeanDelay != 4 || s.MaxDelay != 8 {
+		t.Fatalf("mean/max = %v/%v", s.MeanDelay, s.MaxDelay)
+	}
+	if z := SummarizeDelays([]int{-1, -1}); z.Detected != 0 || z.MeanDelay != 0 || z.MaxDelay != 0 {
+		t.Fatalf("all-missed summary = %+v", z)
+	}
+	if z := SummarizeDelays(nil); z.Total != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestDelays(t *testing.T) {
+	truth := []bool{false, true, true, true, false, true, true, false}
+	pred := []bool{false, false, false, true, false, false, false, false}
+	s, err := Delays(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment [1,4) detected at 3 (delay 2); segment [5,7) missed.
+	if s.Total != 2 || s.Detected != 1 || s.MeanDelay != 2 || s.MaxDelay != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if _, err := Delays(pred[:3], truth); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestFalseAlarmRate(t *testing.T) {
+	truth := []bool{false, false, true, true, false, false}
+	pred := []bool{true, false, true, false, false, true}
+	got, err := FalseAlarmRate(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 normal points, 2 flagged.
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FAR = %v, want 0.5", got)
+	}
+	if _, err := FalseAlarmRate(pred[:2], truth); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestOnsetHit(t *testing.T) {
+	seg := Segment{Start: 100, End: 140}
+	for _, tc := range []struct {
+		at, slack int
+		want      bool
+	}{
+		{99, 0, false},  // before onset
+		{100, 0, true},  // at onset
+		{139, 0, true},  // last in-segment point
+		{140, 0, false}, // past end, no slack
+		{145, 10, true}, // inside slack
+		{150, 10, false},
+	} {
+		if got := OnsetHit(seg, tc.at, tc.slack); got != tc.want {
+			t.Errorf("OnsetHit(%+v, %d, %d) = %v", seg, tc.at, tc.slack, got)
+		}
+	}
+}

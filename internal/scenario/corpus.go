@@ -1,0 +1,103 @@
+package scenario
+
+import "cad/internal/simulator"
+
+// Corpus returns the ten named failure scenarios in stable order.
+//
+// Every scenario uses the same fleet shape — 32 sensors in 4 latent
+// communities over 1200 points — so the scenario × config matrix compares
+// failure modes under identical detector configurations. With the
+// generator's round-robin assignment, community j owns sensors
+// {j, j+4, j+8, …}; the mechanism strings below name communities in those
+// terms. Onsets sit past point 400, leaving the detector > 80 rounds of
+// clean history at the default w=64/s=4 windowing before the fault.
+func Corpus() []Scenario {
+	const (
+		sensors     = 32
+		communities = 4
+		length      = 1200
+	)
+	base := func(name, problem, mechanism string, seed int64, keywords []string, injs ...simulator.Injection) Scenario {
+		return Scenario{
+			Name: name, Problem: problem, Mechanism: mechanism,
+			Keywords: keywords,
+			Sensors:  sensors, Communities: communities, Length: length,
+			Seed: seed, Noise: 0.05, Cross: 0.1,
+			Injections: injs,
+		}
+	}
+	return []Scenario{
+		base("crash-loop",
+			"service stuck in a restart loop",
+			"sensors 0/4/8 (community 0) collapse to their pre-fault floor on a fixed duty cycle from point 520: each down phase flatlines them, each up phase briefly recovers before the next crash",
+			101,
+			[]string{"crash loop", "restart", "flapping", "exit code"},
+			simulator.Injection{Kind: simulator.Intermittent, Start: 520, End: 760, Sensors: []int{0, 4, 8}},
+		),
+		base("oom-kill",
+			"memory climb ending in an OOM kill",
+			"sensors 1/5/9 (community 1) ramp upward from point 480 (allocation growth), then flatline from 620 after the kill — a Drift injection followed by Stuck on the same sensors",
+			102,
+			[]string{"OOM", "out of memory", "memory leak", "killed"},
+			simulator.Injection{Kind: simulator.Drift, Start: 480, End: 620, Sensors: []int{1, 5, 9}},
+			simulator.Injection{Kind: simulator.Stuck, Start: 620, End: 760, Sensors: []int{1, 5, 9}},
+		),
+		base("cpu-throttle",
+			"CPU pinned at its cgroup limit",
+			"sensors 2/6/10/14 (community 2) are clipped against a ceiling below their pre-fault mean from point 500 — pegged at the limit with only the dips still carrying signal (CFS throttling)",
+			103,
+			[]string{"CPU throttling", "throttled", "CPU limit", "saturation"},
+			simulator.Injection{Kind: simulator.Saturate, Start: 500, End: 740, Sensors: []int{2, 6, 10, 14}},
+		),
+		base("network-partition",
+			"a rack partitioned from the rest of the fleet",
+			"sensors 3/7/11 (part of community 3) switch to one shared replacement latent from point 540: still serving and still correlated with each other, but decoupled from their community driver",
+			104,
+			[]string{"network partition", "unreachable", "split brain", "isolated"},
+			simulator.Injection{Kind: simulator.RegimeShift, Start: 540, End: 720, Sensors: []int{3, 7, 11}},
+		),
+		base("cascading-backend-timeout",
+			"backend failure cascading through dependent services",
+			"a correlation break starting on sensor 0 at point 520 and propagating to sensors 4, 1, 5, 2 at 8-point intervals (Stagger) — each dependent decouples as its upstream times out",
+			105,
+			[]string{"cascading failure", "timeout", "upstream", "dependency"},
+			simulator.Injection{Kind: simulator.CorrelationBreak, Start: 520, End: 780, Sensors: []int{0, 4, 1, 5, 2}, Stagger: 8},
+		),
+		base("slow-leak",
+			"slow resource leak ending in starvation",
+			"sensors 3/7 (community 3) drift upward from point 420 — a shallow additive ramp that rides on the workload signal and is invisible to correlation analysis — until the leak starves the process at 700 and the metrics decouple from the workload driver (the hardest early-detection case: only the starvation phase is catchable)",
+			106,
+			[]string{"leak", "gradual", "slow growth", "starvation", "degradation"},
+			simulator.Injection{Kind: simulator.Drift, Start: 420, End: 900, Sensors: []int{3, 7}},
+			simulator.Injection{Kind: simulator.Dampen, Start: 700, End: 900, Sensors: []int{3, 7}},
+		),
+		base("thundering-herd",
+			"synchronized retry storm",
+			"sensors 0–9 (all four communities) take short synchronized spike bursts over points 560–640 — a retry storm hammering the whole fleet at once",
+			107,
+			[]string{"thundering herd", "retry storm", "spike", "burst"},
+			simulator.Injection{Kind: simulator.Spike, Start: 560, End: 640, Sensors: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+		),
+		base("partial-sensor-dropout",
+			"failing transducers fading into the noise floor",
+			"sensors 8/12 (community 0) have their deviation from the pre-fault mean attenuated to 2% from point 500 — still reporting, but the signal is below the noise floor",
+			108,
+			[]string{"sensor failure", "dropout", "flatline", "no signal"},
+			simulator.Injection{Kind: simulator.Dampen, Start: 500, End: 700, Sensors: []int{8, 12}},
+		),
+		base("correlated-regime-shift",
+			"most of a community switching operating regime together",
+			"five of the eight sensors of community 1 (1/5/9/13/17) move to one shared replacement latent from point 540: the shifted group stays internally correlated but tears away from the three left behind — the adversarial case for co-appearance mining, visible only at the tear",
+			109,
+			[]string{"regime shift", "mode change", "coordinated", "operating point"},
+			simulator.Injection{Kind: simulator.RegimeShift, Start: 540, End: 760, Sensors: []int{1, 5, 9, 13, 17}},
+		),
+		base("noisy-deploy",
+			"bad deploy adding jitter across part of the fleet",
+			"sensors 0–5 gain a heavy additive noise burst over points 520–660 — the underlying signal is unchanged but drowned in deploy-induced jitter",
+			110,
+			[]string{"deploy", "jitter", "noisy", "regression"},
+			simulator.Injection{Kind: simulator.NoiseBurst, Start: 520, End: 660, Sensors: []int{0, 1, 2, 3, 4, 5}},
+		),
+	}
+}

@@ -1,0 +1,93 @@
+package scenario
+
+// floor_test.go is the `make scenariotest` quality gate: it loads the
+// committed BENCH_scenarios.json, schema-checks it, and re-runs the gate
+// config on every scenario, failing if any DPA-F1 lands below its committed
+// floor. A detector change that silently degrades a failure mode fails here
+// until the floor is consciously re-recorded with `make scenario-record`.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadCommittedMatrix reads the repo-root artifact relative to this
+// package's directory.
+func loadCommittedMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join("..", "..", "BENCH_scenarios.json"))
+	if err != nil {
+		t.Fatalf("read committed baseline: %v", err)
+	}
+	var m Matrix
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("decode committed baseline: %v", err)
+	}
+	return &m
+}
+
+// TestCommittedMatrixSchema is the JSON sanity check on the committed
+// artifact: ≥ 10 scenarios × ≥ 4 configs, all metrics in range, a floor and
+// a gate cell per scenario.
+func TestCommittedMatrixSchema(t *testing.T) {
+	m := loadCommittedMatrix(t)
+	if err := m.Validate(10, 4); err != nil {
+		t.Fatalf("committed BENCH_scenarios.json invalid: %v", err)
+	}
+	if m.Generated == "" || m.GoVersion == "" {
+		t.Error("committed baseline missing generated/goVersion stamps")
+	}
+	// The artifact must cover the current corpus under its current names —
+	// a renamed or added scenario needs a re-record.
+	committed := make(map[string]bool)
+	for _, s := range m.Scenarios {
+		committed[s.Name] = true
+	}
+	for _, s := range Corpus() {
+		if !committed[s.Name] {
+			t.Errorf("corpus scenario %s missing from committed baseline (run `make scenario-record`)", s.Name)
+		}
+	}
+}
+
+// TestScenarioFloors re-runs the committed gate config on every scenario
+// with its pinned seed and asserts DPA-F1 ≥ the committed floor.
+func TestScenarioFloors(t *testing.T) {
+	m := loadCommittedMatrix(t)
+	var gate *ConfigVariant
+	for _, v := range Variants() {
+		if v.Name == m.GateConfig {
+			v := v
+			gate = &v
+		}
+	}
+	if gate == nil {
+		t.Fatalf("committed gate config %q is not in the current grid", m.GateConfig)
+	}
+	for _, sr := range m.Scenarios {
+		sr := sr
+		t.Run(sr.Name, func(t *testing.T) {
+			s, ok := ByName(sr.Name)
+			if !ok {
+				t.Fatalf("committed scenario %s no longer in the corpus", sr.Name)
+			}
+			if s.Seed != sr.Seed {
+				t.Fatalf("scenario %s seed changed (%d → %d) without a re-record", sr.Name, sr.Seed, s.Seed)
+			}
+			inst, err := s.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell, _, err := Evaluate(inst, gate.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cell.DPAF1 < sr.Floor {
+				t.Errorf("%s: DPA-F1 %.4f below committed floor %.2f (gate %s) — detection quality regressed, or re-record with `make scenario-record`",
+					sr.Name, cell.DPAF1, sr.Floor, m.GateConfig)
+			}
+		})
+	}
+}

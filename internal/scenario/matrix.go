@@ -1,0 +1,339 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cad/internal/core"
+	"cad/internal/eval"
+	"cad/internal/mts"
+)
+
+// matrix.go runs the scenario × config evaluation matrix: every corpus
+// scenario is streamed through a grid of detector configurations and each
+// cell reports the DaE quality metrics (DPA-F1, Ahead/Miss vs the batch
+// reference, detection delay, false-alarm rate, sensor localization) plus
+// throughput. cmd/cadeval serializes the result as BENCH_scenarios.json so
+// detection quality gets a committed trajectory the same way speed does in
+// BENCH_ingest.json.
+
+// ConfigVariant is one named detector configuration of the grid.
+type ConfigVariant struct {
+	Name    string      `json:"name"`
+	Summary string      `json:"summary"`
+	Config  core.Config `json:"-"`
+}
+
+// BaseConfig is the matrix's reference configuration: the exact batch
+// pipeline sized for the corpus fleet shape (32 sensors in 4 communities
+// over 1200 points). θ is calibrated the way internal/experiments does it:
+// just below the typical RC plateau (communitySize−1)/(n−1) = 7/31 ≈ 0.23,
+// so a healthy sensor sits above θ and a decorrelated one crosses it within
+// a few rounds. The short RC horizon keeps co-affected sensors' outlier
+// transitions synchronized, which is what makes the 3σ rule fire early.
+func BaseConfig() core.Config {
+	return core.Config{
+		Window: mts.Windowing{W: 64, S: 4}, K: 10, Tau: 0.4, Theta: 0.17,
+		Eta: 3, SigmaFloor: 0.5, MinHistory: 8,
+		RCMode: core.RCSliding, RCHorizon: 5,
+	}
+}
+
+// Variants returns the evaluation grid. The first variant is the reference
+// every other variant's Ahead/Miss is measured against.
+func Variants() []ConfigVariant {
+	base := BaseConfig()
+	inc := base
+	inc.Incremental, inc.RefreshEvery = true, 64
+	approx := base
+	approx.ApproxTSG, approx.ApproxSeed = true, 1
+	wide := base
+	wide.Window = mts.Windowing{W: 96, S: 6}
+	cum := base
+	cum.RCMode = core.RCCumulative
+	xi := base
+	xi.DisableVariationRule, xi.FixedXi = true, 3
+	return []ConfigVariant{
+		{Name: "batch", Summary: "exact batch pipeline, plateau-calibrated defaults (w=64 s=4 k=10 τ=0.4 θ=0.17 η=3)", Config: base},
+		{Name: "incremental", Summary: "Config.Incremental hot path: rank-one correlation, in-place TSG repair, warm Louvain", Config: inc},
+		{Name: "approx-tsg", Summary: "HNSW approximate TSG (Config.ApproxTSG, pinned seed)", Config: approx},
+		{Name: "wide-window", Summary: "wider, coarser windowing (w=96 s=6)", Config: wide},
+		{Name: "cumulative-rc", Summary: "paper-literal cumulative RC accumulation (Def. 6)", Config: cum},
+		{Name: "fixed-xi", Summary: "fixed ξ=3 abnormal rule instead of the 3σ variation rule", Config: xi},
+	}
+}
+
+// Cell is one scenario × config measurement.
+type Cell struct {
+	Config string `json:"config"`
+	// DPA/PA/raw point F1 under the DaE scheme.
+	DPAF1 float64 `json:"dpaF1"`
+	PAF1  float64 `json:"paF1"`
+	RawF1 float64 `json:"rawF1"`
+	// SensorF1 is the localization score against the injected sensors.
+	SensorF1 float64 `json:"sensorF1"`
+	// FalseAlarmRate is the FPR of the raw (unadjusted) point predictions.
+	FalseAlarmRate float64 `json:"falseAlarmRate"`
+	// Detected / Segments count ground-truth anomalies hit vs total.
+	Detected int `json:"detected"`
+	Segments int `json:"segments"`
+	// MeanDelayPoints / MeanDelayRounds measure onset-to-first-alarm lag
+	// over the detected anomalies.
+	MeanDelayPoints float64 `json:"meanDelayPoints"`
+	MeanDelayRounds float64 `json:"meanDelayRounds"`
+	// AheadVsBatch / MissVsBatch are the DaE relative measures against the
+	// reference (first) variant; zero on the reference itself.
+	AheadVsBatch float64 `json:"aheadVsBatch"`
+	MissVsBatch  float64 `json:"missVsBatch"`
+	// Rounds / AlarmRounds / RoundsPerSec describe the run itself.
+	// RoundsPerSec is wall-clock and varies between machines; every other
+	// field is deterministic under the scenario's pinned seed.
+	Rounds       int     `json:"rounds"`
+	AlarmRounds  int     `json:"alarmRounds"`
+	RoundsPerSec float64 `json:"roundsPerSec"`
+}
+
+// ScenarioResult is one corpus scenario's row of the matrix.
+type ScenarioResult struct {
+	Name      string   `json:"name"`
+	Problem   string   `json:"problem"`
+	Mechanism string   `json:"mechanism"`
+	Keywords  []string `json:"keywords"`
+	Sensors   int      `json:"sensors"`
+	Length    int      `json:"length"`
+	Seed      int64    `json:"seed"`
+	Onset     int      `json:"onset"`
+	Affected  []int    `json:"affectedSensors"`
+	// Floor is the committed DPA-F1 floor `make scenariotest` asserts
+	// against, derived from the gate config's cell minus slack.
+	Floor float64 `json:"floor"`
+	Cells []Cell  `json:"cells"`
+}
+
+// Matrix is the BENCH_scenarios.json file format.
+type Matrix struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"goVersion"`
+	GOARCH    string `json:"goarch"`
+	// GateConfig names the variant whose DPA-F1 sets each scenario floor.
+	GateConfig string           `json:"gateConfig"`
+	Configs    []ConfigVariant  `json:"configs"`
+	Scenarios  []ScenarioResult `json:"scenarios"`
+}
+
+// Evaluate streams one built scenario through one detector configuration
+// and scores it. The returned prediction vector (one bool per time point)
+// feeds the relative Ahead/Miss comparison between variants.
+func Evaluate(inst *Instance, cfg core.Config) (Cell, []bool, error) {
+	det, err := core.NewDetector(inst.Sensors, cfg)
+	if err != nil {
+		return Cell{}, nil, err
+	}
+	sr := core.NewStreamer(det)
+	tr := core.NewTracker(cfg)
+	pred := make([]bool, inst.Series.Len())
+	col := make([]float64, inst.Sensors)
+	cell := Cell{}
+
+	start := time.Now()
+	for p := 0; p < inst.Series.Len(); p++ {
+		inst.Series.Column(p, col)
+		rep, ok, err := sr.Push(col)
+		if err != nil {
+			return Cell{}, nil, err
+		}
+		if !ok {
+			continue
+		}
+		cell.Rounds++
+		tr.Push(rep)
+		if rep.Abnormal {
+			cell.AlarmRounds++
+			// Mirror Detector.pointSpan: an abnormal round implicates the
+			// final step's worth of its window.
+			from := rep.WindowEnd - cfg.Window.S
+			if from < 0 {
+				from = 0
+			}
+			for t := from; t < rep.WindowEnd && t < len(pred); t++ {
+				pred[t] = true
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	tr.Flush()
+	if cell.Rounds == 0 {
+		return Cell{}, nil, fmt.Errorf("scenario %s: no rounds completed", inst.Name)
+	}
+	cell.RoundsPerSec = round2(float64(cell.Rounds) / elapsed.Seconds())
+
+	if cell.DPAF1, err = eval.BinaryF1(pred, inst.Labels, eval.DPA); err != nil {
+		return Cell{}, nil, err
+	}
+	if cell.PAF1, err = eval.BinaryF1(pred, inst.Labels, eval.PA); err != nil {
+		return Cell{}, nil, err
+	}
+	if cell.RawF1, err = eval.BinaryF1(pred, inst.Labels, eval.None); err != nil {
+		return Cell{}, nil, err
+	}
+	if cell.FalseAlarmRate, err = eval.FalseAlarmRate(pred, inst.Labels); err != nil {
+		return Cell{}, nil, err
+	}
+	delays, err := eval.Delays(pred, inst.Labels)
+	if err != nil {
+		return Cell{}, nil, err
+	}
+	cell.Detected, cell.Segments = delays.Detected, delays.Total
+	cell.MeanDelayPoints = round2(delays.MeanDelay)
+	cell.MeanDelayRounds = round2(delays.MeanDelay / float64(cfg.Window.S))
+
+	preds := make([]eval.SensorPrediction, 0, 4)
+	for _, a := range tr.Drain() {
+		preds = append(preds, eval.SensorPrediction{
+			Segment: eval.Segment{Start: a.Start, End: a.End},
+			Sensors: a.Sensors,
+		})
+	}
+	cell.SensorF1 = eval.SensorF1(preds, inst.Truths)
+	return cell, pred, nil
+}
+
+// Run evaluates every scenario against every variant. The first variant is
+// the Ahead/Miss reference. Floors are NOT set here — SetFloors derives
+// them, and cmd/cadeval records them into the committed artifact.
+func Run(scenarios []Scenario, variants []ConfigVariant) (*Matrix, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("scenario: no config variants")
+	}
+	m := &Matrix{Configs: variants}
+	for _, s := range scenarios {
+		inst, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		res := ScenarioResult{
+			Name: s.Name, Problem: s.Problem, Mechanism: s.Mechanism,
+			Keywords: s.Keywords, Sensors: s.Sensors, Length: s.Length,
+			Seed: s.Seed, Onset: s.Onset(), Affected: s.AffectedSensors(),
+		}
+		var refPred []bool
+		for i, v := range variants {
+			cell, pred, err := Evaluate(inst, v.Config)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s × %s: %w", s.Name, v.Name, err)
+			}
+			cell.Config = v.Name
+			if i == 0 {
+				refPred = pred
+			} else {
+				rel, err := eval.AheadMiss(pred, refPred, inst.Labels)
+				if err != nil {
+					return nil, err
+				}
+				cell.AheadVsBatch = round2(rel.Ahead)
+				cell.MissVsBatch = round2(rel.Miss)
+			}
+			cell.DPAF1 = round2(cell.DPAF1)
+			cell.PAF1 = round2(cell.PAF1)
+			cell.RawF1 = round2(cell.RawF1)
+			cell.SensorF1 = round2(cell.SensorF1)
+			cell.FalseAlarmRate = round4(cell.FalseAlarmRate)
+			res.Cells = append(res.Cells, cell)
+		}
+		m.Scenarios = append(m.Scenarios, res)
+	}
+	return m, nil
+}
+
+// SetFloors records, per scenario, the DPA-F1 floor scenariotest asserts:
+// the gate variant's measured DPA-F1 minus slack, clamped to [0,1] and
+// rounded down to 2 decimals.
+func (m *Matrix) SetFloors(gate string, slack float64) error {
+	m.GateConfig = gate
+	for i := range m.Scenarios {
+		cell, ok := m.Scenarios[i].Cell(gate)
+		if !ok {
+			return fmt.Errorf("scenario %s has no %q cell", m.Scenarios[i].Name, gate)
+		}
+		floor := math.Floor((cell.DPAF1-slack)*100) / 100
+		if floor < 0 {
+			floor = 0
+		}
+		m.Scenarios[i].Floor = floor
+	}
+	return nil
+}
+
+// Cell returns the scenario's cell for the named config.
+func (r ScenarioResult) Cell(config string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Config == config {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// Validate is the schema sanity check on a (decoded) BENCH_scenarios.json:
+// shape, required fields, and metric ranges. It does not re-run anything.
+func (m *Matrix) Validate(minScenarios, minConfigs int) error {
+	if len(m.Scenarios) < minScenarios {
+		return fmt.Errorf("matrix has %d scenarios, want ≥ %d", len(m.Scenarios), minScenarios)
+	}
+	if len(m.Configs) < minConfigs {
+		return fmt.Errorf("matrix has %d configs, want ≥ %d", len(m.Configs), minConfigs)
+	}
+	if m.GateConfig == "" {
+		return fmt.Errorf("matrix has no gateConfig")
+	}
+	seen := make(map[string]bool)
+	for _, s := range m.Scenarios {
+		if s.Name == "" || s.Problem == "" || s.Mechanism == "" {
+			return fmt.Errorf("scenario %q: missing name/problem/mechanism", s.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Keywords) == 0 {
+			return fmt.Errorf("scenario %s: no keywords", s.Name)
+		}
+		if s.Onset <= 0 || s.Onset >= s.Length {
+			return fmt.Errorf("scenario %s: onset %d outside series of length %d", s.Name, s.Onset, s.Length)
+		}
+		if len(s.Affected) == 0 {
+			return fmt.Errorf("scenario %s: no affected sensors", s.Name)
+		}
+		if s.Floor < 0 || s.Floor > 1 {
+			return fmt.Errorf("scenario %s: floor %v outside [0,1]", s.Name, s.Floor)
+		}
+		if len(s.Cells) < minConfigs {
+			return fmt.Errorf("scenario %s: %d cells, want ≥ %d", s.Name, len(s.Cells), minConfigs)
+		}
+		if _, ok := s.Cell(m.GateConfig); !ok {
+			return fmt.Errorf("scenario %s: missing gate cell %q", s.Name, m.GateConfig)
+		}
+		for _, c := range s.Cells {
+			for name, v := range map[string]float64{
+				"dpaF1": c.DPAF1, "paF1": c.PAF1, "rawF1": c.RawF1,
+				"sensorF1": c.SensorF1, "falseAlarmRate": c.FalseAlarmRate,
+				"aheadVsBatch": c.AheadVsBatch, "missVsBatch": c.MissVsBatch,
+			} {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return fmt.Errorf("scenario %s × %s: %s = %v outside [0,1]", s.Name, c.Config, name, v)
+				}
+			}
+			if c.Rounds <= 0 {
+				return fmt.Errorf("scenario %s × %s: no rounds", s.Name, c.Config)
+			}
+			if c.Detected > c.Segments {
+				return fmt.Errorf("scenario %s × %s: detected %d > segments %d", s.Name, c.Config, c.Detected, c.Segments)
+			}
+		}
+	}
+	return nil
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }

@@ -1,0 +1,127 @@
+// Package scenario is the ground-truthed failure-scenario corpus: ~10 named
+// production failure modes (crash-loop, oom-kill, cpu-throttle, …), each
+// generated deterministically on top of internal/simulator with an explicit
+// fault mechanism, expected onset point, and affected-sensor ground truth.
+//
+// The corpus replaces ad-hoc random anomaly mixes for quality evaluation:
+// every scenario states WHAT failed (the mechanism), WHEN (the onset), and
+// WHERE (the sensors), so detection quality — DPA-F1, detection delay,
+// false alarms, sensor localization — can be asserted and tracked per
+// failure mode across the scenario × config evaluation matrix (matrix.go,
+// cmd/cadeval, BENCH_scenarios.json). The scenario list is modeled on the
+// ten agentic-iteration ground truths of the DataDog Observer plan and the
+// fault taxonomies of CSCAD/CAAD.
+package scenario
+
+import (
+	"fmt"
+
+	"cad/internal/eval"
+	"cad/internal/mts"
+	"cad/internal/simulator"
+)
+
+// Scenario is one named, ground-truthed failure mode. Build is
+// deterministic: equal scenarios yield bit-identical datasets.
+type Scenario struct {
+	// Name identifies the scenario ("crash-loop", "oom-kill", …).
+	Name string
+	// Problem is the one-line problem type a responder would file.
+	Problem string
+	// Mechanism describes how the fault is injected into the generative
+	// model: which sensors/community it perturbs and how.
+	Mechanism string
+	// Keywords a correct diagnosis of this scenario would mention.
+	Keywords []string
+
+	// Sensors, Communities, Length, Seed, Noise, Cross parameterize the
+	// underlying simulator (see simulator.Config).
+	Sensors     int
+	Communities int
+	Length      int
+	Seed        int64
+	Noise       float64
+	Cross       float64
+
+	// Injections are the explicitly placed faults (ground truth).
+	Injections []simulator.Injection
+}
+
+// Onset returns the earliest fault point — the moment the failure begins.
+func (s Scenario) Onset() int {
+	onset := s.Length
+	for _, inj := range s.Injections {
+		if inj.Start < onset {
+			onset = inj.Start
+		}
+	}
+	return onset
+}
+
+// AffectedSensors returns the union of all injections' sensors, ascending.
+func (s Scenario) AffectedSensors() []int {
+	seen := make(map[int]bool)
+	for _, inj := range s.Injections {
+		for _, v := range inj.Sensors {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := 0; v < s.Sensors; v++ {
+		if seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Instance is a built scenario: the generated series plus its ground truth
+// in the eval package's terms.
+type Instance struct {
+	Scenario
+	// Series is the generated observation matrix (Sensors × Length).
+	Series *mts.MTS
+	// Labels marks the anomalous time points (union of injection spans).
+	Labels []bool
+	// Truths is the per-injection sensor-localization ground truth.
+	Truths []eval.SensorTruth
+}
+
+// Build generates the scenario's dataset. Equal scenarios build
+// bit-identical instances (the simulator is seeded and injections are
+// explicitly placed).
+func (s Scenario) Build() (*Instance, error) {
+	gen, err := simulator.New(simulator.Config{
+		Seed:          s.Seed,
+		Sensors:       s.Sensors,
+		Communities:   s.Communities,
+		Length:        s.Length,
+		NoiseStd:      s.Noise,
+		CrossCoupling: s.Cross,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	series, labels, err := gen.WithInjections(s.Injections)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	truths := make([]eval.SensorTruth, len(s.Injections))
+	for i, inj := range s.Injections {
+		truths[i] = eval.SensorTruth{
+			Segment: eval.Segment{Start: inj.Start, End: inj.End},
+			Sensors: append([]int(nil), inj.Sensors...),
+		}
+	}
+	return &Instance{Scenario: s, Series: series, Labels: labels, Truths: truths}, nil
+}
+
+// ByName returns the corpus scenario with the given name.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range Corpus() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

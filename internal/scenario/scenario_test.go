@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"testing"
+
+	"cad/internal/simulator"
+)
+
+func TestCorpusShape(t *testing.T) {
+	corpus := Corpus()
+	if len(corpus) < 10 {
+		t.Fatalf("corpus has %d scenarios, want ≥ 10", len(corpus))
+	}
+	seen := make(map[string]bool)
+	seeds := make(map[int64]string)
+	for _, s := range corpus {
+		if s.Name == "" || s.Problem == "" || s.Mechanism == "" {
+			t.Fatalf("scenario %q: empty name/problem/mechanism", s.Name)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if prev, dup := seeds[s.Seed]; dup {
+			t.Fatalf("scenarios %s and %s share seed %d", prev, s.Name, s.Seed)
+		}
+		seeds[s.Seed] = s.Name
+		if len(s.Keywords) == 0 {
+			t.Errorf("scenario %s: no keywords", s.Name)
+		}
+		if len(s.Injections) == 0 {
+			t.Fatalf("scenario %s: no injections", s.Name)
+		}
+		onset := s.Onset()
+		if onset <= 0 || onset >= s.Length {
+			t.Errorf("scenario %s: onset %d outside (0,%d)", s.Name, onset, s.Length)
+		}
+		// The detector needs clean history before the fault: at the matrix
+		// windowing (w=64 s=4, MinHistory 8) the 3σ baseline must be ready
+		// well before the onset.
+		if onset < 200 {
+			t.Errorf("scenario %s: onset %d leaves too little clean history", s.Name, onset)
+		}
+		if len(s.AffectedSensors()) == 0 {
+			t.Errorf("scenario %s: no affected sensors", s.Name)
+		}
+		for _, inj := range s.Injections {
+			if inj.Start < 0 || inj.End > s.Length || inj.Start >= inj.End {
+				t.Errorf("scenario %s: bad injection span [%d,%d)", s.Name, inj.Start, inj.End)
+			}
+		}
+	}
+}
+
+func TestAffectedSensorsSortedUnion(t *testing.T) {
+	s := Scenario{
+		Sensors: 8,
+		Injections: []simulator.Injection{
+			{Sensors: []int{5, 1}},
+			{Sensors: []int{1, 3}},
+		},
+	}
+	got := s.AffectedSensors()
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("affected = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("affected = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s, ok := ByName("crash-loop")
+	if !ok {
+		t.Fatal("crash-loop missing from corpus")
+	}
+	a, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Series.Sensors() != s.Sensors || a.Series.Len() != s.Length {
+		t.Fatalf("built %d×%d, want %d×%d", a.Series.Sensors(), a.Series.Len(), s.Sensors, s.Length)
+	}
+	for i := 0; i < a.Series.Sensors(); i++ {
+		ra, rb := a.Series.Row(i), b.Series.Row(i)
+		for t2 := range ra {
+			if ra[t2] != rb[t2] {
+				t.Fatalf("sensor %d differs at point %d: %v vs %v", i, t2, ra[t2], rb[t2])
+			}
+		}
+	}
+	for t2 := range a.Labels {
+		if a.Labels[t2] != b.Labels[t2] {
+			t.Fatalf("labels differ at %d", t2)
+		}
+	}
+}
+
+func TestBuildGroundTruth(t *testing.T) {
+	for _, s := range Corpus() {
+		inst, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(inst.Truths) != len(s.Injections) {
+			t.Fatalf("%s: %d truths for %d injections", s.Name, len(inst.Truths), len(s.Injections))
+		}
+		// Labels must cover exactly the union of the injection spans.
+		want := make([]bool, s.Length)
+		for _, inj := range s.Injections {
+			for p := inj.Start; p < inj.End; p++ {
+				want[p] = true
+			}
+		}
+		for p := range want {
+			if inst.Labels[p] != want[p] {
+				t.Fatalf("%s: label mismatch at %d", s.Name, p)
+			}
+		}
+		if !inst.Labels[s.Onset()] {
+			t.Fatalf("%s: onset %d not labeled", s.Name, s.Onset())
+		}
+		if s.Onset() > 0 && inst.Labels[s.Onset()-1] {
+			t.Fatalf("%s: point before onset labeled", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	s, ok := ByName("oom-kill")
+	if !ok || s.Name != "oom-kill" {
+		t.Fatalf("ByName(oom-kill) = %+v, %v", s, ok)
+	}
+}

@@ -1,0 +1,150 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"cad/internal/stats"
+)
+
+// buildWith renders a 2-community, 12-sensor series with one explicit
+// injection and returns the observations plus a same-community peer of the
+// first affected sensor that the injection leaves untouched.
+func buildWith(t *testing.T, inj Injection) (rows [][]float64, victim, peer int) {
+	t.Helper()
+	g, err := New(Config{Seed: 11, Sensors: 12, Communities: 2, Length: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, labels, err := g.WithInjections([]Injection{inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tk := inj.Start; tk < inj.End; tk++ {
+		if !labels[tk] {
+			t.Fatalf("point %d inside the injection is unlabeled", tk)
+		}
+	}
+	victim = inj.Sensors[0]
+	affected := make(map[int]bool, len(inj.Sensors))
+	for _, s := range inj.Sensors {
+		affected[s] = true
+	}
+	peer = -1
+	for i, c := range g.Community() {
+		if c == g.Community()[victim] && !affected[i] {
+			peer = i
+			break
+		}
+	}
+	if peer < 0 {
+		t.Fatal("no untouched same-community peer")
+	}
+	return m.Rows(), victim, peer
+}
+
+// corrOver is the Pearson correlation of two sensors over [from, to).
+func corrOver(t *testing.T, rows [][]float64, a, b, from, to int) float64 {
+	t.Helper()
+	r, err := stats.Pearson(rows[a][from:to], rows[b][from:to])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestDecorrelatingKinds verifies the new fault kinds actually produce the
+// correlation signature CAD keys on: the victim's correlation with an
+// untouched community peer is high before the fault and collapses during it.
+func TestDecorrelatingKinds(t *testing.T) {
+	for _, kind := range []Kind{Intermittent, Saturate, NoiseBurst, Dampen, RegimeShift} {
+		inj := Injection{Kind: kind, Start: 400, End: 640, Sensors: []int{0, 2}}
+		rows, victim, peer := buildWith(t, inj)
+		before := math.Abs(corrOver(t, rows, victim, peer, 100, 340))
+		during := math.Abs(corrOver(t, rows, victim, peer, 420, 620))
+		if before < 0.7 {
+			t.Errorf("%v: pre-fault |corr| = %.3f, expected a correlated pair", kind, before)
+		}
+		if during > before-0.2 {
+			t.Errorf("%v: fault did not decorrelate: |corr| %.3f before, %.3f during", kind, before, during)
+		}
+	}
+}
+
+// TestRegimeShiftKeepsGroupCorrelated pins RegimeShift's defining property:
+// affected sensors decouple from the community but stay correlated with
+// each other through the shared replacement latent.
+func TestRegimeShiftKeepsGroupCorrelated(t *testing.T) {
+	inj := Injection{Kind: RegimeShift, Start: 400, End: 640, Sensors: []int{0, 2, 4}}
+	rows, _, _ := buildWith(t, inj)
+	within := math.Abs(corrOver(t, rows, 0, 2, 420, 620))
+	if within < 0.7 {
+		t.Errorf("shifted group decorrelated internally: |corr| = %.3f", within)
+	}
+}
+
+// TestStaggerDelaysOnsets verifies the cascade mechanism: with Stagger set,
+// a later sensor in the list is still normal (correlated with its peer)
+// during the early phase of the injection window.
+func TestStaggerDelaysOnsets(t *testing.T) {
+	inj := Injection{Kind: CorrelationBreak, Start: 300, End: 700, Sensors: []int{0, 2}, Stagger: 200}
+	rows, _, peer := buildWith(t, inj)
+	// Sensor 2's effective onset is 500; over [310, 490) it must still track
+	// the latent while sensor 0 is already broken.
+	late := math.Abs(corrOver(t, rows, 2, peer, 310, 490))
+	early := math.Abs(corrOver(t, rows, 0, peer, 310, 490))
+	if late < 0.7 {
+		t.Errorf("staggered sensor broke early: |corr| = %.3f", late)
+	}
+	if early > 0.5 {
+		t.Errorf("first sensor did not break at Start: |corr| = %.3f", early)
+	}
+}
+
+// TestWithInjectionsDeterministic: equal seeds and injections give
+// bit-identical series.
+func TestWithInjectionsDeterministic(t *testing.T) {
+	mk := func() [][]float64 {
+		g, err := New(Config{Seed: 5, Sensors: 10, Communities: 2, Length: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := g.WithInjections([]Injection{
+			{Kind: Intermittent, Start: 200, End: 320, Sensors: []int{1, 3}},
+			{Kind: RegimeShift, Start: 380, End: 460, Sensors: []int{0, 2}, Stagger: 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Rows()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		for tk := range a[i] {
+			if a[i][tk] != b[i][tk] {
+				t.Fatalf("sensor %d point %d: %v vs %v", i, tk, a[i][tk], b[i][tk])
+			}
+		}
+	}
+}
+
+// TestWithInjectionsValidation rejects malformed injections.
+func TestWithInjectionsValidation(t *testing.T) {
+	g, err := New(Config{Seed: 1, Sensors: 8, Communities: 2, Length: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Injection{
+		{Kind: numKinds, Start: 10, End: 20, Sensors: []int{0}},
+		{Kind: Stuck, Start: -1, End: 20, Sensors: []int{0}},
+		{Kind: Stuck, Start: 10, End: 301, Sensors: []int{0}},
+		{Kind: Stuck, Start: 20, End: 20, Sensors: []int{0}},
+		{Kind: Stuck, Start: 10, End: 20},
+		{Kind: Stuck, Start: 10, End: 20, Sensors: []int{8}},
+		{Kind: Stuck, Start: 10, End: 20, Sensors: []int{0}, Stagger: -1},
+	} {
+		if _, _, err := g.WithInjections([]Injection{bad}); err == nil {
+			t.Errorf("injection %+v accepted", bad)
+		}
+	}
+}

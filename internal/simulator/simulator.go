@@ -40,6 +40,29 @@ const (
 	Drift
 	// Stuck freezes the sensor at its value from the anomaly's first point.
 	Stuck
+	// Intermittent alternates between normal operation and collapsed
+	// readings on a fixed duty cycle — a service in a restart loop: each
+	// "down" phase drops the sensor to its pre-fault floor, each "up" phase
+	// briefly recovers before the next crash.
+	Intermittent
+	// Saturate clips the sensor against a ceiling derived from its
+	// pre-fault range — a resource pinned at its limit (CPU throttling):
+	// the peaks flatten, decorrelating the sensor from its latent driver
+	// while the average level barely moves.
+	Saturate
+	// NoiseBurst multiplies the observation noise on the sensor — a bad
+	// deploy adding jitter without changing the underlying signal.
+	NoiseBurst
+	// Dampen attenuates the sensor's deviation from its pre-fault mean to
+	// a small fraction of itself, below the observation-noise floor — a
+	// failing transducer whose signal fades into the noise while still
+	// reporting.
+	Dampen
+	// RegimeShift re-drives all affected sensors with one shared
+	// replacement latent: they stay correlated with each other but decouple
+	// from the rest of their community — a partitioned rack still serving
+	// (different) traffic, or a coordinated regime change.
+	RegimeShift
 	numKinds
 )
 
@@ -56,6 +79,16 @@ func (k Kind) String() string {
 		return "drift"
 	case Stuck:
 		return "stuck"
+	case Intermittent:
+		return "intermittent"
+	case Saturate:
+		return "saturate"
+	case NoiseBurst:
+		return "noise-burst"
+	case Dampen:
+		return "dampen"
+	case RegimeShift:
+		return "regime-shift"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -67,6 +100,11 @@ type Injection struct {
 	Start   int // first anomalous time point (inclusive)
 	End     int // past-the-end time point
 	Sensors []int
+	// Stagger delays each successive sensor's onset by this many points
+	// (sensor k in Sensors starts at Start + k·Stagger, clamped inside the
+	// span) — a fault cascading through a dependency chain instead of
+	// hitting everything at once. Zero hits all sensors at Start.
+	Stagger int
 }
 
 // Config parameterizes the generator.
@@ -387,7 +425,21 @@ func (g *Generator) placeAnomalies(spec AnomalySpec, length int) ([]Injection, e
 
 // apply mutates m in place with one injection.
 func (g *Generator) apply(m *mts.MTS, lat [][]float64, inj Injection) {
-	for _, i := range inj.Sensors {
+	// RegimeShift drives every affected sensor with ONE shared replacement
+	// latent (generated before the per-sensor loop), so the group stays
+	// internally correlated.
+	var shared []float64
+	if inj.Kind == RegimeShift {
+		shared = g.replacementLatent(inj.End - inj.Start)
+	}
+	for idx, i := range inj.Sensors {
+		start := inj.Start
+		if inj.Stagger > 0 {
+			start += idx * inj.Stagger
+			if start >= inj.End {
+				start = inj.End - 1
+			}
+		}
 		row := m.Row(i)
 		switch inj.Kind {
 		case CorrelationBreak:
@@ -395,7 +447,7 @@ func (g *Generator) apply(m *mts.MTS, lat [][]float64, inj Injection) {
 			p := 10 + g.rng.Float64()*40
 			ph := g.rng.Float64() * 2 * math.Pi
 			walk := 0.0
-			for t := inj.Start; t < inj.End; t++ {
+			for t := start; t < inj.End; t++ {
 				walk += g.rng.NormFloat64() * g.cfg.WalkStd * 3
 				v := math.Sin(2*math.Pi*float64(t)/p+ph) + walk
 				row[t] = g.gain[i]*v + g.bias[i] + g.rng.NormFloat64()*g.cfg.NoiseStd
@@ -405,11 +457,11 @@ func (g *Generator) apply(m *mts.MTS, lat [][]float64, inj Injection) {
 			if g.rng.Float64() < 0.5 {
 				delta = -delta
 			}
-			for t := inj.Start; t < inj.End; t++ {
+			for t := start; t < inj.End; t++ {
 				row[t] += delta
 			}
 		case Spike:
-			for t := inj.Start; t < inj.End; t++ {
+			for t := start; t < inj.End; t++ {
 				if g.rng.Float64() < 0.3 {
 					mag := (3 + 2*g.rng.Float64()) * math.Abs(g.gain[i])
 					if g.rng.Float64() < 0.5 {
@@ -420,17 +472,137 @@ func (g *Generator) apply(m *mts.MTS, lat [][]float64, inj Injection) {
 			}
 		case Drift:
 			total := (2 + g.rng.Float64()*2) * math.Abs(g.gain[i])
-			dur := float64(inj.End - inj.Start)
-			for t := inj.Start; t < inj.End; t++ {
-				row[t] += total * float64(t-inj.Start) / dur
+			dur := float64(inj.End - start)
+			for t := start; t < inj.End; t++ {
+				row[t] += total * float64(t-start) / dur
 			}
 		case Stuck:
-			frozen := row[inj.Start]
-			for t := inj.Start; t < inj.End; t++ {
+			frozen := row[start]
+			for t := start; t < inj.End; t++ {
 				row[t] = frozen
+			}
+		case Intermittent:
+			// Restart loop: down for half the period (readings collapse to
+			// the pre-fault floor), up for the other half.
+			_, lo, _ := preStats(row, start)
+			period := (inj.End - start) / 5
+			if period < 8 {
+				period = 8
+			}
+			for t := start; t < inj.End; t++ {
+				if (t-start)%period < period/2 {
+					row[t] = lo + g.rng.NormFloat64()*g.cfg.NoiseStd
+				}
+			}
+		case Saturate:
+			// Throttling: clip against a limit below the pre-fault mean, so
+			// the sensor spends most of the fault pegged at its ceiling and
+			// only the dips below the limit still carry signal.
+			mean, lo, _ := preStats(row, start)
+			ceil := lo + 0.25*(mean-lo)
+			for t := start; t < inj.End; t++ {
+				if row[t] > ceil {
+					row[t] = ceil + g.rng.NormFloat64()*g.cfg.NoiseStd
+				}
+			}
+		case NoiseBurst:
+			burst := (1 + g.rng.Float64()) * math.Abs(g.gain[i])
+			for t := start; t < inj.End; t++ {
+				row[t] += g.rng.NormFloat64() * burst
+			}
+		case Dampen:
+			// Attenuate below the observation-noise floor: Pearson is
+			// scale-invariant, so a mild attenuation leaves correlations
+			// intact — the signal must actually drown in the noise.
+			mean, _, _ := preStats(row, start)
+			for t := start; t < inj.End; t++ {
+				row[t] = mean + (row[t]-mean)*0.02 + g.rng.NormFloat64()*g.cfg.NoiseStd
+			}
+		case RegimeShift:
+			for t := start; t < inj.End; t++ {
+				row[t] = g.gain[i]*shared[t-inj.Start] + g.bias[i] + g.rng.NormFloat64()*g.cfg.NoiseStd
 			}
 		}
 	}
+}
+
+// replacementLatent generates an independent latent process of the same
+// marginal scale as the community latents, used as the shared driver of a
+// RegimeShift injection.
+func (g *Generator) replacementLatent(n int) []float64 {
+	p := 10 + g.rng.Float64()*40
+	ph := g.rng.Float64() * 2 * math.Pi
+	walk := 0.0
+	out := make([]float64, n)
+	for t := range out {
+		walk += g.rng.NormFloat64() * g.cfg.WalkStd * 3
+		out[t] = math.Sin(2*math.Pi*float64(t)/p+ph) + walk
+	}
+	return out
+}
+
+// preStats summarizes the sensor's behavior over a lookback window before
+// the fault onset; the fault kinds that anchor to "normal" (floor, ceiling,
+// mean) derive it from here so the injected values are plausible for that
+// sensor.
+func preStats(row []float64, start int) (mean, lo, hi float64) {
+	from := start - 200
+	if from < 0 {
+		from = 0
+	}
+	if start <= from {
+		return row[0], row[0], row[0]
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for t := from; t < start; t++ {
+		mean += row[t]
+		if row[t] < lo {
+			lo = row[t]
+		}
+		if row[t] > hi {
+			hi = row[t]
+		}
+	}
+	mean /= float64(start - from)
+	return mean, lo, hi
+}
+
+// WithInjections renders a series and applies the given explicitly placed
+// injections — the deterministic counterpart of WithAnomalies, used by the
+// scenario corpus where fault mechanism, onset, and affected sensors are
+// ground truth rather than randomly drawn. Injections may overlap in time
+// and sensors; labels mark the union of their spans.
+func (g *Generator) WithInjections(injs []Injection) (*mts.MTS, []bool, error) {
+	length := g.cfg.Length
+	for k, inj := range injs {
+		if inj.Kind < 0 || inj.Kind >= numKinds {
+			return nil, nil, fmt.Errorf("%w: injection %d: unknown kind %d", ErrBadConfig, k, int(inj.Kind))
+		}
+		if inj.Start < 0 || inj.End > length || inj.Start >= inj.End {
+			return nil, nil, fmt.Errorf("%w: injection %d: span [%d,%d) outside series of length %d", ErrBadConfig, k, inj.Start, inj.End, length)
+		}
+		if len(inj.Sensors) == 0 {
+			return nil, nil, fmt.Errorf("%w: injection %d: no sensors", ErrBadConfig, k)
+		}
+		for _, s := range inj.Sensors {
+			if s < 0 || s >= g.cfg.Sensors {
+				return nil, nil, fmt.Errorf("%w: injection %d: sensor %d out of range", ErrBadConfig, k, s)
+			}
+		}
+		if inj.Stagger < 0 {
+			return nil, nil, fmt.Errorf("%w: injection %d: stagger %d", ErrBadConfig, k, inj.Stagger)
+		}
+	}
+	lat := g.latents(length)
+	m := g.render(lat, length)
+	labels := make([]bool, length)
+	for _, inj := range injs {
+		g.apply(m, lat, inj)
+		for t := inj.Start; t < inj.End; t++ {
+			labels[t] = true
+		}
+	}
+	return m, labels, nil
 }
 
 // Generate produces a complete dataset: a clean Train series of trainLen
