@@ -1,12 +1,12 @@
 GO ?= go
 
-# ci is the tier-1 gate: formatting, vet, build, the full test suite under
-# the race detector (the serve concurrency tests only mean something with
-# -race), the fault-injection suite, the pinned-seed crash-recovery
-# equivalence run, the alert-delivery suite, and the scenario-corpus
-# quality gate.
+# ci is the tier-1 gate: formatting, vet, static analysis, build, the full
+# test suite under the race detector (the serve concurrency tests only mean
+# something with -race), the fault-injection suite, the pinned-seed
+# crash-recovery equivalence run, the alert-delivery suite, the
+# scenario-corpus quality gate, and the fleet-replay acceptance gate.
 .PHONY: ci
-ci: fmt vet build race faulttest crashtest alerttest benchsmoke scenariotest
+ci: fmt vet staticcheck build race faulttest crashtest alerttest benchsmoke scenariotest fleettest
 
 .PHONY: fmt
 fmt:
@@ -16,6 +16,21 @@ fmt:
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs the pinned static analyzer when it is installed; the
+# hermetic CI image has no network, so a missing binary is a loud skip, not
+# a failure. Install locally with:
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+# The zero-finding baseline is enforced whenever the binary is present.
+STATICCHECK_VERSION ?= 2025.1
+.PHONY: staticcheck
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck $$(staticcheck -version 2>/dev/null | head -n1)"; \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed; skipping (pin: $(STATICCHECK_VERSION))"; \
+	fi
 
 .PHONY: build
 build:
@@ -87,6 +102,16 @@ bench-record:
 .PHONY: scenariotest
 scenariotest:
 	$(GO) test -count=1 -run 'TestCommittedMatrix|TestScenarioFloors' ./internal/scenario/
+
+# fleettest is the fleet-correlation acceptance gate: the deterministic
+# corpus replay across 32 staggered streams must dedup ≥90% of raw alarm
+# signals, emit ≤2 incidents per injected fault, and order every primary
+# incident's suspects by ground-truth onset (plus the -race fan-in test).
+# `cadeval -fleet` prints the same evaluation as a table.
+.PHONY: fleettest
+fleettest:
+	$(GO) test -count=1 -run 'TestReplay' ./internal/fleet/
+	$(GO) test -count=1 -race -run 'TestConcurrentBusFanIn' ./internal/fleet/
 
 # scenario-record re-runs the full scenario × config evaluation matrix and
 # rewrites the committed quality baseline (floors included). Commit the diff

@@ -13,10 +13,17 @@
 // against, so a detector change that silently degrades a failure mode fails
 // CI until the floor is consciously re-recorded.
 //
+// With -fleet the matrix is skipped and the fleet-level replay runs
+// instead: the corpus is fanned across -fleet-streams staggered streams
+// through the internal/fleet dedup + correlation pipeline (the same
+// evaluation `make fleettest` gates on), a per-scenario table goes to
+// stderr, and the JSON ReplayResult goes to stdout.
+//
 // Usage:
 //
 //	cadeval -out BENCH_scenarios.json
 //	cadeval -scenarios crash-loop,oom-kill -configs batch,incremental -out /dev/stdout
+//	cadeval -fleet [-fleet-streams 32]
 package main
 
 import (
@@ -28,18 +35,28 @@ import (
 	"strings"
 	"time"
 
+	"cad/internal/fleet"
 	"cad/internal/scenario"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_scenarios.json", "output path")
-		only    = flag.String("scenarios", "", "comma-separated scenario filter (default: full corpus)")
-		configs = flag.String("configs", "", "comma-separated config filter (default: full grid)")
-		gate    = flag.String("gate", "incremental", "config variant whose DPA-F1 sets each scenario's committed floor")
-		slack   = flag.Float64("slack", 0.10, "floor slack subtracted from the gate DPA-F1")
+		out      = flag.String("out", "BENCH_scenarios.json", "output path")
+		only     = flag.String("scenarios", "", "comma-separated scenario filter (default: full corpus)")
+		configs  = flag.String("configs", "", "comma-separated config filter (default: full grid)")
+		gate     = flag.String("gate", "incremental", "config variant whose DPA-F1 sets each scenario's committed floor")
+		slack    = flag.Float64("slack", 0.10, "floor slack subtracted from the gate DPA-F1")
+		fleetOn  = flag.Bool("fleet", false, "run the fleet incident-correlation replay instead of the config matrix")
+		fleetStr = flag.Int("fleet-streams", 0, "fleet width for -fleet (0 = default 32)")
 	)
 	flag.Parse()
+
+	if *fleetOn {
+		if err := runFleet(*fleetStr); err != nil {
+			fatalf("fleet replay: %v", err)
+		}
+		return
+	}
 
 	scenarios, err := pickScenarios(*only)
 	if err != nil {
@@ -74,6 +91,34 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatalf("write %s: %v", *out, err)
 	}
+}
+
+// runFleet runs the fleet replay evaluation: stderr gets the per-scenario
+// table, stdout the JSON ReplayResult.
+func runFleet(streams int) error {
+	r, err := fleet.Replay(fleet.ReplayConfig{Streams: streams})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleet replay: %d streams, %d raw signals, %d passed, dedup %.2f%%\n",
+		r.Streams, r.RawSignals, r.Passed, 100*r.DedupRatio)
+	fmt.Fprintf(os.Stderr, "%-26s %6s %6s %7s %9s %7s %8s\n",
+		"scenario", "rounds", "raw", "dedup", "incidents", "order", "surprise")
+	for _, s := range r.Scenarios {
+		order := "ok"
+		if !s.OrderOK {
+			order = "BAD"
+		}
+		fmt.Fprintf(os.Stderr, "%-26s %6d %6d %6.2f%% %9d %7s %8.2f\n",
+			s.Name, s.AlarmRounds, s.RawSignals, 100*s.DedupRatio, s.Incidents, order, s.Surprise)
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = os.Stdout.Write(buf)
+	return err
 }
 
 // pickScenarios resolves the -scenarios filter against the corpus.

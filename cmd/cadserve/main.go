@@ -10,6 +10,8 @@
 //	         [-fsync-interval 100ms] [-pprof] [-logjson]
 //	         [-webhook https://ops.example/hook] [-webhook-secret s3cret]
 //	         [-alert-queue 256] [-alert-dlq /var/lib/cadserve/dlq]
+//	         [-fleet] [-fleet-bucket 30s] [-fleet-window 60s]
+//	         [-fleet-quiet 5m] [-fleet-min-streams 2]
 //
 // Operators create streams with POST /v1/streams and drive them through
 // /v1/streams/{id}/…; the legacy unversioned routes (/ingest, /status,
@@ -46,6 +48,15 @@
 // their retries are dead-lettered to disk and redelivered once on the next
 // boot.
 //
+// -fleet enables the second-stage incident correlator: per-stream alarms
+// from the bus are deduplicated (Stable Bloom filter keyed by stream and
+// -fleet-bucket sized time bucket), clustered across streams within
+// -fleet-window, and published back onto the bus as
+// incident_opened/updated/closed events once -fleet-min-streams streams are
+// implicated; an incident quiet for -fleet-quiet closes. Incidents are
+// served on GET /v1/incidents (+ /v1/incidents/{id} and the SSE feed
+// /v1/incidents/events) and reach every registered sink.
+//
 // The server logs one structured line per request (text to stderr, or JSON
 // with -logjson), enforces read/write timeouts, and shuts down gracefully
 // on SIGINT/SIGTERM, draining in-flight requests.
@@ -68,6 +79,7 @@ import (
 	"cad"
 	"cad/internal/alert"
 	"cad/internal/core"
+	"cad/internal/fleet"
 	"cad/internal/manager"
 	"cad/internal/obs"
 	"cad/internal/serve"
@@ -97,15 +109,26 @@ func main() {
 		whSecret = flag.String("webhook-secret", "", "shared secret signing webhook bodies (X-CAD-Signature)")
 		alertQ   = flag.Int("alert-queue", 256, "per-sink alert queue capacity")
 		alertDLQ = flag.String("alert-dlq", "", "directory for the alert dead-letter queue ('' keeps failures in metrics only)")
+		fleetOn  = flag.Bool("fleet", false, "enable the fleet-level incident correlator (serves /v1/incidents)")
+		flBucket = flag.Duration("fleet-bucket", 0, "dedup time-bucket size (0 = default 30s)")
+		flWindow = flag.Duration("fleet-window", 0, "cross-stream clustering window (0 = default 60s)")
+		flQuiet  = flag.Duration("fleet-quiet", 0, "event-time silence closing an incident (0 = default 5m)")
+		flMinStr = flag.Int("fleet-min-streams", 0, "distinct streams opening an incident (0 = default 2)")
 	)
 	flag.Parse()
 	logger := newLogger(*logJSON)
+	fleetCfg := fleet.DefaultConfig()
+	fleetCfg.BucketSize = *flBucket
+	fleetCfg.ClusterWindow = *flWindow
+	fleetCfg.QuietClose = *flQuiet
+	fleetCfg.MinStreams = *flMinStr
 	opts := serverOptions{
 		addr: *addr, capacity: *capacity, idleTTL: *idleTTL, snapdir: *snapdir,
 		walDir: *walDir, fsync: *fsync, fsyncIv: *fsyncIv,
 		pprofOn: *pprofOn,
 		webhook: *webhook, webhookSecret: *whSecret,
 		alertQueue: *alertQ, alertDLQ: *alertDLQ,
+		fleetOn: *fleetOn, fleetCfg: fleetCfg,
 	}
 	if err := run(*sensors, *warmup, *cfgFile, *w, *s, *k, *tau, *theta, *approx, opts, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "cadserve: %v\n", err)
@@ -210,11 +233,14 @@ type serverOptions struct {
 	webhookSecret string
 	alertQueue    int
 	alertDLQ      string
+
+	fleetOn  bool
+	fleetCfg fleet.Config
 }
 
 // newManager builds the stream registry from the service flags, publishing
-// detection events onto bus.
-func newManager(o serverOptions, reg *obs.Registry, bus *alert.Bus) *manager.Manager {
+// detection events onto bus. A non-nil fl is attached as a bus consumer.
+func newManager(o serverOptions, reg *obs.Registry, bus *alert.Bus, fl *fleet.Fleet) *manager.Manager {
 	return manager.New(manager.Options{
 		Capacity:      o.capacity,
 		IdleTTL:       o.idleTTL,
@@ -225,6 +251,7 @@ func newManager(o serverOptions, reg *obs.Registry, bus *alert.Bus) *manager.Man
 		MaxAlarms:     1024,
 		Registry:      reg,
 		Alerts:        bus,
+		Fleet:         fl,
 	})
 }
 
@@ -275,6 +302,20 @@ func newServer(svc *serve.Service, addr string, pprofOn bool) *http.Server {
 	}
 }
 
+// advanceInterval picks how often the fleet's event-time clock is nudged
+// forward: a quarter of the quiet-close window, clamped to [1s, 1m], so
+// incidents close within ~1.25× their quiet window.
+func advanceInterval(quiet time.Duration) time.Duration {
+	iv := quiet / 4
+	if iv < time.Second {
+		iv = time.Second
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
+}
+
 // sweepInterval picks how often the janitor runs: a quarter of the TTL,
 // clamped to [10s, 5m], so an idle stream is evicted within ~1.25× its TTL
 // without busy-looping on short TTLs.
@@ -304,7 +345,11 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 		return err
 	}
 	defer bus.Close()
-	mgr := newManager(o, reg, bus)
+	var fl *fleet.Fleet
+	if o.fleetOn {
+		fl = fleet.New(o.fleetCfg, reg)
+	}
+	mgr := newManager(o, reg, bus, fl)
 	// Recover persisted streams before the service adopts the default
 	// stream, so a recovered default (warm state, alarm history) wins over
 	// the freshly built detector.
@@ -343,6 +388,28 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 				}
 			}
 		}()
+	}
+
+	if fl != nil {
+		// Quiet incidents must close even when no further alarms arrive to
+		// move the event-time clock, so a ticker feeds wall-clock time in.
+		iv := advanceInterval(fl.Config().QuietClose)
+		go func() {
+			tick := time.NewTicker(iv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					fl.Advance(time.Now())
+				}
+			}
+		}()
+		fcfg := fl.Config()
+		logger.Info("fleet correlator on", "bucket", fcfg.BucketSize,
+			"window", fcfg.ClusterWindow, "quiet", fcfg.QuietClose,
+			"minStreams", fcfg.MinStreams)
 	}
 
 	logger.Info("cadserve listening", "addr", o.addr, "sensors", det.Sensors(),

@@ -160,7 +160,7 @@ func TestSetupWithConfigFile(t *testing.T) {
 
 func TestNewManagerFromFlags(t *testing.T) {
 	dir := t.TempDir()
-	mgr := newManager(serverOptions{capacity: 2, idleTTL: time.Hour, snapdir: dir}, nil, nil)
+	mgr := newManager(serverOptions{capacity: 2, idleTTL: time.Hour, snapdir: dir}, nil, nil, nil)
 	det, err := setup(8, "", "", 0, 0, 0, 0.5, 0.3, false)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,127 @@
+package alert
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleEvents covers one event of every type with its characteristic
+// fields populated — the schema round-trip corpus.
+func sampleEvents(t *testing.T) []Event {
+	t.Helper()
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	inc := &Incident{
+		ID:       "inc-3",
+		State:    "open",
+		Rev:      2,
+		OpenedAt: at,
+		LastAt:   at.Add(40 * time.Second),
+		Streams:  2,
+		Events:   7,
+		Surprise: 0.83,
+		Suspects: []Suspect{
+			{Stream: "web-0", Onset: at, LagSeconds: 0, Events: 4, Score: 3.2, Sensors: []int{1, 5}},
+			{Stream: "web-1", Onset: at.Add(7 * time.Second), LagSeconds: 7, Events: 3, Score: 2.9},
+		},
+	}
+	closed := *inc
+	closed.State = "closed"
+	closed.Rev = 3
+	closed.ClosedAt = at.Add(5 * time.Minute)
+	return []Event{
+		{Seq: 1, Stream: "web-0", Type: TypeAlarm, Time: at, Round: 12, Tick: 48, Score: 2.5, Variations: 4, Sensors: []int{0, 3}},
+		{Seq: 2, Stream: "web-0", Type: TypeAnomalyOpened, Time: at, AnomalyID: 1, Round: 12, Tick: 48, Score: 2.5, Sensors: []int{0, 3}},
+		{Seq: 3, Stream: "web-0", Type: TypeAnomalyUpdated, Time: at.Add(4 * time.Second), AnomalyID: 1, Round: 13, Tick: 52, Score: 3.1, Sensors: []int{0, 3, 7}},
+		{Seq: 4, Stream: "web-0", Type: TypeAnomalyClosed, Time: at.Add(8 * time.Second), AnomalyID: 1, Round: 14, Score: 3.1, Sensors: []int{3, 0, 7}, Start: 40, End: 56},
+		{Seq: 5, Type: TypeDurabilityDegraded, Time: at, Reason: "snapshot write failed"},
+		{Seq: 6, Type: TypeIncidentOpened, Time: at, Incident: inc},
+		{Seq: 7, Type: TypeIncidentUpdated, Time: at.Add(time.Minute), Incident: inc},
+		{Seq: 8, Type: TypeIncidentClosed, Time: at.Add(6 * time.Minute), Incident: &closed},
+	}
+}
+
+// TestEnvelopeRoundTrip proves Encode→Decode is the identity for every
+// event type, and that the wire bytes carry the v1 envelope shape.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, ev := range sampleEvents(t) {
+		data, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", ev.Type, err)
+		}
+		var shape map[string]json.RawMessage
+		if err := json.Unmarshal(data, &shape); err != nil {
+			t.Fatalf("%s: wire bytes are not an object: %v", ev.Type, err)
+		}
+		for _, key := range []string{"v", "type", "seq", "ts", "payload"} {
+			if _, ok := shape[key]; !ok {
+				t.Errorf("%s: envelope missing %q: %s", ev.Type, key, data)
+			}
+		}
+		if string(shape["v"]) != "1" {
+			t.Errorf("%s: envelope version = %s, want 1", ev.Type, shape["v"])
+		}
+		got, err := DecodeEvent(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", ev.Type, err)
+		}
+		if !reflect.DeepEqual(got, ev) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", ev.Type, got, ev)
+		}
+	}
+}
+
+// TestEnvelopeDoubleRoundTrip proves the wire form is a fixed point:
+// encoding the decoded event reproduces the bytes.
+func TestEnvelopeDoubleRoundTrip(t *testing.T) {
+	for _, ev := range sampleEvents(t) {
+		first, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", ev.Type, err)
+		}
+		got, err := DecodeEvent(first)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", ev.Type, err)
+		}
+		second, err := EncodeEvent(got)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", ev.Type, err)
+		}
+		if string(first) != string(second) {
+			t.Errorf("%s: encode is not a fixed point:\n first %s\nsecond %s", ev.Type, first, second)
+		}
+	}
+}
+
+// TestDecodeEventLegacyShim proves the compatibility shim: flat event
+// JSON as the sinks emitted before the envelope decodes identically.
+func TestDecodeEventLegacyShim(t *testing.T) {
+	for _, ev := range sampleEvents(t) {
+		legacy, err := json.Marshal(ev) // Event's own JSON is the legacy wire shape
+		if err != nil {
+			t.Fatalf("%s: marshal legacy: %v", ev.Type, err)
+		}
+		got, err := DecodeEvent(legacy)
+		if err != nil {
+			t.Fatalf("%s: decode legacy: %v", ev.Type, err)
+		}
+		if !reflect.DeepEqual(got, ev) {
+			t.Errorf("%s: legacy shim mismatch:\n got %+v\nwant %+v", ev.Type, got, ev)
+		}
+	}
+}
+
+func TestDecodeEventRejectsUnknownVersion(t *testing.T) {
+	_, err := DecodeEvent([]byte(`{"v":2,"type":"alarm","seq":1,"ts":"2026-08-08T00:00:00Z","payload":{}}`))
+	if err == nil || !strings.Contains(err.Error(), "version 2") {
+		t.Fatalf("want unsupported-version error, got %v", err)
+	}
+}
+
+func TestDecodeEventRejectsGarbage(t *testing.T) {
+	if _, err := DecodeEvent([]byte(`{"v":`)); err == nil {
+		t.Fatal("want error for truncated JSON")
+	}
+}

@@ -40,6 +40,17 @@ const (
 	// TypeDurabilityDegraded marks the manager losing durability and
 	// falling back to memory-only operation.
 	TypeDurabilityDegraded Type = "durability_degraded"
+	// TypeIncidentOpened marks a fleet-level incident forming: the
+	// second-stage pipeline clustered deduplicated alarms from enough
+	// distinct streams. The event carries the incident payload with the
+	// onset-ordered suspect list.
+	TypeIncidentOpened Type = "incident_opened"
+	// TypeIncidentUpdated marks a new stream joining an open incident (the
+	// payload's Rev increases with every published update).
+	TypeIncidentUpdated Type = "incident_updated"
+	// TypeIncidentClosed marks an incident going quiet; the payload is the
+	// final diagnosis (suspects, surprise, span).
+	TypeIncidentClosed Type = "incident_closed"
 )
 
 // Event is one bus message — the JSON payload webhooks POST and SSE
@@ -77,6 +88,57 @@ type Event struct {
 	End   int `json:"end,omitempty"`
 	// Reason explains a durability_degraded event.
 	Reason string `json:"reason,omitempty"`
+	// Incident carries the fleet-level payload of incident_* events.
+	Incident *Incident `json:"incident,omitempty"`
+}
+
+// Incident is the fleet-level payload of incident_opened/updated/closed
+// events: the second-stage pipeline's diagnosis of one correlated episode
+// of per-stream alarms. It is also the /v1/incidents resource shape.
+type Incident struct {
+	// ID identifies the incident ("inc-7"); stable across its lifecycle.
+	ID string `json:"id"`
+	// State is "open" or "closed".
+	State string `json:"state"`
+	// Rev counts published revisions of this incident, starting at 1 with
+	// the opened event; it disambiguates the dedup keys of successive
+	// incident_updated events.
+	Rev int `json:"rev"`
+	// OpenedAt is the earliest absorbed alarm's time, LastAt the latest;
+	// ClosedAt is set once the incident went quiet.
+	OpenedAt time.Time `json:"openedAt"`
+	LastAt   time.Time `json:"lastAt"`
+	ClosedAt time.Time `json:"closedAt,omitzero"`
+	// Streams counts distinct suspect streams, Events the deduplicated
+	// alarm signals the incident absorbed.
+	Streams int `json:"streams"`
+	Events  int `json:"events"`
+	// Surprise ∈ [0,1] scores how historically unusual this combination of
+	// streams is under the decaying co-occurrence matrix: 1 means the
+	// suspects have never alarmed together before, 0 means they routinely
+	// do (so the incident is probably the fleet's normal weather).
+	Surprise float64 `json:"surprise"`
+	// Suspects lists the involved streams in lead-lag order: the stream
+	// that moved first — the likeliest root cause — comes first.
+	Suspects []Suspect `json:"suspects"`
+}
+
+// Suspect is one stream implicated in an incident.
+type Suspect struct {
+	// Stream is the suspect stream's id.
+	Stream string `json:"stream"`
+	// Onset is the stream's first deduplicated alarm inside the incident.
+	Onset time.Time `json:"onset"`
+	// LagSeconds is Onset minus the incident leader's onset (0 for the
+	// leader) — the lead-lag evidence for causal ordering.
+	LagSeconds float64 `json:"lagSeconds"`
+	// Events counts the stream's deduplicated alarm signals, Score the
+	// peak alarm score seen.
+	Events int     `json:"events"`
+	Score  float64 `json:"peakScore"`
+	// Sensors is the union of outlier sensors reported by the stream's
+	// alarms (ascending), when the alarms carried any.
+	Sensors []int `json:"sensors,omitempty"`
 }
 
 // DedupKey identifies an event's logical transition. At-least-once
@@ -84,7 +146,12 @@ type Event struct {
 // webhook whose first attempt succeeded after the timeout, a drained
 // dead-letter record that had in fact arrived); dropping repeated keys
 // makes processing effectively exactly-once. Seq is deliberately excluded:
-// a redelivered event keeps its key but may be re-sequenced.
+// a redelivered event keeps its key but may be re-sequenced. Incident
+// events key on the incident id and revision instead of the per-stream
+// anomaly numbering.
 func (e Event) DedupKey() string {
+	if e.Incident != nil {
+		return fmt.Sprintf("incident,%s,%d,%s", e.Incident.ID, e.Incident.Rev, e.Type)
+	}
 	return fmt.Sprintf("%s,%d,%s", e.Stream, e.AnomalyID, e.Type)
 }

@@ -6,7 +6,6 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -83,9 +82,9 @@ func (s *WebhookSink) Target() string { return s.url }
 func (s *WebhookSink) Close() error   { return nil }
 
 func (s *WebhookSink) Deliver(ctx context.Context, ev Event) error {
-	body, err := json.Marshal(ev)
+	body, err := EncodeEvent(ev)
 	if err != nil {
-		return fmt.Errorf("alert: encode event: %w", err)
+		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
 	if err != nil {
@@ -136,9 +135,9 @@ func (s *FileSink) Kind() string   { return "file" }
 func (s *FileSink) Target() string { return s.path }
 
 func (s *FileSink) Deliver(_ context.Context, ev Event) error {
-	line, err := json.Marshal(ev)
+	line, err := EncodeEvent(ev)
 	if err != nil {
-		return fmt.Errorf("alert: encode event: %w", err)
+		return err
 	}
 	line = append(line, '\n')
 	s.mu.Lock()

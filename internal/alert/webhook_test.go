@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"crypto/hmac"
-	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -49,8 +48,8 @@ func newScriptedServer(t *testing.T, script ...string) *scriptedServer {
 			time.Sleep(300 * time.Millisecond)
 			return
 		}
-		var ev Event
-		if err := json.Unmarshal(body, &ev); err != nil {
+		ev, err := DecodeEvent(body)
+		if err != nil {
 			t.Errorf("webhook body: %v", err)
 		}
 		s.mu.Lock()
@@ -216,8 +215,7 @@ func TestWebhookDeadLetterAndDrain(t *testing.T) {
 			return
 		}
 		body, _ := io.ReadAll(r.Body)
-		var ev Event
-		_ = json.Unmarshal(body, &ev)
+		ev, _ := DecodeEvent(body)
 		mu.Lock()
 		got = append(got, ev)
 		mu.Unlock()
@@ -356,18 +354,18 @@ func TestFileSinkNDJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	for i := 1; i <= 3; i++ {
-		var ev Event
-		if err := dec.Decode(&ev); err != nil {
-			t.Fatalf("line %d: %v", i, err)
-		}
-		if ev.Round != i {
-			t.Fatalf("line %d has round %d", i, ev.Round)
-		}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("got %d NDJSON lines, want 3", len(lines))
 	}
-	if dec.More() {
-		t.Fatal("trailing NDJSON lines")
+	for i, line := range lines {
+		ev, err := DecodeEvent(line)
+		if err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if ev.Round != i+1 {
+			t.Fatalf("line %d has round %d", i+1, ev.Round)
+		}
 	}
 }
 

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"math"
+	"time"
+)
+
+// coOccur is the Surprise correlator's memory: an exponentially
+// decaying co-occurrence matrix over streams. Every closed incident
+// records one observation for each involved stream and each involved
+// pair; all counts decay with a shared half-life, so the matrix tracks
+// what the fleet's alarm weather has looked like *recently*.
+//
+// Surprise for a prospective incident is derived from lift: for a pair
+// (a,b), lift = n_ab·T / (n_a·n_b) — how much more often a and b alarm
+// together than independence predicts. High lift means the pair is the
+// fleet's normal weather (a flaky rack that always pages together);
+// zero lift means they have never co-alarmed. Surprise maps lift into
+// [0,1] via 1/(1+lift) and averages over the incident's suspect pairs,
+// so 1 = a combination never seen before, → 0 = a routine combination.
+type coOccur struct {
+	halfLife time.Duration
+	last     time.Time
+	total    float64
+	stream   map[string]float64
+	pair     map[pairKey]float64
+}
+
+type pairKey struct{ a, b string }
+
+func mkPair(a, b string) pairKey {
+	if b < a {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+func newCoOccur(halfLife time.Duration) *coOccur {
+	if halfLife <= 0 {
+		halfLife = 24 * time.Hour
+	}
+	return &coOccur{
+		halfLife: halfLife,
+		stream:   make(map[string]float64),
+		pair:     make(map[pairKey]float64),
+	}
+}
+
+// decayTo ages every count to time t. Counts below a floor are dropped
+// so the maps stay bounded by the recently active population.
+func (c *coOccur) decayTo(t time.Time) {
+	if c.last.IsZero() {
+		c.last = t
+		return
+	}
+	dt := t.Sub(c.last)
+	if dt <= 0 {
+		return
+	}
+	c.last = t
+	f := math.Exp2(-dt.Hours() / c.halfLife.Hours())
+	c.total *= f
+	const floor = 1e-3
+	for k, v := range c.stream {
+		if v *= f; v < floor {
+			delete(c.stream, k)
+		} else {
+			c.stream[k] = v
+		}
+	}
+	for k, v := range c.pair {
+		if v *= f; v < floor {
+			delete(c.pair, k)
+		} else {
+			c.pair[k] = v
+		}
+	}
+}
+
+// lift returns n_ab·T / (n_a·n_b), or 0 when the pair has never been
+// observed together.
+func (c *coOccur) lift(a, b string) float64 {
+	nab := c.pair[mkPair(a, b)]
+	if nab == 0 {
+		return 0
+	}
+	na, nb := c.stream[a], c.stream[b]
+	if na == 0 || nb == 0 || c.total == 0 {
+		return 0
+	}
+	return nab * c.total / (na * nb)
+}
+
+// surprise scores a set of streams in [0,1]: the mean pair novelty
+// 1/(1+lift). A single-stream set is maximally surprising only if that
+// stream has no incident history at all.
+func (c *coOccur) surprise(streams []string) float64 {
+	if len(streams) == 0 {
+		return 0
+	}
+	if len(streams) == 1 {
+		if c.stream[streams[0]] > 0 {
+			return 0
+		}
+		return 1
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			sum += 1 / (1 + c.lift(streams[i], streams[j]))
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// record adds one incident observation over streams at time t.
+func (c *coOccur) record(streams []string, t time.Time) {
+	c.decayTo(t)
+	c.total++
+	for i, a := range streams {
+		c.stream[a]++
+		for _, b := range streams[i+1:] {
+			c.pair[mkPair(a, b)]++
+		}
+	}
+}

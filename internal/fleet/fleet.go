@@ -1,0 +1,569 @@
+// Package fleet is the second-stage pipeline that turns per-stream CAD
+// alarms into fleet-level incidents. CAD (PAPER.md) finds anomalies
+// *within* one stream; at fleet scale the interesting question is which
+// streams are failing *together* and who moved first. The package is
+// modeled on the Observer architecture (SNIPPETS.md): raw alarm events
+// off the alert bus are first deduplicated by a Stable Bloom filter
+// keyed by stream + time-bucket (the 98.7%-reduction trick), then three
+// cross-stream correlators run over the survivors —
+//
+//   - TimeCluster groups signals whose times fall within a proximity
+//     window into one incident;
+//   - LeadLag orders an incident's streams by first-alarm onset, so the
+//     stream that moved first — the likeliest root cause — leads the
+//     suspect list;
+//   - Surprise scores the incident's stream combination against a
+//     decaying historical co-occurrence matrix (lift), separating novel
+//     failures from the fleet's routine weather.
+//
+// Incidents are published back onto the same bus as
+// incident_opened/updated/closed events, so every existing delivery
+// surface — SSE, webhooks, the NDJSON sink, the dead-letter queue —
+// carries fleet diagnoses with the at-least-once contract alarms
+// already have.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cad/internal/alert"
+	"cad/internal/obs"
+)
+
+// Config tunes the fleet pipeline. DefaultConfig is the starting point;
+// New fills zero numeric fields with the same defaults, but PerSensor
+// is taken literally (DefaultConfig turns it on).
+type Config struct {
+	// BucketSize quantizes alarm times for the dedup key: repeats of one
+	// stream/sensor within a bucket are duplicates (default 30s).
+	BucketSize time.Duration
+	// PerSensor includes the outlier sensor id in the dedup key, so two
+	// different sensors of one stream alarming in the same bucket are
+	// distinct signals — the Observer keys on the individual metric
+	// source for the same reason. DefaultConfig enables it.
+	PerSensor bool
+	// ClusterWindow is TimeCluster's proximity window: a surviving
+	// signal joins an open incident whose latest activity is within this
+	// window, else it opens a new incident (default 60s).
+	ClusterWindow time.Duration
+	// QuietClose closes an incident after this much event-time silence
+	// (default 5m).
+	QuietClose time.Duration
+	// MinStreams is how many distinct streams an incident needs before
+	// it is published (default 2 — a single-stream episode is already
+	// covered by the per-stream anomaly lifecycle events).
+	MinStreams int
+	// SBFCells, SBFHashes, SBFDecrements, SBFMax tune the Stable Bloom
+	// filter (defaults 1<<16, 3, 16, 2; see NewSBF).
+	SBFCells      int
+	SBFHashes     int
+	SBFDecrements int
+	SBFMax        uint8
+	// HalfLife is the co-occurrence matrix decay (default 24h).
+	HalfLife time.Duration
+	// MaxClosed bounds the retained closed-incident history (default 256).
+	MaxClosed int
+	// Seed makes the SBF's decrement sequence deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		BucketSize:    30 * time.Second,
+		PerSensor:     true,
+		ClusterWindow: 60 * time.Second,
+		QuietClose:    5 * time.Minute,
+		MinStreams:    2,
+		SBFCells:      1 << 16,
+		SBFHashes:     3,
+		SBFDecrements: 16,
+		SBFMax:        2,
+		HalfLife:      24 * time.Hour,
+		MaxClosed:     256,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BucketSize <= 0 {
+		c.BucketSize = d.BucketSize
+	}
+	if c.ClusterWindow <= 0 {
+		c.ClusterWindow = d.ClusterWindow
+	}
+	if c.QuietClose <= 0 {
+		c.QuietClose = d.QuietClose
+	}
+	if c.MinStreams <= 0 {
+		c.MinStreams = d.MinStreams
+	}
+	if c.SBFCells <= 0 {
+		c.SBFCells = d.SBFCells
+	}
+	if c.SBFHashes <= 0 {
+		c.SBFHashes = d.SBFHashes
+	}
+	if c.SBFDecrements <= 0 {
+		c.SBFDecrements = d.SBFDecrements
+	}
+	if c.SBFMax == 0 {
+		c.SBFMax = d.SBFMax
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = d.HalfLife
+	}
+	if c.MaxClosed <= 0 {
+		c.MaxClosed = d.MaxClosed
+	}
+	return c
+}
+
+// suspect accumulates one stream's evidence inside an incident.
+type suspect struct {
+	stream  string
+	onset   time.Time
+	events  int
+	peak    float64
+	sensors map[int]struct{}
+}
+
+// incident is the mutable in-flight state behind the published
+// alert.Incident snapshots.
+type incident struct {
+	id        string
+	rev       int
+	openedAt  time.Time
+	lastAt    time.Time
+	closedAt  time.Time
+	events    int
+	published int // distinct streams at the last published revision; 0 = unpublished
+	suspects  map[string]*suspect
+}
+
+// Fleet is the correlation pipeline. Attach it to an alert.Bus to feed
+// it in production, or call Observe directly (replay, tests). All
+// methods are safe for concurrent use.
+type Fleet struct {
+	cfg Config
+
+	mu      sync.Mutex
+	sbf     *SBF
+	co      *coOccur
+	clock   time.Time // high-water event time
+	nextID  int
+	open    []*incident
+	closed  []alert.Incident // bounded ring, oldest first
+	raw     uint64           // signals before dedup
+	passed  uint64           // signals after dedup
+	pubMu   sync.Mutex       // serializes publishing, outside mu
+	publish func(alert.Event)
+
+	signals   *obs.Counter
+	deduped   *obs.Counter
+	incidents *obs.Counter
+	openGauge *obs.Gauge
+}
+
+// New builds a fleet pipeline. reg nil keeps metrics private.
+func New(cfg Config, reg *obs.Registry) *Fleet {
+	cfg = cfg.withDefaults()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Fleet{
+		cfg: cfg,
+		sbf: NewSBF(cfg.SBFCells, cfg.SBFHashes, cfg.SBFDecrements, cfg.SBFMax, cfg.Seed),
+		co:  newCoOccur(cfg.HalfLife),
+		signals: reg.Counter("cad_fleet_signals_total",
+			"Raw alarm signals entering the fleet dedup stage."),
+		deduped: reg.Counter("cad_fleet_deduped_total",
+			"Alarm signals suppressed as duplicates by the stable Bloom filter."),
+		incidents: reg.Counter("cad_fleet_incidents_total",
+			"Fleet incidents published (opened)."),
+		openGauge: reg.Gauge("cad_fleet_incidents_open",
+			"Fleet incidents currently open."),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// SetPublisher routes published incident events to fn instead of a bus
+// — the replay and test hook. Attach overrides it.
+func (f *Fleet) SetPublisher(fn func(alert.Event)) {
+	f.pubMu.Lock()
+	f.publish = fn
+	f.pubMu.Unlock()
+}
+
+// Attach registers the fleet as a sink named "fleet" on bus and routes
+// published incident events back onto the same bus. The sink queue
+// drops oldest under pressure: losing a raw alarm to backpressure costs
+// one dedup-counted signal, never a detection (the per-stream anomaly
+// events still flow), and the fleet must never stall the bus.
+func (f *Fleet) Attach(bus *alert.Bus) error {
+	if err := bus.AddSink("fleet", (*busSink)(f), alert.SinkConfig{
+		Queue:  1024,
+		Policy: alert.DropOldest,
+	}); err != nil {
+		return fmt.Errorf("fleet: attach: %w", err)
+	}
+	f.SetPublisher(bus.Publish)
+	return nil
+}
+
+// busSink adapts Fleet to alert.Sink without exposing Deliver/Close on
+// the Fleet API itself.
+type busSink Fleet
+
+func (s *busSink) Kind() string   { return "fleet" }
+func (s *busSink) Target() string { return "fleet-correlator" }
+func (s *busSink) Close() error   { return nil }
+
+// Deliver feeds one bus event into the pipeline. Only raw alarms are
+// correlated; everything else — anomaly lifecycle, durability, and the
+// fleet's own incident events fanning back through the bus — is
+// acknowledged untouched, so there is no feedback loop. Deliver never
+// fails: the at-least-once contract is the bus's job, idempotence under
+// redelivery is the dedup filter's.
+func (s *busSink) Deliver(_ context.Context, ev alert.Event) error {
+	(*Fleet)(s).Observe(ev)
+	return nil
+}
+
+// Observe feeds one event into the pipeline directly (replay path; the
+// bus path arrives here through Deliver).
+func (f *Fleet) Observe(ev alert.Event) {
+	if ev.Type != alert.TypeAlarm {
+		return
+	}
+	f.mu.Lock()
+	if ev.Time.After(f.clock) {
+		f.clock = ev.Time
+	}
+	f.ingestLocked(ev)
+	out := f.closeQuietLocked()
+	f.mu.Unlock()
+	f.emit(out)
+}
+
+// Advance moves the pipeline's event-time clock forward so quiet
+// incidents close even when no further alarms arrive. Call it from a
+// ticker in serving processes and once at the end of a replay.
+func (f *Fleet) Advance(t time.Time) {
+	f.mu.Lock()
+	if t.After(f.clock) {
+		f.clock = t
+	}
+	out := f.closeQuietLocked()
+	f.mu.Unlock()
+	f.emit(out)
+}
+
+// ingestLocked explodes ev into dedup signals and absorbs survivors.
+// With PerSensor on, each outlier sensor is its own signal (two sensors
+// of one stream alarming in a bucket are distinct evidence); off, the
+// whole event is one stream-level signal. Either way a survivor carries
+// its sensor attribution into the incident.
+func (f *Fleet) ingestLocked(ev alert.Event) {
+	bucket := ev.Time.UnixNano() / int64(f.cfg.BucketSize)
+	type signal struct {
+		key     string
+		sensors []int
+	}
+	var signals []signal
+	if f.cfg.PerSensor && len(ev.Sensors) > 0 {
+		for i, sensor := range ev.Sensors {
+			signals = append(signals, signal{
+				key:     fmt.Sprintf("%s/%d@%d", ev.Stream, sensor, bucket),
+				sensors: ev.Sensors[i : i+1],
+			})
+		}
+	} else {
+		signals = append(signals, signal{
+			key:     fmt.Sprintf("%s@%d", ev.Stream, bucket),
+			sensors: ev.Sensors,
+		})
+	}
+	for _, sig := range signals {
+		f.raw++
+		f.signals.Inc()
+		if f.sbf.Seen(sig.key) {
+			f.deduped.Inc()
+			continue
+		}
+		f.passed++
+		f.absorbLocked(ev, sig.sensors)
+	}
+}
+
+// absorbLocked runs TimeCluster on one surviving signal: join the open
+// incident whose latest activity is nearest within ClusterWindow, else
+// open a new one.
+func (f *Fleet) absorbLocked(ev alert.Event, sensors []int) {
+	var best *incident
+	var bestGap time.Duration
+	for _, inc := range f.open {
+		gap := ev.Time.Sub(inc.lastAt)
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap <= f.cfg.ClusterWindow && (best == nil || gap < bestGap) {
+			best, bestGap = inc, gap
+		}
+	}
+	if best == nil {
+		f.nextID++
+		best = &incident{
+			id:       fmt.Sprintf("inc-%d", f.nextID),
+			openedAt: ev.Time,
+			lastAt:   ev.Time,
+			suspects: make(map[string]*suspect),
+		}
+		f.open = append(f.open, best)
+	}
+	if ev.Time.Before(best.openedAt) {
+		best.openedAt = ev.Time
+	}
+	if ev.Time.After(best.lastAt) {
+		best.lastAt = ev.Time
+	}
+	best.events++
+	sp := best.suspects[ev.Stream]
+	if sp == nil {
+		sp = &suspect{stream: ev.Stream, onset: ev.Time, sensors: make(map[int]struct{})}
+		best.suspects[ev.Stream] = sp
+	}
+	if ev.Time.Before(sp.onset) {
+		sp.onset = ev.Time
+	}
+	sp.events++
+	if ev.Score > sp.peak {
+		sp.peak = ev.Score
+	}
+	for _, sensor := range sensors {
+		sp.sensors[sensor] = struct{}{}
+	}
+}
+
+// snapshotLocked renders the published alert.Incident view: suspects in
+// LeadLag order (onset ascending, stream id tie-break), lags relative
+// to the leader, surprise against the current co-occurrence history.
+func (f *Fleet) snapshotLocked(inc *incident, state string) alert.Incident {
+	suspects := make([]alert.Suspect, 0, len(inc.suspects))
+	streams := make([]string, 0, len(inc.suspects))
+	for _, sp := range inc.suspects {
+		sensors := make([]int, 0, len(sp.sensors))
+		for s := range sp.sensors {
+			sensors = append(sensors, s)
+		}
+		sort.Ints(sensors)
+		suspects = append(suspects, alert.Suspect{
+			Stream:  sp.stream,
+			Onset:   sp.onset,
+			Events:  sp.events,
+			Score:   sp.peak,
+			Sensors: sensors,
+		})
+		streams = append(streams, sp.stream)
+	}
+	sort.Slice(suspects, func(i, j int) bool {
+		if !suspects[i].Onset.Equal(suspects[j].Onset) {
+			return suspects[i].Onset.Before(suspects[j].Onset)
+		}
+		return suspects[i].Stream < suspects[j].Stream
+	})
+	if len(suspects) > 0 {
+		leader := suspects[0].Onset
+		for i := range suspects {
+			suspects[i].LagSeconds = suspects[i].Onset.Sub(leader).Seconds()
+		}
+	}
+	return alert.Incident{
+		ID:       inc.id,
+		State:    state,
+		Rev:      inc.rev,
+		OpenedAt: inc.openedAt,
+		LastAt:   inc.lastAt,
+		ClosedAt: inc.closedAt,
+		Streams:  len(inc.suspects),
+		Events:   inc.events,
+		Surprise: f.co.surprise(streams),
+		Suspects: suspects,
+	}
+}
+
+// maybePublishLocked emits opened/updated transitions for incidents
+// that crossed MinStreams or gained a new suspect stream since the last
+// published revision. Returned events are published by the caller after
+// the state lock is released.
+func (f *Fleet) maybePublishLocked() []alert.Event {
+	var out []alert.Event
+	for _, inc := range f.open {
+		n := len(inc.suspects)
+		switch {
+		case inc.published == 0 && n >= f.cfg.MinStreams:
+			inc.rev = 1
+			inc.published = n
+			f.incidents.Inc()
+			f.openGauge.Add(1)
+			snap := f.snapshotLocked(inc, "open")
+			out = append(out, alert.Event{
+				Type:     alert.TypeIncidentOpened,
+				Time:     inc.lastAt,
+				Incident: &snap,
+			})
+		case inc.published > 0 && n > inc.published:
+			inc.rev++
+			inc.published = n
+			snap := f.snapshotLocked(inc, "open")
+			out = append(out, alert.Event{
+				Type:     alert.TypeIncidentUpdated,
+				Time:     inc.lastAt,
+				Incident: &snap,
+			})
+		}
+	}
+	return out
+}
+
+// closeQuietLocked publishes pending open/update transitions, then
+// closes incidents whose last activity is QuietClose behind the clock.
+// Closing records the incident into the co-occurrence history — the
+// surprise carried by the closed event is computed *before* recording,
+// so an incident is scored against the world that preceded it.
+func (f *Fleet) closeQuietLocked() []alert.Event {
+	out := f.maybePublishLocked()
+	keep := f.open[:0]
+	for _, inc := range f.open {
+		if f.clock.Sub(inc.lastAt) < f.cfg.QuietClose {
+			keep = append(keep, inc)
+			continue
+		}
+		inc.closedAt = f.clock
+		if inc.published > 0 {
+			inc.rev++
+			f.openGauge.Add(-1)
+			snap := f.snapshotLocked(inc, "closed")
+			out = append(out, alert.Event{
+				Type:     alert.TypeIncidentClosed,
+				Time:     inc.closedAt,
+				Incident: &snap,
+			})
+			f.closed = append(f.closed, snap)
+			if len(f.closed) > f.cfg.MaxClosed {
+				f.closed = f.closed[len(f.closed)-f.cfg.MaxClosed:]
+			}
+		}
+		// Unpublished (below MinStreams) incidents close silently, but
+		// still shape the history: a lone stream alarming on its own
+		// makes its future appearance in a multi-stream incident less
+		// surprising than a stream never seen alarming.
+		streams := make([]string, 0, len(inc.suspects))
+		for s := range inc.suspects {
+			streams = append(streams, s)
+		}
+		sort.Strings(streams)
+		f.co.record(streams, f.clock)
+	}
+	f.open = keep
+	return out
+}
+
+// emit publishes events outside the state lock. pubMu keeps the
+// transition order (an opened before its updates before its closed)
+// even when Observe and Advance race.
+func (f *Fleet) emit(events []alert.Event) {
+	if len(events) == 0 {
+		return
+	}
+	f.pubMu.Lock()
+	defer f.pubMu.Unlock()
+	if f.publish == nil {
+		return
+	}
+	for _, ev := range events {
+		f.publish(ev)
+	}
+}
+
+// Stats is a point-in-time pipeline summary.
+type Stats struct {
+	// RawSignals counts alarm signals entering dedup; PassedSignals the
+	// survivors. DedupRatio = 1 − Passed/Raw.
+	RawSignals    uint64
+	PassedSignals uint64
+	// OpenIncidents / ClosedIncidents are current store sizes (closed is
+	// bounded by Config.MaxClosed).
+	OpenIncidents   int
+	ClosedIncidents int
+}
+
+// DedupRatio returns the fraction of raw signals suppressed (0 when
+// nothing was observed).
+func (s Stats) DedupRatio() float64 {
+	if s.RawSignals == 0 {
+		return 0
+	}
+	return 1 - float64(s.PassedSignals)/float64(s.RawSignals)
+}
+
+// Stats returns current pipeline counters.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Stats{
+		RawSignals:      f.raw,
+		PassedSignals:   f.passed,
+		OpenIncidents:   len(f.open),
+		ClosedIncidents: len(f.closed),
+	}
+}
+
+// Incidents lists incident snapshots, newest first. state filters to
+// "open" or "closed"; "" lists both. Only published incidents (those
+// that crossed MinStreams) appear.
+func (f *Fleet) Incidents(state string) []alert.Incident {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []alert.Incident
+	if state == "" || state == "open" {
+		for _, inc := range f.open {
+			if inc.published > 0 {
+				out = append(out, f.snapshotLocked(inc, "open"))
+			}
+		}
+	}
+	if state == "" || state == "closed" {
+		out = append(out, f.closed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].OpenedAt.Equal(out[j].OpenedAt) {
+			return out[i].OpenedAt.After(out[j].OpenedAt)
+		}
+		return out[i].ID > out[j].ID
+	})
+	return out
+}
+
+// Incident returns one incident snapshot by id.
+func (f *Fleet) Incident(id string) (alert.Incident, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, inc := range f.open {
+		if inc.id == id && inc.published > 0 {
+			return f.snapshotLocked(inc, "open"), true
+		}
+	}
+	for i := len(f.closed) - 1; i >= 0; i-- {
+		if f.closed[i].ID == id {
+			return f.closed[i], true
+		}
+	}
+	return alert.Incident{}, false
+}

@@ -1,0 +1,247 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"cad/internal/alert"
+)
+
+var t0 = time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+
+// collect returns a fleet publishing into the returned slice pointer.
+func collect(cfg Config) (*Fleet, *[]alert.Event) {
+	f := New(cfg, nil)
+	var events []alert.Event
+	f.SetPublisher(func(ev alert.Event) { events = append(events, ev) })
+	return f, &events
+}
+
+func alarm(stream string, at time.Time, score float64, sensors ...int) alert.Event {
+	return alert.Event{Type: alert.TypeAlarm, Stream: stream, Time: at, Score: score, Sensors: sensors}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BucketSize = 10 * time.Second
+	cfg.ClusterWindow = 30 * time.Second
+	cfg.QuietClose = 2 * time.Minute
+	return cfg
+}
+
+func TestIncidentLifecycle(t *testing.T) {
+	f, events := collect(testConfig())
+
+	// One stream alone: below MinStreams, nothing published.
+	f.Observe(alarm("a", t0, 2.0, 1))
+	if len(*events) != 0 {
+		t.Fatalf("single stream published %d events", len(*events))
+	}
+
+	// Second stream 7s later: incident opens with LeadLag order a → b.
+	f.Observe(alarm("b", t0.Add(7*time.Second), 3.0, 2))
+	if len(*events) != 1 {
+		t.Fatalf("got %d events, want 1 opened", len(*events))
+	}
+	opened := (*events)[0]
+	if opened.Type != alert.TypeIncidentOpened {
+		t.Fatalf("first event = %s", opened.Type)
+	}
+	inc := opened.Incident
+	if inc == nil || inc.State != "open" || inc.Rev != 1 || inc.Streams != 2 {
+		t.Fatalf("opened payload %+v", inc)
+	}
+	if inc.Suspects[0].Stream != "a" || inc.Suspects[1].Stream != "b" {
+		t.Fatalf("suspect order %v", inc.Suspects)
+	}
+	if inc.Suspects[0].LagSeconds != 0 || inc.Suspects[1].LagSeconds != 7 {
+		t.Fatalf("lags %v / %v", inc.Suspects[0].LagSeconds, inc.Suspects[1].LagSeconds)
+	}
+	if inc.Surprise != 1 {
+		t.Fatalf("first-ever incident surprise = %v, want 1", inc.Surprise)
+	}
+
+	// Third stream joins within the cluster window: updated, rev 2.
+	f.Observe(alarm("c", t0.Add(20*time.Second), 1.5))
+	if len(*events) != 2 || (*events)[1].Type != alert.TypeIncidentUpdated {
+		t.Fatalf("events after join: %v", *events)
+	}
+	if upd := (*events)[1].Incident; upd.Rev != 2 || upd.Streams != 3 {
+		t.Fatalf("updated payload %+v", upd)
+	}
+
+	// Quiet: advancing the clock past QuietClose closes it.
+	f.Advance(t0.Add(20*time.Second + f.cfg.QuietClose))
+	if len(*events) != 3 || (*events)[2].Type != alert.TypeIncidentClosed {
+		t.Fatalf("events after quiet: %v", *events)
+	}
+	closed := (*events)[2].Incident
+	if closed.State != "closed" || closed.Rev != 3 || closed.ClosedAt.IsZero() {
+		t.Fatalf("closed payload %+v", closed)
+	}
+
+	st := f.Stats()
+	if st.OpenIncidents != 0 || st.ClosedIncidents != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDedupSuppressesRepeats(t *testing.T) {
+	f, _ := collect(testConfig())
+	// Same stream, same sensor, same 10s bucket → one survivor.
+	f.Observe(alarm("a", t0, 2.0, 1))
+	f.Observe(alarm("a", t0.Add(3*time.Second), 2.5, 1))
+	f.Observe(alarm("a", t0.Add(6*time.Second), 2.2, 1))
+	st := f.Stats()
+	if st.RawSignals != 3 || st.PassedSignals != 1 {
+		t.Fatalf("stats %+v, want 3 raw / 1 passed", st)
+	}
+	// Different sensor in the same bucket is a distinct signal.
+	f.Observe(alarm("a", t0.Add(2*time.Second), 2.0, 4))
+	if st = f.Stats(); st.PassedSignals != 2 {
+		t.Fatalf("per-sensor key collapsed distinct sensors: %+v", st)
+	}
+	// Next bucket readmits the original sensor.
+	f.Observe(alarm("a", t0.Add(12*time.Second), 2.0, 1))
+	if st = f.Stats(); st.PassedSignals != 3 {
+		t.Fatalf("bucket rollover did not readmit: %+v", st)
+	}
+}
+
+func TestPerSensorOff(t *testing.T) {
+	cfg := testConfig()
+	cfg.PerSensor = false
+	f, _ := collect(cfg)
+	f.Observe(alarm("a", t0, 2.0, 1))
+	f.Observe(alarm("a", t0.Add(2*time.Second), 2.0, 4))
+	if st := f.Stats(); st.PassedSignals != 1 {
+		t.Fatalf("PerSensor=false should collapse sensors: %+v", st)
+	}
+}
+
+func TestTimeClusterSeparatesDistantEpisodes(t *testing.T) {
+	f, events := collect(testConfig())
+	f.Observe(alarm("a", t0, 2.0))
+	f.Observe(alarm("b", t0.Add(5*time.Second), 2.0))
+	// Far outside ClusterWindow: a separate incident.
+	later := t0.Add(10 * time.Minute)
+	f.Observe(alarm("c", later, 2.0))
+	f.Observe(alarm("d", later.Add(5*time.Second), 2.0))
+	openedIDs := map[string]bool{}
+	for _, ev := range *events {
+		if ev.Type == alert.TypeIncidentOpened {
+			openedIDs[ev.Incident.ID] = true
+		}
+	}
+	if len(openedIDs) != 2 {
+		t.Fatalf("distant episodes merged: %d incidents", len(openedIDs))
+	}
+}
+
+func TestSurpriseDropsForRoutinePairs(t *testing.T) {
+	cfg := testConfig()
+	f, events := collect(cfg)
+	run := func(at time.Time) {
+		f.Observe(alarm("a", at, 2.0))
+		f.Observe(alarm("b", at.Add(5*time.Second), 2.0))
+		f.Advance(at.Add(5*time.Second + cfg.QuietClose))
+	}
+	run(t0)
+	// The same pair alarming together again shortly after is now the
+	// fleet's known weather.
+	run(t0.Add(30 * time.Minute))
+	var opened []float64
+	for _, ev := range *events {
+		if ev.Type == alert.TypeIncidentOpened {
+			opened = append(opened, ev.Incident.Surprise)
+		}
+	}
+	if len(opened) != 2 {
+		t.Fatalf("got %d opened events, want 2", len(opened))
+	}
+	if opened[0] != 1 {
+		t.Fatalf("first incident surprise = %v, want 1", opened[0])
+	}
+	if opened[1] >= opened[0] {
+		t.Fatalf("repeat incident surprise %v did not drop below %v", opened[1], opened[0])
+	}
+}
+
+func TestIncidentAccessors(t *testing.T) {
+	f, _ := collect(testConfig())
+	f.Observe(alarm("a", t0, 2.0, 1, 3))
+	f.Observe(alarm("b", t0.Add(4*time.Second), 3.5, 2))
+	open := f.Incidents("open")
+	if len(open) != 1 || open[0].State != "open" {
+		t.Fatalf("open list %v", open)
+	}
+	id := open[0].ID
+	got, ok := f.Incident(id)
+	if !ok || got.ID != id || got.Streams != 2 {
+		t.Fatalf("Incident(%q) = %+v, %v", id, got, ok)
+	}
+	if got.Suspects[0].Sensors[0] != 1 || got.Suspects[0].Sensors[1] != 3 {
+		t.Fatalf("sensor union %v", got.Suspects[0].Sensors)
+	}
+	if _, ok := f.Incident("inc-999"); ok {
+		t.Fatal("unknown id found")
+	}
+	f.Advance(t0.Add(time.Hour))
+	if closed := f.Incidents("closed"); len(closed) != 1 || closed[0].ID != id {
+		t.Fatalf("closed list %v", closed)
+	}
+	if all := f.Incidents(""); len(all) != 1 {
+		t.Fatalf("combined list %v", all)
+	}
+}
+
+// TestNonAlarmEventsIgnored proves there is no feedback loop: the
+// fleet's own incident events and the anomaly lifecycle pass through
+// untouched.
+func TestNonAlarmEventsIgnored(t *testing.T) {
+	f, events := collect(testConfig())
+	f.Observe(alert.Event{Type: alert.TypeIncidentOpened, Time: t0, Incident: &alert.Incident{ID: "inc-9"}})
+	f.Observe(alert.Event{Type: alert.TypeAnomalyOpened, Stream: "a", Time: t0, AnomalyID: 1})
+	f.Observe(alert.Event{Type: alert.TypeDurabilityDegraded, Time: t0})
+	if st := f.Stats(); st.RawSignals != 0 {
+		t.Fatalf("non-alarm events counted: %+v", st)
+	}
+	if len(*events) != 0 {
+		t.Fatalf("non-alarm events published: %v", *events)
+	}
+}
+
+// TestBusRoundTrip wires a real bus: alarms published on the bus reach
+// the fleet sink, and the incident events the fleet emits fan back out
+// to a bus subscriber.
+func TestBusRoundTrip(t *testing.T) {
+	bus, err := alert.NewBus(alert.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bus.Close()
+	f := New(testConfig(), nil)
+	if err := f.Attach(bus); err != nil {
+		t.Fatal(err)
+	}
+	sub := bus.Subscribe("", 64)
+	defer sub.Close()
+
+	bus.Publish(alarm("a", t0, 2.0, 1))
+	bus.Publish(alarm("b", t0.Add(5*time.Second), 2.5, 2))
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-sub.C:
+			if ev.Type == alert.TypeIncidentOpened {
+				if ev.Incident.Streams != 2 || ev.Incident.Suspects[0].Stream != "a" {
+					t.Fatalf("incident payload %+v", ev.Incident)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no incident_opened on the bus within 5s")
+		}
+	}
+}

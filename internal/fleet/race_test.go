@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cad/internal/alert"
+)
+
+// TestConcurrentBusFanIn hammers a bus-attached fleet from many
+// publisher goroutines while a ticker advances the clock and readers
+// poll the query API — the -race exercise for the whole ingest path:
+// bus fan-out → sink runner → Observe under the fleet lock → publish
+// back onto the bus, concurrently with Advance and Incidents/Stats.
+func TestConcurrentBusFanIn(t *testing.T) {
+	bus, err := alert.NewBus(alert.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bus.Close()
+
+	cfg := DefaultConfig()
+	cfg.BucketSize = time.Second
+	cfg.ClusterWindow = 10 * time.Second
+	cfg.QuietClose = 20 * time.Second
+	f := New(cfg, nil)
+	if err := f.Attach(bus); err != nil {
+		t.Fatal(err)
+	}
+
+	base := time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC)
+	const publishers = 8
+	const perPublisher = 200
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Clock advancer racing the ingest path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				i++
+				f.Advance(base.Add(time.Duration(i) * time.Second))
+			}
+		}
+	}()
+
+	// Readers racing the writers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = f.Incidents("")
+					_ = f.Stats()
+				}
+			}
+		}()
+	}
+
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < perPublisher; i++ {
+				bus.Publish(alert.Event{
+					Type:    alert.TypeAlarm,
+					Stream:  fmt.Sprintf("s-%d", p),
+					Time:    base.Add(time.Duration(i) * 100 * time.Millisecond),
+					Score:   2.0,
+					Sensors: []int{i % 4},
+				})
+			}
+		}(p)
+	}
+	pubWG.Wait()
+
+	// Let the sink runner drain: the queue may shed under DropOldest, so
+	// wait for the signal count to go quiet rather than for a total.
+	deadline := time.Now().Add(10 * time.Second)
+	var last uint64
+	for stable := 0; stable < 5; {
+		st := f.Stats()
+		if st.RawSignals == last && st.RawSignals > 0 {
+			stable++
+		} else {
+			stable, last = 0, st.RawSignals
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink never went quiet (drained %d signals)", st.RawSignals)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	st := f.Stats()
+	if st.RawSignals == 0 || st.PassedSignals == 0 {
+		t.Fatalf("nothing flowed: %+v", st)
+	}
+	if st.PassedSignals > st.RawSignals {
+		t.Fatalf("passed %d > raw %d", st.PassedSignals, st.RawSignals)
+	}
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import "testing"
+
+// TestReplayAcceptance is the fleet acceptance gate (`make fleettest`):
+// replaying the ten-scenario corpus across 32 staggered streams must
+// dedup ≥90% of raw alarm signals, emit at most 2 incidents per
+// injected fault, and order every primary incident's suspects by their
+// ground-truth onsets. The replay is fully deterministic (seeded
+// scenarios, seeded SBF), so these are exact gates, not flaky bounds.
+func TestReplayAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus replay")
+	}
+	r, err := Replay(ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Streams < 32 {
+		t.Fatalf("replayed %d streams, want ≥ 32", r.Streams)
+	}
+	if len(r.Scenarios) < 10 {
+		t.Fatalf("replayed %d scenarios, want the full corpus", len(r.Scenarios))
+	}
+	if r.DedupRatio < 0.90 {
+		t.Errorf("aggregate dedup ratio %.4f < 0.90 (raw %d, passed %d)",
+			r.DedupRatio, r.RawSignals, r.Passed)
+	}
+	for _, s := range r.Scenarios {
+		if s.AlarmRounds == 0 {
+			t.Errorf("%s: reference run raised no alarms", s.Name)
+		}
+		if s.Incidents < 1 || s.Incidents > 2 {
+			t.Errorf("%s: %d incidents for one injected fault, want 1–2", s.Name, s.Incidents)
+		}
+		if !s.OrderOK {
+			t.Errorf("%s: primary incident suspect order does not match ground-truth onsets", s.Name)
+		}
+		if s.MaxStreams != r.Streams {
+			t.Errorf("%s: widest incident names %d of %d streams", s.Name, s.MaxStreams, r.Streams)
+		}
+		if s.Surprise != 1 {
+			t.Errorf("%s: first-ever incident surprise %.2f, want 1 (no prior history)", s.Name, s.Surprise)
+		}
+	}
+}
+
+// TestReplayDeterministic pins the exact aggregate counters: any change
+// to the detector, the corpus, or the dedup pipeline that shifts the
+// replay shows up as a diff here instead of as silent drift.
+func TestReplayDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus replay")
+	}
+	a, err := Replay(ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RawSignals != b.RawSignals || a.Passed != b.Passed {
+		t.Fatalf("replay not deterministic: (%d,%d) vs (%d,%d)",
+			a.RawSignals, a.Passed, b.RawSignals, b.Passed)
+	}
+	for i := range a.Scenarios {
+		if a.Scenarios[i] != b.Scenarios[i] {
+			t.Fatalf("scenario %s differs between runs:\n%+v\n%+v",
+				a.Scenarios[i].Name, a.Scenarios[i], b.Scenarios[i])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSBFDuplicateDetection(t *testing.T) {
+	s := NewSBF(1<<12, 3, 16, 2, 1)
+	if s.Seen("web-0/3@100") {
+		t.Fatal("fresh key reported seen")
+	}
+	if !s.Seen("web-0/3@100") {
+		t.Fatal("immediate repeat not reported seen")
+	}
+	if s.Seen("web-0/3@101") {
+		t.Fatal("different bucket reported seen")
+	}
+	if s.Seen("web-1/3@100") {
+		t.Fatal("different stream reported seen")
+	}
+}
+
+// TestSBFStability is the property that distinguishes a stable Bloom
+// filter from a plain one: under an endless stream of distinct keys the
+// fraction of zero cells converges instead of vanishing, so fresh keys
+// keep being admitted with a bounded false-positive rate.
+func TestSBFStability(t *testing.T) {
+	s := NewSBF(1<<12, 3, 16, 2, 7)
+	const n = 200000
+	falsePos := 0
+	for i := 0; i < n; i++ {
+		if s.Seen(fmt.Sprintf("key-%d", i)) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / n
+	if rate > 0.10 {
+		t.Fatalf("false-positive rate %.3f after %d distinct inserts; filter saturated", rate, n)
+	}
+	lookups, dups := s.Stats()
+	if lookups != n || int(dups) != falsePos {
+		t.Fatalf("stats = (%d, %d), want (%d, %d)", lookups, dups, n, falsePos)
+	}
+}
+
+// TestSBFDecay: a key left alone while many others stream through is
+// eventually forgotten — the recency semantics dedup wants.
+func TestSBFDecay(t *testing.T) {
+	s := NewSBF(1<<8, 3, 16, 2, 3) // small table so decay is fast
+	s.Seen("old")
+	for i := 0; i < 5000; i++ {
+		s.Seen(fmt.Sprintf("churn-%d", i))
+	}
+	if s.Seen("old") {
+		t.Fatal("key survived heavy churn; cells never decay")
+	}
+}
+
+func TestSBFDeterministic(t *testing.T) {
+	a := NewSBF(1<<10, 3, 16, 2, 42)
+	b := NewSBF(1<<10, 3, 16, 2, 42)
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("k-%d", i%700)
+		if a.Seen(k) != b.Seen(k) {
+			t.Fatalf("same seed diverged at insert %d", i)
+		}
+	}
+}
+
+func TestSBFDefaults(t *testing.T) {
+	s := NewSBF(0, 0, 0, 0, 0)
+	if len(s.cells) != 1<<16 || s.k != 3 || s.p != 16 || s.max != 2 {
+		t.Fatalf("defaults = cells %d k %d p %d max %d", len(s.cells), s.k, s.p, s.max)
+	}
+}

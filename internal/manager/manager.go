@@ -44,6 +44,7 @@ import (
 	"cad/internal/alert"
 	"cad/internal/core"
 	"cad/internal/faultfs"
+	"cad/internal/fleet"
 	"cad/internal/obs"
 	"cad/internal/wal"
 )
@@ -132,6 +133,16 @@ type Options struct {
 	// replay during recovery re-applies columns silently (the original
 	// run already emitted them).
 	Alerts *alert.Bus
+
+	// Fleet, when non-nil together with Alerts, is the second-stage
+	// incident correlator: New attaches it as a consumer of the alert bus
+	// (inheriting the at-least-once delivery contract), so every alarm the
+	// detection path publishes also feeds cross-stream correlation, and
+	// the fleet's incident_opened/updated/closed events flow back through
+	// the same bus to all sinks. Without Alerts the fleet is only carried
+	// (Manager.Fleet serves it to the HTTP layer) and must be fed by the
+	// caller.
+	Fleet *fleet.Fleet
 }
 
 // Fsync policy names accepted by Options.Fsync.
@@ -149,6 +160,7 @@ type Manager struct {
 	now    func() time.Time
 	fs     faultfs.FS
 	alerts *alert.Bus
+	fleet  *fleet.Fleet
 
 	mu             sync.Mutex
 	streams        map[string]*stream
@@ -272,8 +284,21 @@ func New(o Options) *Manager {
 		degradedG: o.Registry.Gauge("cad_durability_degraded",
 			"1 when the manager lost durability and runs memory-only."),
 	}
+	if o.Fleet != nil {
+		m.fleet = o.Fleet
+		if o.Alerts != nil {
+			// Attach only fails when a sink named "fleet" is already
+			// registered — i.e. this fleet (or another) is already consuming
+			// the bus; the existing attachment wins.
+			_ = o.Fleet.Attach(o.Alerts)
+		}
+	}
 	return m
 }
+
+// Fleet returns the second-stage incident correlator the manager was
+// built with, or nil.
+func (m *Manager) Fleet() *fleet.Fleet { return m.fleet }
 
 // durable reports whether write-ahead logging is configured.
 func (m *Manager) durable() bool { return m.opt.WALDir != "" }

@@ -65,7 +65,7 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request, id string
 				// Bus shutdown or eviction; either way the feed is over.
 				return
 			}
-			data, err := json.Marshal(ev)
+			data, err := alert.EncodeEvent(ev)
 			if err != nil {
 				continue
 			}

@@ -75,8 +75,8 @@ func dialSSE(t *testing.T, url string) *sseClient {
 			if !strings.HasPrefix(line, "data: ") {
 				continue
 			}
-			var ev alert.Event
-			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) != nil {
+			ev, err := alert.DecodeEvent([]byte(strings.TrimPrefix(line, "data: ")))
+			if err != nil {
 				continue
 			}
 			c.mu.Lock()

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"encoding/json"
 	"io"
 	"math/rand"
 	"net/http"
@@ -167,8 +166,8 @@ func TestAlertDeliveryEndToEnd(t *testing.T) {
 		if want := alert.Sign(secret, req.body); req.signature != want {
 			t.Fatalf("webhook request %d: signature %q, want %q", i, req.signature, want)
 		}
-		var ev alert.Event
-		if err := json.Unmarshal(req.body, &ev); err != nil {
+		ev, err := alert.DecodeEvent(req.body)
+		if err != nil {
 			t.Fatalf("webhook request %d: bad body %s: %v", i, req.body, err)
 		}
 		if ev.Stream != "default" || string(ev.Type) != req.eventType {

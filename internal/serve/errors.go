@@ -37,6 +37,8 @@ const (
 	CodeBatchTooLarge = "batch_too_large"
 	// CodeStreamNotFound reports an unknown stream id.
 	CodeStreamNotFound = "stream_not_found"
+	// CodeIncidentNotFound reports an unknown incident id.
+	CodeIncidentNotFound = "incident_not_found"
 	// CodeStreamExists reports a create against an existing stream id.
 	CodeStreamExists = "stream_exists"
 	// CodeCapacityExhausted reports a full stream registry with nothing

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"cad/internal/alert"
+)
+
+// IncidentListResponse is the GET /v1/incidents payload: fleet-level
+// incident snapshots, newest first.
+type IncidentListResponse struct {
+	Incidents []alert.Incident `json:"incidents"`
+}
+
+// handleIncidents serves GET /v1/incidents: the fleet correlator's
+// incident store, newest first. ?state=open|closed filters by lifecycle
+// state; ?limit=/?offset= page with the uniform contract (default 50).
+// Answers 404 unless the service was built with a fleet pipeline
+// (Options.Fleet or a manager that carries one).
+func (s *Service) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	if s.fleet == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "fleet correlation is not enabled")
+		return
+	}
+	state := r.URL.Query().Get("state")
+	switch state {
+	case "", "open", "closed":
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad state %q: want open or closed", state)
+		return
+	}
+	p, ok := parsePage(w, r, 50)
+	if !ok {
+		return
+	}
+	incidents := s.fleet.Incidents(state)
+	if incidents == nil {
+		incidents = []alert.Incident{}
+	}
+	writeJSON(w, http.StatusOK, IncidentListResponse{Incidents: pageSlice(incidents, p)})
+}
+
+// handleIncident serves GET /v1/incidents/{id}: one incident snapshot
+// with its full onset-ordered suspect list.
+func (s *Service) handleIncident(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	if s.fleet == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "fleet correlation is not enabled")
+		return
+	}
+	id := r.PathValue("id")
+	inc, ok := s.fleet.Incident(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeIncidentNotFound, "incident %q not found", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, inc)
+}
+
+// handleIncidentEvents serves GET /v1/incidents/events: a Server-Sent
+// Events feed of incident transitions (incident_opened, incident_updated,
+// incident_closed) across every stream, in the same unified v1 envelope
+// the per-stream feed uses. It subscribes to the whole bus and filters,
+// because incidents are fleet-scoped: their events carry no single
+// originating stream.
+func (s *Service) handleIncidentEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	if s.fleet == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "fleet correlation is not enabled")
+		return
+	}
+	if s.alerts == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "alerting is not enabled")
+		return
+	}
+	rc := http.NewResponseController(w)
+	sub := s.alerts.Subscribe("", sseBuffer)
+	defer sub.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			switch ev.Type {
+			case alert.TypeIncidentOpened, alert.TypeIncidentUpdated, alert.TypeIncidentClosed:
+			default:
+				continue
+			}
+			data, err := alert.EncodeEvent(ev)
+			if err != nil {
+				continue
+			}
+			_ = rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cad/internal/alert"
+	"cad/internal/fleet"
+	"cad/internal/manager"
+	"cad/internal/obs"
+)
+
+// fleetAlarm builds one raw alarm event for the fleet pipeline.
+func fleetAlarm(stream string, at time.Time, sensors ...int) alert.Event {
+	return alert.Event{Type: alert.TypeAlarm, Stream: stream, Time: at, Score: 2.5, Sensors: sensors}
+}
+
+// seededFleet returns a fleet holding one closed incident (streams a, b)
+// and one still-open incident (streams c, d) opened ten minutes later.
+func seededFleet(t *testing.T) *fleet.Fleet {
+	t.Helper()
+	cfg := fleet.DefaultConfig()
+	cfg.BucketSize = 10 * time.Second
+	cfg.ClusterWindow = 30 * time.Second
+	cfg.QuietClose = 2 * time.Minute
+	f := fleet.New(cfg, nil)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	f.Observe(fleetAlarm("a", base, 1))
+	f.Observe(fleetAlarm("b", base.Add(7*time.Second), 1))
+	f.Advance(base.Add(cfg.QuietClose + time.Minute)) // closes the first incident
+	later := base.Add(10 * time.Minute)
+	f.Observe(fleetAlarm("c", later, 2))
+	f.Observe(fleetAlarm("d", later.Add(5*time.Second), 2))
+	return f
+}
+
+func getIncidents(t *testing.T, h http.Handler, query string) IncidentListResponse {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/incidents"+query, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("incidents%s = %d: %s", query, rec.Code, rec.Body)
+	}
+	var resp IncidentListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestIncidentsAPI(t *testing.T) {
+	svc := NewWithOptions(testDetector(t), Options{Fleet: seededFleet(t)})
+	h := svc.Handler()
+
+	all := getIncidents(t, h, "").Incidents
+	if len(all) != 2 {
+		t.Fatalf("%d incidents, want 2: %+v", len(all), all)
+	}
+	// Newest first: the open incident leads, the closed one follows.
+	if all[0].State != "open" || all[1].State != "closed" {
+		t.Fatalf("states = %s, %s; want open, closed", all[0].State, all[1].State)
+	}
+	if got := all[1].Suspects; len(got) != 2 || got[0].Stream != "a" || got[1].Stream != "b" {
+		t.Fatalf("closed incident suspects = %+v, want a then b", got)
+	}
+	if all[1].Suspects[0].LagSeconds != 0 || all[1].Suspects[1].LagSeconds != 7 {
+		t.Fatalf("lags = %v, %v; want 0, 7", all[1].Suspects[0].LagSeconds, all[1].Suspects[1].LagSeconds)
+	}
+
+	// State filter.
+	if open := getIncidents(t, h, "?state=open").Incidents; len(open) != 1 || open[0].State != "open" {
+		t.Fatalf("state=open = %+v", open)
+	}
+	if closed := getIncidents(t, h, "?state=closed").Incidents; len(closed) != 1 || closed[0].State != "closed" {
+		t.Fatalf("state=closed = %+v", closed)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/incidents?state=resolved", nil))
+	wantEnvelope(t, rec, http.StatusBadRequest, CodeBadQuery)
+
+	// Pagination follows the uniform contract.
+	if page := getIncidents(t, h, "?limit=1").Incidents; len(page) != 1 || page[0].ID != all[0].ID {
+		t.Fatalf("limit=1 = %+v, want the newest incident", page)
+	}
+	if page := getIncidents(t, h, "?limit=1&offset=1").Incidents; len(page) != 1 || page[0].ID != all[1].ID {
+		t.Fatalf("second page = %+v, want the closed incident", page)
+	}
+	if page := getIncidents(t, h, "?offset=99").Incidents; len(page) != 0 {
+		t.Fatalf("offset past end = %+v, want an empty page", page)
+	}
+
+	// Detail route round-trips the listing snapshot.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/incidents/"+all[1].ID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail = %d: %s", rec.Code, rec.Body)
+	}
+	var detail alert.Incident
+	if err := json.Unmarshal(rec.Body.Bytes(), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.ID != all[1].ID || detail.Streams != 2 || len(detail.Suspects) != 2 {
+		t.Fatalf("detail = %+v", detail)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/incidents/inc-999", nil))
+	wantEnvelope(t, rec, http.StatusNotFound, CodeIncidentNotFound)
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/v1/incidents", nil))
+	wantEnvelope(t, rec, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+}
+
+// TestIncidentRoutesNeedFleet checks the incident routes are cleanly
+// absent on services built without a fleet pipeline.
+func TestIncidentRoutesNeedFleet(t *testing.T) {
+	svc := New(testDetector(t), 10)
+	h := svc.Handler()
+	for _, path := range []string{"/v1/incidents", "/v1/incidents/inc-1", "/v1/incidents/events"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		wantEnvelope(t, rec, http.StatusNotFound, CodeNotFound)
+	}
+	// A fleet without a bus still has no live feed to serve.
+	svc = NewWithOptions(testDetector(t), Options{Fleet: seededFleet(t)})
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/incidents/events", nil))
+	wantEnvelope(t, rec, http.StatusNotFound, CodeNotFound)
+}
+
+// TestIncidentEventsSSE wires the full production topology — manager →
+// bus → fleet sink → bus → SSE — and checks the fleet-scoped feed carries
+// incident transitions in the v1 envelope while filtering per-stream
+// noise.
+func TestIncidentEventsSSE(t *testing.T) {
+	reg := obs.NewRegistry()
+	bus, err := alert.NewBus(alert.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bus.Close()
+	cfg := fleet.DefaultConfig()
+	cfg.BucketSize = 10 * time.Second
+	f := fleet.New(cfg, reg)
+	mgr := manager.New(manager.Options{MaxAlarms: 64, Registry: reg, Alerts: bus, Fleet: f})
+	if mgr.Fleet() != f {
+		t.Fatal("manager does not carry its fleet")
+	}
+	// Options.Fleet is nil: the service must fall back to the manager's.
+	svc := NewWithOptions(testDetector(t), Options{Manager: mgr, Alerts: bus})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer bus.Close()
+
+	c := dialSSE(t, ts.URL+"/v1/incidents/events")
+	base := time.Date(2026, 8, 8, 15, 0, 0, 0, time.UTC)
+	bus.Publish(fleetAlarm("s-a", base, 0))
+	bus.Publish(fleetAlarm("s-b", base.Add(9*time.Second), 0))
+
+	waitFor(t, "incident_opened on the SSE feed", func() bool {
+		_, ok := c.find(alert.TypeIncidentOpened)
+		return ok
+	})
+	ev, _ := c.find(alert.TypeIncidentOpened)
+	if ev.Incident == nil || ev.Incident.Streams != 2 {
+		t.Fatalf("opened incident = %+v", ev.Incident)
+	}
+	if len(ev.Incident.Suspects) != 2 || ev.Incident.Suspects[0].Stream != "s-a" {
+		t.Fatalf("suspects = %+v, want s-a leading", ev.Incident.Suspects)
+	}
+	// Raw alarms must not leak into the incident feed.
+	for _, got := range c.snapshot() {
+		if got.Type == alert.TypeAlarm {
+			t.Fatalf("incident feed leaked a raw alarm: %+v", got)
+		}
+	}
+}
+
+// TestLegacyDeprecationHeaders: every unversioned route answers with the
+// RFC 8594 deprecation trio and is counted, while its /v1 successor stays
+// clean.
+func TestLegacyDeprecationHeaders(t *testing.T) {
+	svc := New(testDetector(t), 10)
+	h := svc.Handler()
+	legacy := map[string]string{
+		"/status":    "/v1/streams/{id}/status",
+		"/alarms":    "/v1/streams/{id}/alarms",
+		"/anomalies": "/v1/streams/{id}/anomalies",
+	}
+	for path, successor := range legacy {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", path, rec.Code, rec.Body)
+		}
+		if got := rec.Header().Get("Deprecation"); got != "true" {
+			t.Errorf("%s Deprecation = %q, want true", path, got)
+		}
+		if got := rec.Header().Get("Sunset"); got == "" {
+			t.Errorf("%s missing Sunset header", path)
+		}
+		if got := rec.Header().Get("Link"); !strings.Contains(got, successor) || !strings.Contains(got, `rel="successor-version"`) {
+			t.Errorf("%s Link = %q, want successor %s", path, got, successor)
+		}
+		if got := svc.legacyRequests(path).Value(); got != 1 {
+			t.Errorf("cad_legacy_requests_total{route=%q} = %d, want 1", path, got)
+		}
+	}
+	// The successor routes carry no deprecation marker.
+	req := httptest.NewRequest(http.MethodGet, "/v1/streams/default/status", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Header().Get("Deprecation") != "" {
+		t.Fatalf("/v1 status = %d, Deprecation %q; want 200 with no header",
+			rec.Code, rec.Header().Get("Deprecation"))
+	}
+}
+
+// TestPaginationBoundaries is the table-driven boundary sweep of the
+// uniform ?limit=/?offset= contract across every listing route.
+func TestPaginationBoundaries(t *testing.T) {
+	svc := NewWithOptions(testDetector(t), Options{Fleet: seededFleet(t)})
+	h := svc.Handler()
+	routes := []string{
+		"/v1/streams",
+		"/v1/streams/default/alarms",
+		"/v1/streams/default/anomalies",
+		"/v1/incidents",
+	}
+	bad := []string{"?limit=0", "?limit=-3", "?limit=abc", "?limit=1.5", "?offset=-1", "?offset=abc"}
+	for _, route := range routes {
+		for _, query := range bad {
+			req := httptest.NewRequest(http.MethodGet, route+query, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("%s%s = %d, want 400", route, query, rec.Code)
+				continue
+			}
+			var resp ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Error.Code != CodeBadQuery {
+				t.Errorf("%s%s error = %s, want code %s", route, query, rec.Body, CodeBadQuery)
+			}
+		}
+		// Offset past the end is an empty page on every route, never an error.
+		req := httptest.NewRequest(http.MethodGet, route+"?limit=5&offset=100000", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s offset past end = %d: %s", route, rec.Code, rec.Body)
+		}
+	}
+	// /v1/streams honors limit/offset over its full listing.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/streams?limit=1&offset=0", nil))
+	var list StreamListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list.Streams) != 1 {
+		t.Fatalf("streams limit=1 = %s (%v)", rec.Body, err)
+	}
+}

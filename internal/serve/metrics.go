@@ -16,3 +16,12 @@ func (s *Service) ingestRejected(stream, reason string) *obs.Counter {
 		obs.Label{Name: "reason", Value: reason},
 		obs.Label{Name: "stream", Value: stream})
 }
+
+// legacyRequests counts hits on the deprecated unversioned routes, by
+// route. Cardinality is bounded: only the five fixed legacy paths are
+// ever passed in (the wrapper is applied per registered route).
+func (s *Service) legacyRequests(route string) *obs.Counter {
+	return s.reg.Counter("cad_legacy_requests_total",
+		"Requests served by deprecated unversioned routes, by route.",
+		obs.Label{Name: "route", Value: route})
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// page is the uniform ?limit=/?offset= contract shared by every listing
+// route (/v1/streams, …/alarms, …/anomalies, /v1/incidents and their
+// legacy delegates). Bounds and error codes are identical everywhere:
+// limit, when present, must be a positive integer (limit=0 is rejected —
+// an empty page is requested by offsetting past the end, not by asking
+// for nothing); offset must be a non-negative integer; both reject
+// non-numeric values with bad_query. An offset past the end of the
+// collection yields an empty page, never an error.
+type page struct {
+	// Limit is the page size; ≤ 0 means "no bound" (only possible when
+	// the route's default is unbounded, e.g. /v1/streams).
+	Limit int
+	// Offset skips the N first entries of the route's natural order.
+	Offset int
+}
+
+// parsePage parses the pagination parameters against a route default.
+// defLimit ≤ 0 means an absent ?limit= leaves the page unbounded. On a
+// bad parameter it writes the bad_query envelope and returns ok=false.
+func parsePage(w http.ResponseWriter, r *http.Request, defLimit int) (page, bool) {
+	p := page{Limit: defLimit}
+	q := r.URL.Query()
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadQuery,
+				"bad limit %q: want a positive integer", raw)
+			return page{}, false
+		}
+		p.Limit = v
+	}
+	if raw := q.Get("offset"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadQuery,
+				"bad offset %q: want a non-negative integer", raw)
+			return page{}, false
+		}
+		p.Offset = v
+	}
+	return p, true
+}
+
+// slice applies the page to an already-ordered slice: offset past the
+// end yields an empty (non-nil) slice.
+func pageSlice[T any](xs []T, p page) []T {
+	if p.Offset >= len(xs) {
+		return []T{}
+	}
+	xs = xs[p.Offset:]
+	if p.Limit > 0 && len(xs) > p.Limit {
+		xs = xs[:p.Limit]
+	}
+	return xs
+}

@@ -20,19 +20,27 @@
 //	POST   /v1/sinks                      {"name","type",…}           → register an alert sink (201)
 //	GET    /v1/sinks                                                  → registered sinks with delivery stats
 //	DELETE /v1/sinks/{name}                                           → unregister a sink (drains its queue)
+//	GET    /v1/incidents?limit&offset&state=open|closed               → fleet-level incidents, newest first
+//	GET    /v1/incidents/{id}                                         → one incident with onset-ordered suspects
+//	GET    /v1/incidents/events                                       → live SSE feed of incident transitions
+//	POST   /v1/detect                     CSV body                    → one-shot batch detection
 //	GET    /version                                                   → build identity (module version, VCS revision)
 //
 // The SSE and sink routes answer 404 unless the service was built with an
-// alert bus (Options.Alerts); GET /v1/streams also reports the build in an
-// X-CAD-Version header.
+// alert bus (Options.Alerts); the incident routes answer 404 unless a fleet
+// correlator is wired (Options.Fleet, or a manager carrying one). GET
+// /v1/streams also reports the build in an X-CAD-Version header.
 //
-// Legacy unversioned routes (/ingest, /status, /alarms, /anomalies,
-// /detect) are thin delegates to the "default" stream, so single-detector
-// deployments keep working unchanged. GET /metrics serves the Prometheus
-// text exposition. GET /healthz reports liveness (always 200 while the
-// process serves) and GET /readyz readiness: 503 with the cause once the
-// manager lost durability and degraded to memory-only operation, so
-// orchestrators can route traffic away from a replica that would forget
+// The legacy unversioned routes (/ingest, /status, /alarms, /anomalies,
+// /detect) are deprecated thin delegates to the /v1 handlers on the
+// "default" stream: single-detector deployments keep working unchanged,
+// but every response carries Deprecation/Sunset/Link headers naming the
+// /v1 successor and hits are counted in cad_legacy_requests_total (the
+// removal horizon is documented in README). GET /metrics serves the
+// Prometheus text exposition. GET /healthz reports liveness (always 200
+// while the process serves) and GET /readyz readiness: 503 with the cause
+// once the manager lost durability and degraded to memory-only operation,
+// so orchestrators can route traffic away from a replica that would forget
 // its streams on the next restart.
 //
 // Every non-2xx response carries one structured JSON error envelope,
@@ -41,8 +49,11 @@
 //
 // with stable machine-readable codes (bad_json, bad_readings, bad_csv,
 // bad_config, bad_query, bad_stream_id, bad_sink, batch_too_large,
-// stream_not_found, stream_exists, sink_exists, sink_not_found,
-// capacity_exhausted, method_not_allowed, not_found, internal).
+// stream_not_found, stream_exists, incident_not_found, sink_exists,
+// sink_not_found, capacity_exhausted, method_not_allowed, not_found,
+// internal). Listing routes share one ?limit=/?offset= contract (see
+// parsePage): limit must be positive when present, offset non-negative,
+// and paging past the end yields an empty page.
 //
 // Stream lifecycle: a created stream is resident until the registry hits
 // its capacity bound or the stream sits idle past the TTL; it is then
@@ -72,11 +83,11 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
-	"strconv"
 	"strings"
 
 	"cad/internal/alert"
 	"cad/internal/core"
+	"cad/internal/fleet"
 	"cad/internal/manager"
 	"cad/internal/mts"
 	"cad/internal/obs"
@@ -102,6 +113,7 @@ type Service struct {
 	reg    *obs.Registry
 	logger *slog.Logger
 	alerts *alert.Bus
+	fleet  *fleet.Fleet
 }
 
 // Options configures optional service dependencies.
@@ -122,6 +134,9 @@ type Options struct {
 	// event feed and the sink CRUD. Pass the same bus the manager
 	// publishes into.
 	Alerts *alert.Bus
+	// Fleet, when non-nil, enables the /v1/incidents routes. Nil falls
+	// back to the fleet the manager was built with (if any).
+	Fleet *fleet.Fleet
 }
 
 // New wraps det (already warmed up, if desired) as the default stream of a
@@ -148,7 +163,11 @@ func NewWithOptions(det *core.Detector, o Options) *Service {
 	// ErrExists means startup recovery already restored a default stream
 	// from disk; the recovered state (warm detector, alarm history) wins
 	// over the caller's fresh detector.
-	return &Service{mgr: mgr, reg: mgr.Registry(), logger: o.Logger, alerts: o.Alerts}
+	fl := o.Fleet
+	if fl == nil {
+		fl = mgr.Fleet()
+	}
+	return &Service{mgr: mgr, reg: mgr.Registry(), logger: o.Logger, alerts: o.Alerts, fleet: fl}
 }
 
 // Registry returns the metrics registry the service reports into.
@@ -164,12 +183,19 @@ func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
 	case "/ingest", "/status", "/alarms", "/anomalies", "/detect", "/metrics",
-		"/healthz", "/readyz", "/version", "/v1/streams", "/v1/sinks":
+		"/healthz", "/readyz", "/version", "/v1/streams", "/v1/sinks",
+		"/v1/detect", "/v1/incidents", "/v1/incidents/events":
 		return p
 	}
 	if rest, ok := strings.CutPrefix(p, "/v1/sinks/"); ok {
 		if rest != "" && !strings.Contains(rest, "/") {
 			return "/v1/sinks/{name}"
+		}
+		return "other"
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/incidents/"); ok {
+		if rest != "" && !strings.Contains(rest, "/") {
+			return "/v1/incidents/{id}"
 		}
 		return "other"
 	}
@@ -205,12 +231,21 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/streams/{id}/events", s.byID(s.handleEvents))
 	mux.HandleFunc("/v1/sinks", s.handleSinks)
 	mux.HandleFunc("/v1/sinks/{name}", s.handleSink)
-	// Legacy single-stream routes: thin delegates to the default stream.
-	mux.HandleFunc("/ingest", s.onDefault(s.handleIngest))
-	mux.HandleFunc("/status", s.onDefault(s.handleStatus))
-	mux.HandleFunc("/alarms", s.onDefault(s.handleAlarms))
-	mux.HandleFunc("/anomalies", s.onDefault(s.handleAnomalies))
-	mux.HandleFunc("/detect", s.handleDetect)
+	// Fleet-level incident correlation (404 unless a fleet is wired).
+	mux.HandleFunc("/v1/incidents", s.handleIncidents)
+	mux.HandleFunc("/v1/incidents/events", s.handleIncidentEvents)
+	mux.HandleFunc("/v1/incidents/{id}", s.handleIncident)
+	// One-shot batch detection under the versioned prefix.
+	mux.HandleFunc("/v1/detect", s.handleDetect)
+	// Legacy single-stream routes: deprecated thin delegates to the /v1
+	// handlers on the default stream. Responses carry Deprecation/Sunset/
+	// Link headers and traffic is counted per route so operators can see
+	// who still depends on them before the removal horizon (see README).
+	mux.HandleFunc("/ingest", s.deprecated("/v1/streams/{id}/ingest", s.onDefault(s.handleIngest)))
+	mux.HandleFunc("/status", s.deprecated("/v1/streams/{id}/status", s.onDefault(s.handleStatus)))
+	mux.HandleFunc("/alarms", s.deprecated("/v1/streams/{id}/alarms", s.onDefault(s.handleAlarms)))
+	mux.HandleFunc("/anomalies", s.deprecated("/v1/streams/{id}/anomalies", s.onDefault(s.handleAnomalies)))
+	mux.HandleFunc("/detect", s.deprecated("/v1/detect", s.handleDetect))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -230,6 +265,26 @@ func (s *Service) byID(h func(http.ResponseWriter, *http.Request, string)) http.
 func (s *Service) onDefault(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		h(w, r, DefaultStream)
+	}
+}
+
+// legacySunset is the removal horizon for the unversioned routes,
+// RFC 8594 HTTP-date form (documented in README).
+const legacySunset = "Wed, 30 Jun 2027 00:00:00 GMT"
+
+// deprecated marks a legacy unversioned route: every response carries
+// Deprecation + Sunset headers and a Link to the /v1 successor route, and
+// the hit is counted in cad_legacy_requests_total{route}. The delegate
+// handler is otherwise unchanged, so existing clients keep working until
+// the sunset date.
+func (s *Service) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hd := w.Header()
+		hd.Set("Deprecation", "true")
+		hd.Set("Sunset", legacySunset)
+		hd.Set("Link", `<`+successor+`>; rel="successor-version"`)
+		s.legacyRequests(r.URL.Path).Inc()
+		h(w, r)
 	}
 }
 
@@ -312,8 +367,12 @@ func (s *Service) handleStreams(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.handleCreateStream(w, r)
 	case http.MethodGet:
+		p, ok := parsePage(w, r, 0) // default: the full list
+		if !ok {
+			return
+		}
 		w.Header().Set("X-CAD-Version", versionHeader())
-		writeJSON(w, http.StatusOK, StreamListResponse{Streams: s.mgr.List()})
+		writeJSON(w, http.StatusOK, StreamListResponse{Streams: pageSlice(s.mgr.List(), p)})
 	default:
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST required")
 	}
@@ -487,20 +546,6 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request, id string
 	writeJSON(w, http.StatusOK, st)
 }
 
-// parseCountParam parses a non-negative integer query parameter, rejecting
-// non-numeric and negative values.
-func parseCountParam(r *http.Request, name string, def int) (int, error) {
-	q := r.URL.Query().Get(name)
-	if q == "" {
-		return def, nil
-	}
-	v, err := strconv.Atoi(q)
-	if err != nil || v < 0 {
-		return 0, errors.New("bad " + name)
-	}
-	return v, nil
-}
-
 // handleAlarms serves the alarm ring buffer. ?limit= bounds the page size
 // (default 50, capped at the ring size; 0 is rejected) and ?offset= skips
 // the N most recent alarms, paging backwards through the ring.
@@ -509,17 +554,11 @@ func (s *Service) handleAlarms(w http.ResponseWriter, r *http.Request, id string
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
 		return
 	}
-	limit, err := parseCountParam(r, "limit", 50)
-	if err != nil || limit < 1 {
-		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad limit %q: want a positive integer", r.URL.Query().Get("limit"))
+	p, ok := parsePage(w, r, 50)
+	if !ok {
 		return
 	}
-	offset, err := parseCountParam(r, "offset", 0)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad offset %q: want a non-negative integer", r.URL.Query().Get("offset"))
-		return
-	}
-	alarms, err := s.mgr.Alarms(id, limit, offset)
+	alarms, err := s.mgr.Alarms(id, p.Limit, p.Offset)
 	if err != nil {
 		writeStreamError(w, err)
 		return
@@ -555,17 +594,11 @@ func (s *Service) handleAnomalies(w http.ResponseWriter, r *http.Request, id str
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
 		return
 	}
-	limit, err := parseCountParam(r, "limit", 50)
-	if err != nil || limit < 1 {
-		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad limit %q: want a positive integer", r.URL.Query().Get("limit"))
+	p, ok := parsePage(w, r, 50)
+	if !ok {
 		return
 	}
-	offset, err := parseCountParam(r, "offset", 0)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadQuery, "bad offset %q: want a non-negative integer", r.URL.Query().Get("offset"))
-		return
-	}
-	anomalies, open, err := s.mgr.Anomalies(id, limit, offset)
+	anomalies, open, err := s.mgr.Anomalies(id, p.Limit, p.Offset)
 	if err != nil {
 		writeStreamError(w, err)
 		return
