@@ -4,9 +4,10 @@ GO ?= go
 # test suite under the race detector (the serve concurrency tests only mean
 # something with -race), the fault-injection suite, the pinned-seed
 # crash-recovery equivalence run, the alert-delivery suite, the
-# scenario-corpus quality gate, and the fleet-replay acceptance gate.
+# scenario-corpus quality gate, the fleet-replay acceptance gate, and the
+# sharded-cluster equivalence gate.
 .PHONY: ci
-ci: fmt vet staticcheck build race faulttest crashtest alerttest benchsmoke scenariotest fleettest
+ci: fmt vet staticcheck build race faulttest crashtest alerttest benchsmoke scenariotest fleettest clustertest
 
 .PHONY: fmt
 fmt:
@@ -112,6 +113,18 @@ scenariotest:
 fleettest:
 	$(GO) test -count=1 -run 'TestReplay' ./internal/fleet/
 	$(GO) test -count=1 -race -run 'TestConcurrentBusFanIn' ./internal/fleet/
+
+# clustertest is the scale-out acceptance gate: ring placement and failover
+# properties, the health/probe loop, snapshot + WAL-tail stream migration
+# equivalence, and the 3-node in-process cluster replaying a scenario corpus
+# entry with streams sharded across nodes — alarms, anomalies, and
+# pagination must match the single-node run, including after one node is
+# drained and closed. -race because every request path crosses goroutines.
+.PHONY: clustertest
+clustertest:
+	$(GO) test -count=1 -race ./internal/cluster/
+	$(GO) test -count=1 -race -run 'TestExportImport|TestImportRejections' ./internal/manager/
+	$(GO) test -count=1 -race -run 'TestCluster' ./internal/serve/
 
 # scenario-record re-runs the full scenario × config evaluation matrix and
 # rewrites the committed quality baseline (floors included). Commit the diff

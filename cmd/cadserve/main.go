@@ -12,6 +12,8 @@
 //	         [-alert-queue 256] [-alert-dlq /var/lib/cadserve/dlq]
 //	         [-fleet] [-fleet-bucket 30s] [-fleet-window 60s]
 //	         [-fleet-quiet 5m] [-fleet-min-streams 2]
+//	         [-node-id n1 -advertise http://host1:8080
+//	          -peers n2=http://host2:8080,n3=http://host3:8080]
 //
 // Operators create streams with POST /v1/streams and drive them through
 // /v1/streams/{id}/…; the legacy unversioned routes (/ingest, /status,
@@ -48,6 +50,21 @@
 // their retries are dead-lettered to disk and redelivered once on the next
 // boot.
 //
+// -node-id/-advertise/-peers turn the server into a member of a static
+// cadserve cluster: the stream fleet is sharded across the members by
+// consistent hashing, any node accepts any /v1 request and transparently
+// forwards stream-scoped traffic to the stream's owner (responses carry
+// X-CAD-Node naming the serving node), collection reads (/v1/streams,
+// /v1/incidents, the /v1/events SSE feed) scatter-gather across the live
+// membership, and GET /v1/cluster reports this node's membership view.
+// Each node health-checks its peers' /readyz and routes around members
+// that stop answering; when a peer joins or recovers, the streams that
+// hash to it are migrated over as snapshot + WAL-tail bundles, and a
+// SIGTERM'd node drains its streams to the surviving members before
+// exiting. The built-in default stream stays node-local. All members
+// should be started with the same membership (each node lists the others
+// in -peers) and, for durable migration, a -wal directory.
+//
 // -fleet enables the second-stage incident correlator: per-stream alarms
 // from the bus are deduplicated (Stable Bloom filter keyed by stream and
 // -fleet-bucket sized time bucket), clustered across streams within
@@ -73,11 +90,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cad"
 	"cad/internal/alert"
+	"cad/internal/cluster"
 	"cad/internal/core"
 	"cad/internal/fleet"
 	"cad/internal/manager"
@@ -114,6 +133,9 @@ func main() {
 		flWindow = flag.Duration("fleet-window", 0, "cross-stream clustering window (0 = default 60s)")
 		flQuiet  = flag.Duration("fleet-quiet", 0, "event-time silence closing an incident (0 = default 5m)")
 		flMinStr = flag.Int("fleet-min-streams", 0, "distinct streams opening an incident (0 = default 2)")
+		nodeID   = flag.String("node-id", "", "this node's id in a cadserve cluster ('' = single-node mode)")
+		advert   = flag.String("advertise", "", "base URL peers reach this node at (required with -node-id)")
+		peers    = flag.String("peers", "", "comma-separated id=url peer list forming the static cluster membership")
 	)
 	flag.Parse()
 	logger := newLogger(*logJSON)
@@ -129,6 +151,7 @@ func main() {
 		webhook: *webhook, webhookSecret: *whSecret,
 		alertQueue: *alertQ, alertDLQ: *alertDLQ,
 		fleetOn: *fleetOn, fleetCfg: fleetCfg,
+		nodeID: *nodeID, advertise: *advert, peers: *peers,
 	}
 	if err := run(*sensors, *warmup, *cfgFile, *w, *s, *k, *tau, *theta, *approx, opts, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "cadserve: %v\n", err)
@@ -196,6 +219,11 @@ func setup(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64,
 		cfg.Tau = tau
 		cfg.Theta = theta
 		cfg.ApproxTSG = approx
+		if approx {
+			// ApproxTSG excludes the incremental hot path DefaultConfig
+			// turns on.
+			cfg.Incremental = false
+		}
 		if w > 0 && s > 0 {
 			cfg.Window = cad.Windowing{W: w, S: s}
 		}
@@ -236,6 +264,63 @@ type serverOptions struct {
 
 	fleetOn  bool
 	fleetCfg fleet.Config
+
+	nodeID    string
+	advertise string
+	peers     string
+}
+
+// parsePeers parses the -peers list: comma-separated id=url entries.
+func parsePeers(raw string) ([]cluster.Node, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	var nodes []cluster.Node
+	for _, entry := range strings.Split(raw, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=url", entry)
+		}
+		nodes = append(nodes, cluster.Node{ID: id, URL: url})
+	}
+	return nodes, nil
+}
+
+// newCluster builds this node's cluster view from the flags, or returns
+// nil in single-node mode. The OnPeerUp hook rebalances: a peer that
+// joins (or comes back) immediately receives the local streams the ring
+// says it owns.
+func newCluster(o serverOptions, reg *obs.Registry, logger *slog.Logger, mover func() cluster.StreamMover) (*cluster.Cluster, error) {
+	if o.nodeID == "" && o.peers == "" {
+		return nil, nil
+	}
+	if o.nodeID == "" || o.advertise == "" {
+		return nil, fmt.Errorf("cluster mode needs both -node-id and -advertise")
+	}
+	nodes, err := parsePeers(o.peers)
+	if err != nil {
+		return nil, err
+	}
+	var cl *cluster.Cluster
+	cl, err = cluster.New(cluster.Config{
+		Self:      o.nodeID,
+		Advertise: o.advertise,
+		Peers:     nodes,
+		Registry:  reg,
+		Logger:    logger,
+		OnPeerUp: func(p cluster.Node) {
+			if n, err := cl.Rebalance(context.Background(), mover()); err != nil {
+				logger.Warn("cluster rebalance", "peer", p.ID, "err", err)
+			} else if n > 0 {
+				logger.Info("cluster rebalanced", "peer", p.ID, "moved", n)
+			}
+		},
+	})
+	return cl, err
 }
 
 // newManager builds the stream registry from the service flags, publishing
@@ -366,11 +451,23 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 	} else if n > 0 {
 		logger.Info("redelivering dead-lettered alerts", "events", n)
 	}
-	svc := serve.NewWithOptions(det, serve.Options{Manager: mgr, Logger: logger, Alerts: bus})
+	cl, err := newCluster(o, reg, logger, func() cluster.StreamMover {
+		return serve.ClusterMover{Mgr: mgr}
+	})
+	if err != nil {
+		return err
+	}
+	svc := serve.NewWithOptions(det, serve.Options{Manager: mgr, Logger: logger, Alerts: bus, Cluster: cl})
 	srv := newServer(svc, o.addr, o.pprofOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if cl != nil {
+		cl.Start(ctx)
+		logger.Info("cluster member", "node", o.nodeID, "advertise", o.advertise,
+			"peers", cl.Ring().Len()-1)
+	}
 
 	if o.snapdir != "" && o.idleTTL > 0 {
 		iv := sweepInterval(o.idleTTL)
@@ -426,6 +523,18 @@ func run(sensors int, warmup, cfgFile string, w, s, k int, tau, theta float64, a
 	case <-ctx.Done():
 		stop()
 		logger.Info("shutting down", "reason", "signal")
+		// Drain before anything closes: hand every local stream to the
+		// surviving peers so the membership loses a node, not its streams.
+		// Failures are non-fatal — the WAL still recovers them on restart.
+		if cl != nil {
+			dctx, dcancel := context.WithTimeout(context.Background(), 15*time.Second)
+			if n, err := cl.Drain(dctx, serve.ClusterMover{Mgr: mgr}); err != nil {
+				logger.Warn("cluster drain", "moved", n, "err", err)
+			} else if n > 0 {
+				logger.Info("cluster drained", "moved", n)
+			}
+			dcancel()
+		}
 		// Close the bus first: open SSE feeds block on it, and Shutdown
 		// cannot drain them until their channels close. Sink queues get one
 		// final delivery attempt per event; failures dead-letter.

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestCluster(t *testing.T, peers ...Node) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:      "self",
+		Advertise: "http://self:8080",
+		Peers:     peers,
+		// One failed probe marks a peer down, so tests drive transitions
+		// with single CheckPeers passes.
+		HealthFailures: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Advertise: "http://x"}); err == nil {
+		t.Error("New accepted an empty self id")
+	}
+	if _, err := New(Config{Self: "a"}); err == nil {
+		t.Error("New accepted an empty advertise URL")
+	}
+	if _, err := New(Config{Self: "a", Advertise: "http://x", Peers: []Node{{ID: "a", URL: "http://y"}}}); err == nil {
+		t.Error("New accepted self listed in peers")
+	}
+}
+
+// TestHealthTransitions drives the probe loop against real listeners: a
+// peer answering 503 stays routable (degraded, not dead), an unreachable
+// peer goes down after HealthFailures probes, and recovery fires OnPeerUp.
+func TestHealthTransitions(t *testing.T) {
+	var status int = http.StatusOK
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		w.WriteHeader(status)
+	}))
+	defer srv.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // port is now unreachable
+
+	var cameUp []string
+	c, err := New(Config{
+		Self:           "self",
+		Advertise:      "http://self:8080",
+		Peers:          []Node{{ID: "p1", URL: srv.URL}, {ID: "p2", URL: dead.URL}},
+		HealthFailures: 2,
+		OnPeerUp:       func(p Node) { cameUp = append(cameUp, p.ID) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Optimistic start: both peers count as alive before any probe.
+	if !c.Alive("p1") || !c.Alive("p2") {
+		t.Fatal("peers must start alive")
+	}
+
+	// First pass: p1 answers (firing the boot-time OnPeerUp), p2 fails once
+	// — below the threshold, still alive.
+	c.CheckPeers(ctx)
+	if len(cameUp) != 1 || cameUp[0] != "p1" {
+		t.Fatalf("OnPeerUp after first pass = %v, want [p1]", cameUp)
+	}
+	if !c.Alive("p2") {
+		t.Fatal("p2 went down after one failure with HealthFailures=2")
+	}
+	c.CheckPeers(ctx)
+	if c.Alive("p2") {
+		t.Fatal("p2 still alive after two consecutive failures")
+	}
+	if got := c.DownPeers(); len(got) != 1 || got[0] != "p2" {
+		t.Fatalf("DownPeers = %v, want [p2]", got)
+	}
+
+	// A degraded peer (503 /readyz) is reachable and must stay routable.
+	status = http.StatusServiceUnavailable
+	c.CheckPeers(ctx)
+	if !c.Alive("p1") {
+		t.Fatal("p1 went down on a 503 readyz; degraded peers still serve")
+	}
+
+	// Ownership routes around the down peer and self always answers.
+	for i := 0; i < 200; i++ {
+		n, ok := c.Owner("stream-" + string(rune('a'+i%26)))
+		if !ok || n.ID == "p2" {
+			t.Fatalf("Owner routed to down peer: %v %v", n, ok)
+		}
+	}
+
+	// Status reflects the view.
+	st := c.Status()
+	if st.Self != "self" || len(st.Nodes) != 3 {
+		t.Fatalf("Status = %+v", st)
+	}
+	for _, n := range st.Nodes {
+		if n.ID == "p2" && (n.Alive || n.Error == "") {
+			t.Errorf("down peer status = %+v", n)
+		}
+		if n.ID == "p1" && !n.Alive {
+			t.Errorf("live peer status = %+v", n)
+		}
+	}
+}
+
+func TestMarkDownAndRecovery(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	var cameUp int
+	c, err := New(Config{
+		Self:      "self",
+		Advertise: "http://self:8080",
+		Peers:     []Node{{ID: "p1", URL: srv.URL}},
+		OnPeerUp:  func(Node) { cameUp++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CheckPeers(context.Background())
+	if cameUp != 1 {
+		t.Fatalf("boot OnPeerUp ran %d times, want 1", cameUp)
+	}
+	c.MarkDown("p1")
+	if c.Alive("p1") {
+		t.Fatal("MarkDown did not take")
+	}
+	if got := c.AlivePeers(); len(got) != 0 {
+		t.Fatalf("AlivePeers = %v with p1 down", got)
+	}
+	// One successful probe brings it back and fires OnPeerUp again.
+	c.CheckPeers(context.Background())
+	if !c.Alive("p1") || cameUp != 2 {
+		t.Fatalf("recovery: alive=%v cameUp=%d", c.Alive("p1"), cameUp)
+	}
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"cad/internal/manager"
+)
+
+// HandoffPath is the peer-to-peer endpoint migration bundles POST to.
+const HandoffPath = "/v1/cluster/handoff"
+
+// StreamMover is the manager surface the rebalancer drives: enumerate the
+// node's streams, export one as a migration bundle, drop it once a peer
+// owns it.
+type StreamMover interface {
+	List() []manager.Info
+	Export(id string) (manager.StreamExport, error)
+	Delete(id string) error
+}
+
+// SendHandoff ships one migration bundle to a peer's handoff endpoint.
+// The stream is NOT deleted locally — the caller does that only on
+// success, so a failed send never loses state.
+func (c *Cluster) SendHandoff(ctx context.Context, peer Node, exp manager.StreamExport) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&exp); err != nil {
+		return fmt.Errorf("cluster: handoff %s: %w", exp.ID, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(peer.URL, "/")+HandoffPath, &buf)
+	if err != nil {
+		return fmt.Errorf("cluster: handoff %s: %w", exp.ID, err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(HeaderNode, c.self.ID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: handoff %s to %s: %w", exp.ID, peer.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("cluster: handoff %s to %s: HTTP %d: %s",
+			exp.ID, peer.ID, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	c.handoffsSent.Inc()
+	return nil
+}
+
+// DecodeHandoff parses a handoff request body back into its bundle.
+func DecodeHandoff(r io.Reader) (manager.StreamExport, error) {
+	var exp manager.StreamExport
+	if err := gob.NewDecoder(r).Decode(&exp); err != nil {
+		return exp, fmt.Errorf("cluster: decode handoff: %w", err)
+	}
+	return exp, nil
+}
+
+// ImportHandoff applies a received bundle to the local manager and counts
+// it. Returns how many WAL-tail records were replayed.
+func (c *Cluster) ImportHandoff(mgr interface {
+	Import(manager.StreamExport) (int, error)
+}, exp manager.StreamExport) (int, error) {
+	replayed, err := mgr.Import(exp)
+	if err != nil {
+		return 0, err
+	}
+	c.handoffsRecv.Inc()
+	c.tailColumns.Add(uint64(replayed))
+	return replayed, nil
+}
+
+// Rebalance pushes every local stream whose ring owner is another live
+// node to that node via snapshot + WAL-tail handoff, deleting the local
+// copy only after the peer acknowledged. Returns how many streams moved;
+// the error (if any) is the first send failure, after attempting the
+// rest. Run it when membership changes — a peer joining or recovering
+// takes back the streams that hash to it.
+func (c *Cluster) Rebalance(ctx context.Context, mgr StreamMover) (int, error) {
+	return c.moveStreams(ctx, mgr, c.Alive)
+}
+
+// Drain hands every local stream — including the ones this node owns —
+// to its owner among the LIVE PEERS, for graceful shutdown: after a clean
+// drain the node holds no streams and can leave the membership without
+// losing a column. With no live peer to receive them, streams stay local
+// (their WAL still recovers them on restart) and Drain reports the error.
+func (c *Cluster) Drain(ctx context.Context, mgr StreamMover) (int, error) {
+	alive := func(id string) bool { return id != c.self.ID && c.Alive(id) }
+	return c.moveStreams(ctx, mgr, alive)
+}
+
+// moveStreams exports and hands off every local stream whose owner under
+// the alive predicate is a peer, deleting each local copy on acknowledged
+// receipt.
+func (c *Cluster) moveStreams(ctx context.Context, mgr StreamMover, alive func(id string) bool) (int, error) {
+	moved := 0
+	var firstErr error
+	for _, info := range mgr.List() {
+		owner, ok := c.ring.OwnerAmong(info.ID, alive)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: no live node to own %s", info.ID)
+			}
+			continue
+		}
+		if owner.ID == c.self.ID {
+			continue
+		}
+		exp, err := mgr.Export(info.ID)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := c.SendHandoff(ctx, owner, exp); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := mgr.Delete(info.ID); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		moved++
+		if c.logger != nil {
+			c.logger.Info("cluster stream handed off",
+				"stream", info.ID, "to", owner.ID, "tail", len(exp.Tail))
+		}
+	}
+	return moved, firstErr
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"time"
+)
+
+// Cluster request headers.
+const (
+	// HeaderNode names the node that actually served a response, so clients
+	// (and operators with curl) can see where a request landed.
+	HeaderNode = "X-CAD-Node"
+	// HeaderForwardedBy marks a request already forwarded once. The receiver
+	// serves it locally even if its own ring view disagrees — trusting the
+	// forwarder's placement is what makes routing single-hop: a request can
+	// bounce at most once, never loop, even while two nodes briefly disagree
+	// about membership.
+	HeaderForwardedBy = "X-CAD-Forwarded-By"
+	// HeaderScope set to ScopeLocal asks a node to answer a read from its
+	// own shard only, suppressing scatter-gather recursion on fan-out
+	// requests.
+	HeaderScope = "X-CAD-Scope"
+	// ScopeLocal is the HeaderScope value for shard-local reads.
+	ScopeLocal = "local"
+)
+
+// Forwarded reports whether the request was already forwarded by a peer
+// (and therefore must be served locally, never re-forwarded).
+func Forwarded(r *http.Request) bool {
+	return r.Header.Get(HeaderForwardedBy) != ""
+}
+
+// LocalScope reports whether the request asks for a shard-local answer.
+func LocalScope(r *http.Request) bool {
+	return r.Header.Get(HeaderScope) == ScopeLocal
+}
+
+// Forward proxies the request to peer, stamping HeaderForwardedBy with this
+// node's id so the receiver serves it locally. onError writes the error
+// response when the peer is unreachable (the caller owns the error envelope
+// shape); the peer is also marked down so subsequent requests route around
+// it without waiting for the health loop.
+func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, peer Node, onError func(w http.ResponseWriter, r *http.Request, err error)) {
+	target, err := url.Parse(peer.URL)
+	if err != nil {
+		onError(w, r, err)
+		return
+	}
+	c.forwarded(peer.ID).Inc()
+	proxy := &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			pr.SetURL(target)
+			pr.Out.Host = target.Host
+			pr.Out.Header.Set(HeaderForwardedBy, c.self.ID)
+		},
+		// A negative FlushInterval flushes immediately after each write,
+		// which keeps proxied SSE responses live.
+		FlushInterval: -1 * time.Millisecond,
+		Transport:     c.client.Transport,
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			c.forwardErrors(peer.ID).Inc()
+			c.MarkDown(peer.ID)
+			onError(w, r, err)
+		},
+	}
+	proxy.ServeHTTP(w, r)
+}

@@ -1,0 +1,178 @@
+// Package cluster is the horizontal scale-out layer of cadserve: a static
+// cluster of nodes shards the stream fleet by consistent hashing, any node
+// accepts /v1 traffic and transparently forwards writes to the stream's
+// owner, reads scatter-gather across the membership, and streams move
+// between nodes as snapshot + WAL-tail bundles — the same migration
+// primitive the crash-recovery layer already proves bit-identical.
+//
+// The paper's early-detection premise only pays off when correlation
+// analysis runs over many metric streams at once; one process with
+// per-stream locks is a hard ceiling. The cluster layer raises it without
+// giving up any single-node guarantee: each stream still lives entirely on
+// one node (its detector state never splits), so every alarm, anomaly, and
+// replay property of the single-node pipeline holds verbatim — the ring
+// only decides which node that is.
+//
+// Membership is static (the -peers flag), with liveness layered on top:
+// every node health-checks its peers' /readyz and routes around nodes that
+// stop answering. Ownership is decided by a consistent-hash ring with
+// virtual nodes, so stream placement is stable under membership churn —
+// adding or losing one node only moves the streams that hash to it.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Node identifies one cluster member: a short stable id (same syntax as a
+// stream id) and the base URL peers reach it at.
+type Node struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// point is one virtual node on the ring: a hash position claimed by a node.
+type point struct {
+	hash uint64
+	id   string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Placement depends only
+// on the member ids and the virtual-node count — never on insertion order —
+// so every node of a cluster computes the same owner for every stream.
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	vnodes int
+	nodes  map[string]Node
+	points []point // sorted by hash
+}
+
+// DefaultVNodes spreads each node across this many ring positions. 64
+// virtual nodes keep the per-node share within a few percent of uniform for
+// small clusters while the ring stays tiny (3 nodes → 192 points).
+const DefaultVNodes = 64
+
+// NewRing builds a ring over the given members. vnodes ≤ 0 means
+// DefaultVNodes. Duplicate ids are an error — two nodes claiming the same
+// ring positions would disagree about ownership forever.
+func NewRing(vnodes int, nodes ...Node) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		nodes:  make(map[string]Node, len(nodes)),
+		points: make([]point, 0, vnodes*len(nodes)),
+	}
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: node with empty id")
+		}
+		if _, dup := r.nodes[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		r.nodes[n.ID] = n
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(n.ID, v), id: n.ID})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by id so placement stays
+		// deterministic across nodes.
+		return r.points[i].id < r.points[j].id
+	})
+	return r, nil
+}
+
+// pointHash positions one virtual node: FNV-1a over "id#v", then a strong
+// finalizer. FNV is not cryptographic, but placement only needs uniformity
+// and cross-node determinism, and the stdlib implementation is
+// allocation-free here.
+func pointHash(id string, v int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{'#'})
+	h.Write([]byte(strconv.Itoa(v)))
+	return mix64(h.Sum64())
+}
+
+// keyHash positions a stream id on the ring.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is murmur3's 64-bit finalizer. Raw FNV-1a hashes of short ids with
+// shared prefixes ("stream-1", "stream-2", …) land in narrow bands — the
+// per-byte mixing barely diffuses into the high bits that order the ring —
+// which skews shard sizes badly. Full avalanche restores a near-uniform
+// spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Nodes returns the membership sorted by id.
+func (r *Ring) Nodes() []Node {
+	out := make([]Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Node returns the member with the given id.
+func (r *Ring) Node(id string) (Node, bool) {
+	n, ok := r.nodes[id]
+	return n, ok
+}
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the stream's owner: the first virtual node at or after the
+// stream's hash, walking the ring clockwise.
+func (r *Ring) Owner(stream string) Node {
+	n, _ := r.OwnerAmong(stream, nil)
+	return n
+}
+
+// OwnerAmong returns the stream's owner among the members alive reports
+// healthy (nil means everyone). When the nominal owner is down, ownership
+// falls to the next distinct live node clockwise — the same rule every
+// healthy peer computes, so the cluster agrees on the fallback without
+// coordination. ok is false when no member is alive.
+func (r *Ring) OwnerAmong(stream string, alive func(id string) bool) (Node, bool) {
+	h := keyHash(stream)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		if alive == nil || alive(p.id) {
+			return r.nodes[p.id], true
+		}
+		if len(seen) == len(r.nodes) {
+			break
+		}
+	}
+	return Node{}, false
+}

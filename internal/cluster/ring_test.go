@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "n1", URL: "http://h1:8080"},
+		{ID: "n2", URL: "http://h2:8080"},
+		{ID: "n3", URL: "http://h3:8080"},
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("NewRing accepted an empty membership")
+	}
+	if _, err := NewRing(0, Node{ID: ""}); err == nil {
+		t.Error("NewRing accepted an empty node id")
+	}
+	if _, err := NewRing(0, Node{ID: "a"}, Node{ID: "a"}); err == nil {
+		t.Error("NewRing accepted a duplicate node id")
+	}
+}
+
+// TestRingPlacementDeterministic is the property the whole routing layer
+// rests on: every node computes the same owner for every stream, whatever
+// order its -peers flag lists the membership in.
+func TestRingPlacementDeterministic(t *testing.T) {
+	nodes := threeNodes()
+	a, err := NewRing(0, nodes[0], nodes[1], nodes[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(0, nodes[2], nodes[0], nodes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		if a.Owner(key).ID != b.Owner(key).ID {
+			t.Fatalf("ring order changed placement of %q: %s vs %s",
+				key, a.Owner(key).ID, b.Owner(key).ID)
+		}
+	}
+}
+
+// TestRingSpread checks virtual nodes keep the shard sizes sane: with 3
+// members and the default vnode count, no node owns less than 15% or more
+// than 55% of 3000 keys.
+func TestRingSpread(t *testing.T) {
+	r, err := NewRing(0, threeNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("stream-%d", i)).ID]++
+	}
+	for id, c := range counts {
+		if c < keys*15/100 || c > keys*55/100 {
+			t.Errorf("node %s owns %d/%d keys", id, c, keys)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("only %d nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// TestOwnerAmongFailover pins the fallback rule: with the nominal owner
+// down, ownership moves to the next distinct live node clockwise; keys
+// owned by live nodes never move; with everyone down ok is false.
+func TestOwnerAmongFailover(t *testing.T) {
+	r, err := NewRing(0, threeNodes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := func(down string) func(string) bool {
+		return func(id string) bool { return id != down }
+	}
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		nominal := r.Owner(key)
+		after, ok := r.OwnerAmong(key, up("n2"))
+		if !ok || after.ID == "n2" {
+			t.Fatalf("OwnerAmong(%q) with n2 down = %v, %v", key, after, ok)
+		}
+		if nominal.ID != "n2" && after.ID != nominal.ID {
+			t.Fatalf("%q moved from live owner %s to %s", key, nominal.ID, after.ID)
+		}
+		if nominal.ID == "n2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by n2; failover untested")
+	}
+	if _, ok := r.OwnerAmong("any", func(string) bool { return false }); ok {
+		t.Error("OwnerAmong with no live node returned ok")
+	}
+}

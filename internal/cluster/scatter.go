@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"cad/internal/alert"
+)
+
+// maxScatterBody bounds one peer's scatter response. Shard-local reads are
+// paged (limit ≤ 1000), so anything near this is a peer misbehaving, not a
+// legitimate answer.
+const maxScatterBody = 32 << 20
+
+// PeerResponse is one peer's answer to a scatter-gather fan-out.
+type PeerResponse struct {
+	Peer   Node
+	Status int
+	Body   []byte
+	Err    error
+}
+
+// OK reports whether the peer answered 200.
+func (pr PeerResponse) OK() bool { return pr.Err == nil && pr.Status == http.StatusOK }
+
+// ScatterGet fans a shard-local GET out to every live peer and collects the
+// raw responses; the caller merges. pathAndQuery is the request target
+// ("/v1/alarms?limit=1000"). Failed peers come back with Err set rather
+// than being dropped, so callers can distinguish "no data" from "no
+// answer" — a partial merge without that distinction would silently
+// under-report alarms.
+func (c *Cluster) ScatterGet(ctx context.Context, pathAndQuery string) []PeerResponse {
+	peers := c.AlivePeers()
+	out := make([]PeerResponse, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = c.localGet(ctx, p, pathAndQuery)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// localGet issues one shard-local GET against a peer.
+func (c *Cluster) localGet(ctx context.Context, peer Node, pathAndQuery string) PeerResponse {
+	pr := PeerResponse{Peer: peer}
+	c.scattered(peer.ID).Inc()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(peer.URL, "/")+pathAndQuery, nil)
+	if err != nil {
+		pr.Err = err
+		c.scatterErrors(peer.ID).Inc()
+		return pr
+	}
+	req.Header.Set(HeaderScope, ScopeLocal)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		pr.Err = err
+		c.scatterErrors(peer.ID).Inc()
+		return pr
+	}
+	defer resp.Body.Close()
+	pr.Status = resp.StatusCode
+	pr.Body, pr.Err = io.ReadAll(io.LimitReader(resp.Body, maxScatterBody))
+	if pr.Err != nil {
+		c.scatterErrors(peer.ID).Inc()
+	}
+	return pr
+}
+
+// StreamPeerEvents subscribes to one peer's shard-local SSE feed at
+// pathAndQuery and decodes each frame's data field through the versioned
+// envelope, delivering events to out until the feed ends or ctx is done.
+// It returns the terminal error (nil on a clean EOF or context end).
+//
+// The subscription uses the cluster transport but no overall timeout — an
+// event feed is meant to stay open indefinitely.
+func (c *Cluster) StreamPeerEvents(ctx context.Context, peer Node, pathAndQuery string, out chan<- alert.Event) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(peer.URL, "/")+pathAndQuery, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(HeaderScope, ScopeLocal)
+	req.Header.Set("Accept", "text/event-stream")
+	stream := &http.Client{Transport: c.client.Transport}
+	resp, err := stream.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s events: HTTP %d", peer.ID, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() > 0 {
+				if ev, err := alert.DecodeEvent(data.Bytes()); err == nil {
+					select {
+					case out <- ev:
+					case <-ctx.Done():
+						return nil
+					}
+				}
+				data.Reset()
+			}
+		case strings.HasPrefix(line, "data:"):
+			// Per the SSE spec a multi-line data field concatenates with \n.
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id:/event:/retry: fields and comments carry nothing the
+			// envelope doesn't already.
+		}
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return err
+	}
+	return nil
+}

@@ -104,7 +104,9 @@ type Config struct {
 	// updates per column instead of the O(n²·w) per-round recompute, the TSG
 	// is repaired in place, and Louvain warm-starts from the previous
 	// round's partition. Exact mode only (incompatible with ApproxTSG);
-	// batch Detect/WarmUp are unaffected. Off by default.
+	// batch Detect/WarmUp are unaffected. DefaultConfig turns it on — the
+	// scenario matrix shows it decision-identical to the batch path — so
+	// zero the field explicitly to opt back into the per-round recompute.
 	Incremental bool
 	// RefreshEvery is the incremental path's exact-refresh cadence: every
 	// RefreshEvery rounds the correlation sums are recomputed from the raw
@@ -122,7 +124,11 @@ type Config struct {
 
 // DefaultConfig returns the paper-recommended configuration for an MTS with
 // n sensors and the given series length: w ≈ 0.02|T|, s ≈ 0.015w, τ = 0.5,
-// θ = 0.3, η = 3, k ≈ max(10, n/10) capped below n.
+// θ = 0.3, η = 3, k ≈ max(10, n/10) capped below n. The incremental hot
+// path is on by default (it is decision-identical to the batch pipeline on
+// the scenario corpus and strictly cheaper per column); callers that want
+// the batch recompute — or ApproxTSG, which excludes it — clear
+// Incremental explicitly.
 func DefaultConfig(n, length int) Config {
 	k := n / 10
 	if k < 10 {
@@ -135,16 +141,17 @@ func DefaultConfig(n, length int) Config {
 		k = 1
 	}
 	return Config{
-		Window:     mts.SuggestWindowing(length),
-		K:          k,
-		Tau:        0.5,
-		Theta:      0.3,
-		Eta:        3,
-		SigmaFloor: 0.5,
-		MinHistory: 8,
-		RCMode:     RCSliding,
-		RCHorizon:  10,
-		RCAlpha:    0.1,
+		Window:      mts.SuggestWindowing(length),
+		K:           k,
+		Tau:         0.5,
+		Theta:       0.3,
+		Eta:         3,
+		SigmaFloor:  0.5,
+		MinHistory:  8,
+		RCMode:      RCSliding,
+		RCHorizon:   10,
+		RCAlpha:     0.1,
+		Incremental: true,
 	}
 }
 

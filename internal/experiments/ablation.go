@@ -47,7 +47,10 @@ func (s *Suite) Ablation() (*AblationResult, error) {
 		{name: "cumulative RC", mut: func(c *core.Config) { c.RCMode = core.RCCumulative }},
 		{name: "exponential RC", mut: func(c *core.Config) { c.RCMode = core.RCExponential; c.RCAlpha = 0.2 }},
 		{name: "bounded history", mut: func(c *core.Config) { c.HistoryHorizon = 64 }},
-		{name: "approx TSG", mut: func(c *core.Config) { c.ApproxTSG = true; c.ApproxSeed = 1 }},
+		{name: "approx TSG", mut: func(c *core.Config) {
+			c.ApproxTSG, c.ApproxSeed = true, 1
+			c.Incremental = false // mutually exclusive with ApproxTSG
+		}},
 	}
 	for _, v := range variants {
 		cfg := base

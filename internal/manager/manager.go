@@ -303,6 +303,10 @@ func (m *Manager) Fleet() *fleet.Fleet { return m.fleet }
 // durable reports whether write-ahead logging is configured.
 func (m *Manager) durable() bool { return m.opt.WALDir != "" }
 
+// Durable reports whether write-ahead logging is configured (regardless
+// of whether it has since degraded; see Degraded).
+func (m *Manager) Durable() bool { return m.durable() }
+
 // Degraded reports whether durability was lost at runtime (the manager
 // keeps serving from memory) and why. Always false when write-ahead
 // logging is not configured.

@@ -1,0 +1,208 @@
+package manager
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"cad/internal/core"
+	"cad/internal/wal"
+)
+
+// TailRecord is one WAL record shipped alongside a migration snapshot: a
+// column appended after the snapshot's cursor.
+type TailRecord struct {
+	Seq  uint64
+	Time time.Time
+	Data []byte
+}
+
+// StreamExport is the migration bundle for one stream: a sealed snapshot
+// (the exact gob + CRC32-C footer bytes writeSnapshot puts on disk) plus
+// the WAL-tail records past its cursor. Import replays the tail through
+// the regular apply path, so a moved stream resumes on the receiving node
+// in the same state crash recovery would have reached — the equivalence
+// the crash-point tests already prove.
+type StreamExport struct {
+	ID       string
+	Snapshot []byte
+	Tail     []TailRecord
+}
+
+// sealStream encodes st's full persistent state as a sealed snapshot —
+// the bytes writeSnapshot would put on disk. Caller holds st.mu (or the
+// stream is still private).
+func (m *Manager) sealStream(st *stream) ([]byte, error) {
+	var streamer, tracker bytes.Buffer
+	if err := st.streamer.SaveState(&streamer); err != nil {
+		return nil, err
+	}
+	if err := st.tracker.SaveState(&tracker); err != nil {
+		return nil, err
+	}
+	env := persistedStream{
+		Version:    streamSnapVersion,
+		ID:         st.id,
+		Streamer:   streamer.Bytes(),
+		Tracker:    tracker.Bytes(),
+		Tick:       st.tick,
+		Rounds:     st.rounds,
+		Alarms:     st.alarms,
+		Anomalies:  st.anomalies,
+		Created:    st.created,
+		AnomalySeq: st.anomalySeq,
+		OpenID:     st.openID,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, fmt.Errorf("manager: snapshot %s: %w", st.id, err)
+	}
+	return appendFooter(buf.Bytes()), nil
+}
+
+// decodeSealed validates a sealed snapshot (footer, gob, version) and
+// returns its envelope.
+func decodeSealed(raw []byte) (persistedStream, error) {
+	var env persistedStream
+	payload, err := checkFooter(raw)
+	if err != nil {
+		return env, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return env, fmt.Errorf("%w: %v", errCorruptSnapshot, err)
+	}
+	if env.Version != streamSnapVersion {
+		return env, fmt.Errorf("%w: snapshot version %d, want %d", errCorruptSnapshot, env.Version, streamSnapVersion)
+	}
+	return env, nil
+}
+
+// buildStream reassembles a private stream from its envelope: detector,
+// streamer, tracker, serving state, metrics observer. Not registered.
+func (m *Manager) buildStream(env persistedStream) (*stream, error) {
+	streamer, err := core.LoadStreamer(bytes.NewReader(env.Streamer))
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := core.LoadTracker(bytes.NewReader(env.Tracker))
+	if err != nil {
+		return nil, err
+	}
+	st := &stream{
+		id:         env.ID,
+		det:        streamer.Detector(),
+		streamer:   streamer,
+		tracker:    tracker,
+		tick:       env.Tick,
+		rounds:     env.Rounds,
+		alarms:     env.Alarms,
+		anomalies:  env.Anomalies,
+		maxAlarm:   m.opt.MaxAlarms,
+		created:    env.Created,
+		anomalySeq: env.AnomalySeq,
+		openID:     env.OpenID,
+	}
+	st.lastUsed.Store(m.now().UnixNano())
+	st.det.SetObserver(newDetectorMetrics(m.reg, env.ID))
+	return st, nil
+}
+
+// Export captures the stream as a migration bundle, restoring it first if
+// it was evicted. In durable mode the bundle is the on-disk checkpoint
+// plus the live WAL tail — exactly what crash recovery would replay; in
+// memory-only (or degraded) mode it is a fresh in-memory snapshot with an
+// empty tail. The stream keeps serving here until the caller deletes it.
+func (m *Manager) Export(id string) (StreamExport, error) {
+	st, err := m.acquire(id)
+	if err != nil {
+		return StreamExport{}, err
+	}
+	defer st.mu.Unlock()
+	exp := StreamExport{ID: id}
+	if st.wal != nil {
+		raw, rerr := m.fs.ReadFile(m.snapPath(id))
+		if rerr == nil {
+			if _, derr := decodeSealed(raw); derr == nil {
+				exp.Snapshot = raw
+				rerr = st.wal.Replay(func(rec wal.Record) error {
+					data := make([]byte, len(rec.Data))
+					copy(data, rec.Data)
+					exp.Tail = append(exp.Tail, TailRecord{Seq: rec.Seq, Time: rec.Time, Data: data})
+					return nil
+				})
+				if rerr == nil {
+					return exp, nil
+				}
+			}
+		}
+		// The checkpoint or log was unreadable; fall through to a fresh
+		// in-memory seal, which needs neither.
+		exp.Tail = nil
+	}
+	data, err := m.sealStream(st)
+	if err != nil {
+		return StreamExport{}, err
+	}
+	exp.Snapshot = data
+	return exp, nil
+}
+
+// Import registers a stream from a migration bundle: decode the sealed
+// snapshot, replay the WAL tail through the regular apply path (muted —
+// the source already emitted these transitions), and insert. Any stale
+// on-disk state for the id on this node is discarded first; in durable
+// mode the imported stream gets a fresh local checkpoint and WAL. Returns
+// how many tail records were applied. ErrExists if the id is resident.
+func (m *Manager) Import(exp StreamExport) (int, error) {
+	if err := ValidateID(exp.ID); err != nil {
+		return 0, err
+	}
+	if m.residentStream(exp.ID) != nil {
+		return 0, fmt.Errorf("%w: %q", ErrExists, exp.ID)
+	}
+	env, err := decodeSealed(exp.Snapshot)
+	if err != nil {
+		return 0, fmt.Errorf("manager: import %s: %w", exp.ID, err)
+	}
+	if env.ID != exp.ID {
+		return 0, fmt.Errorf("manager: import %s: bundle snapshot is for %q", exp.ID, env.ID)
+	}
+	st, err := m.buildStream(env)
+	if err != nil {
+		return 0, fmt.Errorf("manager: import %s: %w", exp.ID, err)
+	}
+	base := st.streamer.Seq()
+	sensors := st.det.Sensors()
+	replayed := 0
+	st.muted = true
+	for _, rec := range exp.Tail {
+		if rec.Seq <= base {
+			continue // already covered by the snapshot
+		}
+		col, cerr := decodeColumn(rec.Data, sensors)
+		if cerr != nil {
+			st.muted = false
+			return 0, fmt.Errorf("manager: import %s: tail: %w", exp.ID, cerr)
+		}
+		// Round-processing errors are deterministic: the source hit the
+		// same error on the same column and carried on, so import does too.
+		_, _ = m.applyColumn(st, col, rec.Time)
+		replayed++
+	}
+	st.muted = false
+	// The imported state supersedes anything this node held for the id
+	// (Adopt semantics): clear stale files, then make it durable here.
+	if m.opt.SnapshotDir != "" {
+		_ = m.fs.Remove(m.snapPath(exp.ID))
+	}
+	if m.durable() {
+		_ = m.fs.RemoveAll(m.walPath(exp.ID))
+		m.initDurability(st)
+	}
+	if err := m.insert(st); err != nil {
+		m.dropDurability(st)
+		return 0, err
+	}
+	return replayed, nil
+}

@@ -1,9 +1,7 @@
 package manager
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -101,31 +99,10 @@ func checkFooter(raw []byte) ([]byte, error) {
 // file, fsync it (per the fsync policy), rename into place, and fsync the
 // directory so the rename itself survives a power cut. Caller holds st.mu.
 func (m *Manager) writeSnapshot(st *stream) error {
-	var streamer, tracker bytes.Buffer
-	if err := st.streamer.SaveState(&streamer); err != nil {
+	data, err := m.sealStream(st)
+	if err != nil {
 		return err
 	}
-	if err := st.tracker.SaveState(&tracker); err != nil {
-		return err
-	}
-	env := persistedStream{
-		Version:    streamSnapVersion,
-		ID:         st.id,
-		Streamer:   streamer.Bytes(),
-		Tracker:    tracker.Bytes(),
-		Tick:       st.tick,
-		Rounds:     st.rounds,
-		Alarms:     st.alarms,
-		Anomalies:  st.anomalies,
-		Created:    st.created,
-		AnomalySeq: st.anomalySeq,
-		OpenID:     st.openID,
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
-		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
-	}
-	data := appendFooter(buf.Bytes())
 	if err := m.fs.MkdirAll(m.opt.SnapshotDir, 0o755); err != nil {
 		return fmt.Errorf("manager: snapshot %s: %w", st.id, err)
 	}
@@ -204,14 +181,7 @@ func (m *Manager) readSnapshot(id string) (persistedStream, error) {
 		}
 		return env, fmt.Errorf("manager: restore %s: %w", id, err)
 	}
-	payload, err := checkFooter(raw)
-	if err == nil {
-		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); derr != nil {
-			err = fmt.Errorf("%w: %v", errCorruptSnapshot, derr)
-		} else if env.Version != streamSnapVersion {
-			err = fmt.Errorf("%w: snapshot version %d, want %d", errCorruptSnapshot, env.Version, streamSnapVersion)
-		}
-	}
+	env, err = decodeSealed(raw)
 	if err != nil {
 		m.quarantine(m.snapPath(id))
 		return persistedStream{}, fmt.Errorf("restore %s: %w", id, err)
@@ -265,30 +235,10 @@ func (m *Manager) restore(id string) (*stream, int, error) {
 		}
 		return nil, 0, err
 	}
-	streamer, err := core.LoadStreamer(bytes.NewReader(env.Streamer))
+	st, err := m.buildStream(env)
 	if err != nil {
 		return nil, 0, fmt.Errorf("manager: restore %s: %w", id, err)
 	}
-	tracker, err := core.LoadTracker(bytes.NewReader(env.Tracker))
-	if err != nil {
-		return nil, 0, fmt.Errorf("manager: restore %s: %w", id, err)
-	}
-	st := &stream{
-		id:         id,
-		det:        streamer.Detector(),
-		streamer:   streamer,
-		tracker:    tracker,
-		tick:       env.Tick,
-		rounds:     env.Rounds,
-		alarms:     env.Alarms,
-		anomalies:  env.Anomalies,
-		maxAlarm:   m.opt.MaxAlarms,
-		created:    env.Created,
-		anomalySeq: env.AnomalySeq,
-		openID:     env.OpenID,
-	}
-	st.lastUsed.Store(m.now().UnixNano())
-	st.det.SetObserver(newDetectorMetrics(m.reg, id))
 	replayed := 0
 	if m.durable() {
 		// Replay while the stream is still private: by the time anyone

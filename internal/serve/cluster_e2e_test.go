@@ -1,0 +1,426 @@
+package serve
+
+// Three-node cluster e2e: a ground-truthed scenario is replayed through a
+// consistent-hash sharded cadserve cluster — streams created and ingested
+// through arbitrary entry nodes, transparently forwarded to their owners —
+// and every stream's alarms and anomalies must match a single-node run of
+// the same series. Then one member drains out and its streams must resume
+// on the survivors with no lost columns.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cad/internal/alert"
+	"cad/internal/cluster"
+	"cad/internal/manager"
+	"cad/internal/obs"
+	"cad/internal/scenario"
+)
+
+// clusterNode is one in-process cadserve member.
+type clusterNode struct {
+	id  string
+	ts  *httptest.Server
+	cl  *cluster.Cluster
+	mgr *manager.Manager
+	svc *Service
+	bus *alert.Bus
+}
+
+// startTestCluster boots n fully wired members on real listeners. The
+// listeners exist before the clusters, so every member advertises a real
+// URL; handlers are swapped in once the services are built.
+func startTestCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	handlers := make([]*atomic.Value, n)
+	members := make([]cluster.Node, n)
+	for i := range servers {
+		hv := &atomic.Value{}
+		handlers[i] = hv
+		servers[i] = httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hv.Load().(http.Handler).ServeHTTP(w, r)
+		}))
+		members[i] = cluster.Node{
+			ID:  fmt.Sprintf("n%d", i),
+			URL: "http://" + servers[i].Listener.Addr().String(),
+		}
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		reg := obs.NewRegistry()
+		bus, err := alert.NewBus(alert.Options{Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr := manager.New(manager.Options{
+			Capacity:  32,
+			MaxAlarms: 256,
+			Registry:  reg,
+			Alerts:    bus,
+			WALDir:    t.TempDir(),
+			Fsync:     manager.FsyncNever,
+		})
+		peers := make([]cluster.Node, 0, n-1)
+		for j, m := range members {
+			if j != i {
+				peers = append(peers, m)
+			}
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:      members[i].ID,
+			Advertise: members[i].URL,
+			Peers:     peers,
+			Registry:  reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := NewWithOptions(testDetector(t), Options{Manager: mgr, Alerts: bus, Cluster: cl, Registry: reg})
+		handlers[i].Store(svc.Handler())
+		servers[i].Start()
+		nodes[i] = &clusterNode{id: members[i].ID, ts: servers[i], cl: cl, mgr: mgr, svc: svc, bus: bus}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.bus.Close()
+		}
+		for _, nd := range nodes {
+			nd.ts.Close()
+		}
+	})
+	return nodes
+}
+
+// httpJSON issues a request against a live server and decodes the JSON
+// answer, returning the response for header checks.
+func httpJSON(t *testing.T, method, url string, body io.Reader, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("%s %s = %d: %s", method, url, resp.StatusCode, buf)
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf, out); err != nil {
+			t.Fatalf("%s %s: decode: %v\n%s", method, url, err, buf)
+		}
+	}
+	return resp
+}
+
+// ndjsonBatches renders a scenario series as NDJSON ingest bodies.
+func ndjsonBatches(t *testing.T, inst *scenario.Instance, batch int) []string {
+	t.Helper()
+	col := make([]float64, inst.Scenario.Sensors)
+	var out []string
+	for at := 0; at < inst.Series.Len(); at += batch {
+		end := at + batch
+		if end > inst.Series.Len() {
+			end = inst.Series.Len()
+		}
+		var b strings.Builder
+		for p := at; p < end; p++ {
+			inst.Series.Column(p, col)
+			buf, err := json.Marshal(IngestRequest{Readings: col})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(buf)
+			b.WriteByte('\n')
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// alarmDecisions strips alarm timestamps: the cluster's clocks and the
+// reference run's differ, but every decision field must match.
+type alarmDecision struct {
+	Round, Tick, Variations int
+	Score                   float64
+}
+
+func decisionsOf(alarms []manager.Alarm) []alarmDecision {
+	out := make([]alarmDecision, len(alarms))
+	for i, a := range alarms {
+		out[i] = alarmDecision{Round: a.Round, Tick: a.Tick, Variations: a.Variations, Score: a.Score}
+	}
+	return out
+}
+
+func TestClusterShardedScenarioEquivalence(t *testing.T) {
+	s, ok := scenario.ByName("partial-sensor-dropout")
+	if !ok {
+		t.Fatal("partial-sensor-dropout missing from corpus")
+	}
+	inst, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.BaseConfig()
+	batches := ndjsonBatches(t, inst, 300)
+	streamIDs := []string{"scn-a", "scn-b", "scn-c", "scn-d", "scn-e", "scn-f"}
+
+	// Single-node reference: the same series through one unclustered
+	// service.
+	refSvc := NewWithOptions(testDetector(t), Options{Manager: manager.New(manager.Options{MaxAlarms: 256})})
+	refH := refSvc.Handler()
+	rec := postJSON(t, refH, "/v1/streams", CreateStreamRequest{ID: "ref", Sensors: s.Sensors, Config: &cfg})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("reference create = %d: %s", rec.Code, rec.Body)
+	}
+	for _, body := range batches {
+		req := httptest.NewRequest(http.MethodPost, "/v1/streams/ref/ingest", strings.NewReader(body))
+		brec := httptest.NewRecorder()
+		refH.ServeHTTP(brec, req)
+		if brec.Code != http.StatusOK {
+			t.Fatalf("reference batch = %d: %s", brec.Code, brec.Body)
+		}
+	}
+	var refAlarms []manager.Alarm
+	req := httptest.NewRequest(http.MethodGet, "/v1/streams/ref/alarms?limit=256", nil)
+	arec := httptest.NewRecorder()
+	refH.ServeHTTP(arec, req)
+	if err := json.Unmarshal(arec.Body.Bytes(), &refAlarms); err != nil {
+		t.Fatal(err)
+	}
+	if len(refAlarms) == 0 {
+		t.Fatal("reference run produced no alarms; the equivalence check would be vacuous")
+	}
+	var refAnoms AnomaliesResponse
+	req = httptest.NewRequest(http.MethodGet, "/v1/streams/ref/anomalies?limit=256", nil)
+	arec = httptest.NewRecorder()
+	refH.ServeHTTP(arec, req)
+	if err := json.Unmarshal(arec.Body.Bytes(), &refAnoms); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := startTestCluster(t, 3)
+	byID := map[string]*clusterNode{}
+	for _, nd := range nodes {
+		byID[nd.id] = nd
+	}
+
+	// One whole-fleet SSE subscription on n2 must hear events from every
+	// shard (its own bus plus the fan-in from both peers).
+	fleetSSE := dialSSE(t, nodes[2].ts.URL+"/v1/events")
+
+	// Create every stream through node 0; the router forwards each create
+	// to its ring owner and names the serving node.
+	owners := map[string]string{}
+	for _, id := range streamIDs {
+		buf, _ := json.Marshal(CreateStreamRequest{ID: id, Sensors: s.Sensors, Config: &cfg})
+		resp := httpJSON(t, http.MethodPost, nodes[0].ts.URL+"/v1/streams", strings.NewReader(string(buf)), nil)
+		owner, ok := nodes[0].cl.Owner(id)
+		if !ok {
+			t.Fatalf("no owner for %s", id)
+		}
+		owners[id] = owner.ID
+		if got := resp.Header.Get(cluster.HeaderNode); got != owner.ID {
+			t.Fatalf("create %s served by %q, ring owner is %s", id, got, owner.ID)
+		}
+	}
+
+	// The placement must actually shard: no single node owns everything,
+	// and every stream is resident exactly on its owner.
+	distinct := map[string]bool{}
+	for _, o := range owners {
+		distinct[o] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all %d streams landed on one node: %v", len(streamIDs), owners)
+	}
+	for id, o := range owners {
+		for _, nd := range nodes {
+			resident := false
+			for _, info := range nd.mgr.List() {
+				if info.ID == id {
+					resident = true
+				}
+			}
+			if resident != (nd.id == o) {
+				t.Fatalf("stream %s resident on %s, owner is %s", id, nd.id, o)
+			}
+		}
+	}
+
+	// Replay the scenario into every stream, rotating the entry node so
+	// most batches arrive via a non-owner and must be forwarded.
+	for bi, body := range batches {
+		for si, id := range streamIDs {
+			entry := nodes[(bi+si)%len(nodes)]
+			resp := httpJSON(t, http.MethodPost, entry.ts.URL+"/v1/streams/"+id+"/ingest", strings.NewReader(body), nil)
+			if got := resp.Header.Get(cluster.HeaderNode); got != owners[id] {
+				t.Fatalf("batch for %s served by %q, want owner %s", id, got, owners[id])
+			}
+		}
+	}
+
+	// Every stream, read through a non-owner entry node, matches the
+	// single-node reference decision for decision.
+	readVia := func(id string) *clusterNode {
+		for _, nd := range nodes {
+			if nd.id != owners[id] {
+				return nd
+			}
+		}
+		t.Fatalf("no non-owner for %s", id)
+		return nil
+	}
+	for _, id := range streamIDs {
+		entry := readVia(id)
+		var alarms []manager.Alarm
+		httpJSON(t, http.MethodGet, entry.ts.URL+"/v1/streams/"+id+"/alarms?limit=256", nil, &alarms)
+		if !reflect.DeepEqual(decisionsOf(alarms), decisionsOf(refAlarms)) {
+			t.Fatalf("stream %s alarms diverge from the single-node reference", id)
+		}
+		var anoms AnomaliesResponse
+		httpJSON(t, http.MethodGet, entry.ts.URL+"/v1/streams/"+id+"/anomalies?limit=256", nil, &anoms)
+		if !reflect.DeepEqual(anoms, refAnoms) {
+			t.Fatalf("stream %s anomalies diverge: got %+v want %+v", id, anoms, refAnoms)
+		}
+		var st manager.StreamStatus
+		httpJSON(t, http.MethodGet, entry.ts.URL+"/v1/streams/"+id+"/status", nil, &st)
+		if st.Ticks != inst.Series.Len() {
+			t.Fatalf("stream %s has %d ticks, want %d", id, st.Ticks, inst.Series.Len())
+		}
+	}
+
+	// Scatter-gathered /v1/streams lists the whole fleet from any entry
+	// node — the six sharded streams plus the node-local default — and
+	// pages like the single-node listing.
+	wantIDs := append([]string{DefaultStream}, streamIDs...)
+	var list StreamListResponse
+	httpJSON(t, http.MethodGet, nodes[1].ts.URL+"/v1/streams", nil, &list)
+	gotIDs := make([]string, len(list.Streams))
+	for i, info := range list.Streams {
+		gotIDs[i] = info.ID
+	}
+	if !reflect.DeepEqual(gotIDs, wantIDs) {
+		t.Fatalf("scattered stream list = %v, want %v", gotIDs, wantIDs)
+	}
+	var pageList StreamListResponse
+	httpJSON(t, http.MethodGet, nodes[1].ts.URL+"/v1/streams?limit=3&offset=2", nil, &pageList)
+	pagedIDs := make([]string, len(pageList.Streams))
+	for i, info := range pageList.Streams {
+		pagedIDs[i] = info.ID
+	}
+	if !reflect.DeepEqual(pagedIDs, wantIDs[2:5]) {
+		t.Fatalf("scattered page = %v, want %v", pagedIDs, wantIDs[2:5])
+	}
+
+	// GET /v1/cluster reports the membership from every node's view.
+	var cs ClusterResponse
+	httpJSON(t, http.MethodGet, nodes[0].ts.URL+"/v1/cluster", nil, &cs)
+	if cs.Self != "n0" || len(cs.Nodes) != 3 {
+		t.Fatalf("/v1/cluster = %+v", cs)
+	}
+	for _, n := range cs.Nodes {
+		if !n.Alive {
+			t.Fatalf("/v1/cluster reports %s down in a healthy cluster", n.ID)
+		}
+	}
+
+	// The fleet-wide SSE feed heard anomaly events from shards on peers of
+	// n2, not just its own.
+	waitFor(t, "fan-in of a peer shard's anomaly_opened on /v1/events", func() bool {
+		for _, ev := range fleetSSE.snapshot() {
+			if ev.Type == alert.TypeAnomalyOpened && owners[ev.Stream] != "" && owners[ev.Stream] != "n2" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// --- Failover: drain one member and keep serving. ---
+
+	// End the fleet SSE subscription first: its fan-in holds a streaming
+	// request open against every peer, and httptest.Server.Close blocks
+	// until in-flight requests finish.
+	fleetSSE.resp.Body.Close()
+
+	// Drain the node owning scn-a: every movable stream it holds is handed
+	// to the surviving members as snapshot + WAL-tail bundles.
+	victim := byID[owners["scn-a"]]
+	moved, err := victim.cl.Drain(context.Background(), ClusterMover{Mgr: victim.mgr})
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if moved == 0 {
+		t.Fatal("Drain moved no streams")
+	}
+	if got := len(ClusterMover{Mgr: victim.mgr}.List()); got != 0 {
+		t.Fatalf("%d movable streams left on the drained node", got)
+	}
+	victim.ts.Close()
+	var survivors []*clusterNode
+	for _, nd := range nodes {
+		if nd != victim {
+			nd.cl.MarkDown(victim.id)
+			survivors = append(survivors, nd)
+		}
+	}
+
+	// Every stream is still served — the moved ones from their new owners,
+	// with every column intact and the same alarm history.
+	for _, id := range streamIDs {
+		newOwner, ok := survivors[0].cl.Owner(id)
+		if !ok || newOwner.ID == victim.id {
+			t.Fatalf("stream %s still routed to the drained node", id)
+		}
+		var st manager.StreamStatus
+		httpJSON(t, http.MethodGet, survivors[0].ts.URL+"/v1/streams/"+id+"/status", nil, &st)
+		if st.Ticks != inst.Series.Len() {
+			t.Fatalf("stream %s lost columns in the handoff: %d ticks, want %d", id, st.Ticks, inst.Series.Len())
+		}
+		var alarms []manager.Alarm
+		httpJSON(t, http.MethodGet, survivors[1].ts.URL+"/v1/streams/"+id+"/alarms?limit=256", nil, &alarms)
+		if !reflect.DeepEqual(decisionsOf(alarms), decisionsOf(refAlarms)) {
+			t.Fatalf("stream %s alarms diverge after the handoff", id)
+		}
+	}
+
+	// The scattered listing still covers the whole fleet (minus the dead
+	// node's default stream) and ingest keeps flowing through survivors.
+	var after StreamListResponse
+	httpJSON(t, http.MethodGet, survivors[0].ts.URL+"/v1/streams", nil, &after)
+	found := map[string]bool{}
+	for _, info := range after.Streams {
+		found[info.ID] = true
+	}
+	for _, id := range streamIDs {
+		if !found[id] {
+			t.Fatalf("stream %s missing from the post-drain listing %v", id, after.Streams)
+		}
+	}
+	resp := httpJSON(t, http.MethodPost, survivors[1].ts.URL+"/v1/streams/scn-a/ingest", strings.NewReader(batches[0]), nil)
+	if resp.Header.Get(cluster.HeaderNode) == victim.id {
+		t.Fatal("post-drain ingest served by the drained node")
+	}
+	var st manager.StreamStatus
+	httpJSON(t, http.MethodGet, survivors[0].ts.URL+"/v1/streams/scn-a/status", nil, &st)
+	if st.Ticks != inst.Series.Len()+300 {
+		t.Fatalf("post-drain ingest: %d ticks, want %d", st.Ticks, inst.Series.Len()+300)
+	}
+}

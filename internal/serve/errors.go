@@ -44,6 +44,11 @@ const (
 	// CodeCapacityExhausted reports a full stream registry with nothing
 	// evictable.
 	CodeCapacityExhausted = "capacity_exhausted"
+	// CodeClusterUnavailable reports that a stream's owning node cannot be
+	// reached (or no live node owns it); retry after the cluster heals.
+	CodeClusterUnavailable = "cluster_unavailable"
+	// CodeBadHandoff reports an undecodable stream-migration bundle.
+	CodeBadHandoff = "bad_handoff"
 	// CodeMethodNotAllowed reports an unsupported HTTP method.
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeNotFound reports an unknown route.

@@ -29,8 +29,16 @@ func TestHealthEndpoints(t *testing.T) {
 	if code, resp := getHealth(t, h, "/healthz"); code != http.StatusOK || resp.Status != "ok" {
 		t.Fatalf("/healthz = %d, %+v", code, resp)
 	}
-	if code, resp := getHealth(t, h, "/readyz"); code != http.StatusOK || resp.Status != "ok" {
+	code, resp := getHealth(t, h, "/readyz")
+	if code != http.StatusOK || resp.Status != "ok" {
 		t.Fatalf("/readyz = %d, %+v", code, resp)
+	}
+	// An in-memory single-node service reports every optional subsystem as
+	// disabled — present in the map, so operators see what is configured.
+	for _, sub := range []string{"wal", "fleet", "cluster"} {
+		if got := resp.Subsystems[sub].Status; got != "disabled" {
+			t.Errorf("readyz subsystem %s = %q, want disabled", sub, got)
+		}
 	}
 	req := httptest.NewRequest(http.MethodPost, "/healthz", nil)
 	rec := httptest.NewRecorder()
@@ -62,6 +70,9 @@ func TestReadyzReportsDegraded(t *testing.T) {
 	code, resp := getHealth(t, h, "/readyz")
 	if code != http.StatusServiceUnavailable || resp.Status != "degraded" || resp.Reason == "" {
 		t.Fatalf("/readyz while degraded = %d, %+v; want 503 with a reason", code, resp)
+	}
+	if wal := resp.Subsystems["wal"]; wal.Status != "degraded" || wal.Reason == "" {
+		t.Fatalf("readyz wal subsystem while degraded = %+v", wal)
 	}
 }
 

@@ -39,6 +39,10 @@ func (s *Service) handleIncidents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.scatterActive(r) {
+		s.scatterIncidents(w, r, state, p)
+		return
+	}
 	incidents := s.fleet.Incidents(state)
 	if incidents == nil {
 		incidents = []alert.Incident{}
@@ -60,6 +64,10 @@ func (s *Service) handleIncident(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	inc, ok := s.fleet.Incident(id)
 	if !ok {
+		// Incidents are node-scoped; a miss here may be a hit on a peer.
+		if s.scatterActive(r) && s.scatterIncident(w, r, id) {
+			return
+		}
 		writeError(w, http.StatusNotFound, CodeIncidentNotFound, "incident %q not found", id)
 		return
 	}

@@ -23,6 +23,9 @@
 //	GET    /v1/incidents?limit&offset&state=open|closed               → fleet-level incidents, newest first
 //	GET    /v1/incidents/{id}                                         → one incident with onset-ordered suspects
 //	GET    /v1/incidents/events                                       → live SSE feed of incident transitions
+//	GET    /v1/events                                                 → fleet-wide SSE feed (fans in peers when clustered)
+//	GET    /v1/cluster                                                → membership, ring size, per-peer liveness
+//	POST   /v1/cluster/handoff            migration bundle            → peer-to-peer stream adoption (internal)
 //	POST   /v1/detect                     CSV body                    → one-shot batch detection
 //	GET    /version                                                   → build identity (module version, VCS revision)
 //
@@ -30,6 +33,18 @@
 // alert bus (Options.Alerts); the incident routes answer 404 unless a fleet
 // correlator is wired (Options.Fleet, or a manager carrying one). GET
 // /v1/streams also reports the build in an X-CAD-Version header.
+//
+// When the service is built with a cluster (Options.Cluster), every node
+// answers the full API for any stream: stream-scoped writes and reads are
+// transparently proxied to the consistent-hash owner, collection reads
+// (/v1/streams, alarms, anomalies, incidents) scatter-gather across the
+// live membership, and /v1/events fans in every peer's feed. Responses name
+// the node that actually served them in an X-CAD-Node header; forwarded
+// requests carry X-CAD-Forwarded-By (single-hop — a receiver always serves
+// locally) and scatter responses list unreachable peers in X-CAD-Partial.
+// The "default" stream is node-local and never routed. An unreachable owner
+// yields 503 cluster_unavailable; an undecodable migration bundle on
+// /v1/cluster/handoff yields 400 bad_handoff.
 //
 // The legacy unversioned routes (/ingest, /status, /alarms, /anomalies,
 // /detect) are deprecated thin delegates to the /v1 handlers on the
@@ -41,7 +56,10 @@
 // while the process serves) and GET /readyz readiness: 503 with the cause
 // once the manager lost durability and degraded to memory-only operation,
 // so orchestrators can route traffic away from a replica that would forget
-// its streams on the next restart.
+// its streams on the next restart. /readyz also breaks readiness down per
+// subsystem ("wal", "fleet", "cluster" — ok/degraded/disabled with a
+// reason), and down cluster peers degrade the cluster subsystem without
+// unreadying the node: its own shard still serves.
 //
 // Every non-2xx response carries one structured JSON error envelope,
 //
@@ -50,8 +68,8 @@
 // with stable machine-readable codes (bad_json, bad_readings, bad_csv,
 // bad_config, bad_query, bad_stream_id, bad_sink, batch_too_large,
 // stream_not_found, stream_exists, incident_not_found, sink_exists,
-// sink_not_found, capacity_exhausted, method_not_allowed, not_found,
-// internal). Listing routes share one ?limit=/?offset= contract (see
+// sink_not_found, capacity_exhausted, cluster_unavailable, bad_handoff,
+// method_not_allowed, not_found, internal). Listing routes share one ?limit=/?offset= contract (see
 // parsePage): limit must be positive when present, offset non-negative,
 // and paging past the end yields an empty page.
 //
@@ -86,6 +104,7 @@ import (
 	"strings"
 
 	"cad/internal/alert"
+	"cad/internal/cluster"
 	"cad/internal/core"
 	"cad/internal/fleet"
 	"cad/internal/manager"
@@ -114,6 +133,10 @@ type Service struct {
 	logger *slog.Logger
 	alerts *alert.Bus
 	fleet  *fleet.Fleet
+	// cluster, when non-nil, turns this node into a cluster member: writes
+	// route to their ring owner, collection reads scatter-gather, and the
+	// /v1/cluster routes come alive.
+	cluster *cluster.Cluster
 }
 
 // Options configures optional service dependencies.
@@ -137,6 +160,11 @@ type Options struct {
 	// Fleet, when non-nil, enables the /v1/incidents routes. Nil falls
 	// back to the fleet the manager was built with (if any).
 	Fleet *fleet.Fleet
+	// Cluster, when non-nil, makes this node a member of a cadserve
+	// cluster: per-stream requests are transparently forwarded to the
+	// stream's ring owner, collection reads scatter-gather across live
+	// peers, and the /v1/cluster status and handoff routes are enabled.
+	Cluster *cluster.Cluster
 }
 
 // New wraps det (already warmed up, if desired) as the default stream of a
@@ -167,7 +195,7 @@ func NewWithOptions(det *core.Detector, o Options) *Service {
 	if fl == nil {
 		fl = mgr.Fleet()
 	}
-	return &Service{mgr: mgr, reg: mgr.Registry(), logger: o.Logger, alerts: o.Alerts, fleet: fl}
+	return &Service{mgr: mgr, reg: mgr.Registry(), logger: o.Logger, alerts: o.Alerts, fleet: fl, cluster: o.Cluster}
 }
 
 // Registry returns the metrics registry the service reports into.
@@ -184,7 +212,8 @@ func routeLabel(r *http.Request) string {
 	switch p {
 	case "/ingest", "/status", "/alarms", "/anomalies", "/detect", "/metrics",
 		"/healthz", "/readyz", "/version", "/v1/streams", "/v1/sinks",
-		"/v1/detect", "/v1/incidents", "/v1/incidents/events":
+		"/v1/detect", "/v1/incidents", "/v1/incidents/events", "/v1/events",
+		"/v1/cluster", "/v1/cluster/handoff":
 		return p
 	}
 	if rest, ok := strings.CutPrefix(p, "/v1/sinks/"); ok {
@@ -237,6 +266,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/incidents/{id}", s.handleIncident)
 	// One-shot batch detection under the versioned prefix.
 	mux.HandleFunc("/v1/detect", s.handleDetect)
+	// Cluster membership view, peer-to-peer stream handoff, and the
+	// fleet-wide event feed (fans in peer feeds when clustered).
+	mux.HandleFunc("/v1/cluster", s.handleCluster)
+	mux.HandleFunc(cluster.HandoffPath, s.handleClusterHandoff)
+	mux.HandleFunc("/v1/events", s.handleFleetEvents)
 	// Legacy single-stream routes: deprecated thin delegates to the /v1
 	// handlers on the default stream. Responses carry Deprecation/Sunset/
 	// Link headers and traffic is counted per route so operators can see
@@ -251,7 +285,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/version", s.handleVersion)
 	mux.HandleFunc("/", s.handleNotFound)
-	return obs.Middleware(mux, s.reg, s.logger, routeLabel)
+	// Ingest routing sits inside the metrics middleware so forwarded
+	// requests still count toward this node's per-route series.
+	return obs.Middleware(s.routeToOwner(mux), s.reg, s.logger, routeLabel)
 }
 
 // byID adapts a stream handler to the /v1/streams/{id}/… routes.
@@ -302,11 +338,25 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Handler().ServeHTTP(w, r)
 }
 
-// HealthResponse is the /healthz and /readyz payload.
+// SubsystemStatus is one subsystem's entry in the /readyz payload:
+// "ok", "degraded" (with the reason), or "disabled" (not configured).
+type SubsystemStatus struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// HealthResponse is the /healthz and /readyz payload. /readyz adds the
+// per-subsystem breakdown so operators (and the cluster health checker)
+// can tell WHY a node is degraded, not just that it is; the top-level
+// Status/Reason pair keeps its original meaning for probes that only
+// look there.
 type HealthResponse struct {
 	Status string `json:"status"`
 	// Reason explains a not-ready verdict (e.g. why durability degraded).
 	Reason string `json:"reason,omitempty"`
+	// Subsystems details wal (durability), fleet (incident correlation),
+	// and cluster (membership) health on /readyz.
+	Subsystems map[string]SubsystemStatus `json:"subsystems,omitempty"`
 }
 
 // handleHealthz reports liveness: the process is up and serving requests.
@@ -318,19 +368,50 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
-// handleReadyz reports readiness. A manager that lost durability keeps
-// ingesting from memory but answers 503 here, so orchestrators can shift
-// traffic to a replica whose streams will survive the next restart.
+// handleReadyz reports readiness with per-subsystem detail. Only lost
+// durability makes the node unready (503): a manager that lost its WAL
+// keeps ingesting from memory but would forget its streams on the next
+// restart, so orchestrators should shift traffic away. Down cluster peers
+// are reported under subsystems but do NOT unready this node — its own
+// shard is fine, and marking the whole cluster unready because one member
+// died would amplify the outage.
 func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
 		return
 	}
-	if degraded, reason := s.mgr.Degraded(); degraded {
-		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "degraded", Reason: reason})
-		return
+	resp := HealthResponse{Status: "ok", Subsystems: map[string]SubsystemStatus{}}
+	status := http.StatusOK
+
+	wal := SubsystemStatus{Status: "ok"}
+	if !s.mgr.Durable() {
+		wal.Status = "disabled"
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	if degraded, reason := s.mgr.Degraded(); degraded {
+		wal = SubsystemStatus{Status: "degraded", Reason: reason}
+		resp.Status = "degraded"
+		resp.Reason = reason
+		status = http.StatusServiceUnavailable
+	}
+	resp.Subsystems["wal"] = wal
+
+	if s.fleet == nil {
+		resp.Subsystems["fleet"] = SubsystemStatus{Status: "disabled"}
+	} else {
+		resp.Subsystems["fleet"] = SubsystemStatus{Status: "ok"}
+	}
+
+	if s.cluster == nil {
+		resp.Subsystems["cluster"] = SubsystemStatus{Status: "disabled"}
+	} else if down := s.cluster.DownPeers(); len(down) > 0 {
+		resp.Subsystems["cluster"] = SubsystemStatus{
+			Status: "degraded",
+			Reason: "peers down: " + strings.Join(down, ", "),
+		}
+	} else {
+		resp.Subsystems["cluster"] = SubsystemStatus{Status: "ok"}
+	}
+	writeJSON(w, status, resp)
 }
 
 // finiteOrZero maps NaN/Inf (e.g. μ before any round) to 0 so the status
@@ -372,6 +453,10 @@ func (s *Service) handleStreams(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("X-CAD-Version", versionHeader())
+		if s.scatterActive(r) {
+			s.scatterStreamList(w, r, p)
+			return
+		}
 		writeJSON(w, http.StatusOK, StreamListResponse{Streams: pageSlice(s.mgr.List(), p)})
 	default:
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST required")
